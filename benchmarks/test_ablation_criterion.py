@@ -1,0 +1,90 @@
+"""A-1: ablation of the detection criterion (paper Sec. V-A).
+
+The paper replaces FTaLaT's confidence-interval acceptance band with a
+two-standard-deviation band because thousands of concurrent GPU threads
+drive the standard error (and hence the CI width) below the device timer
+granularity.  This bench measures the same frequency pair with both
+criteria and quantifies the failure: detection success rate and wasted
+attempts.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro import LatestConfig, make_machine
+from repro.core.context import BenchContext
+from repro.core.phase1 import run_phase1
+from repro.core.phase2 import run_switch_benchmark
+from repro.core.phase3 import detection_band, evaluate_switch
+
+PAIR = (1410.0, 975.0)  # target duration not tick-aligned (86.77 us)
+N_ATTEMPTS = 20
+
+
+def run_ablation():
+    machine = make_machine("A100", seed=314)
+    config = LatestConfig(
+        frequencies=PAIR,
+        record_sm_count=12,
+        min_measurements=4,
+        max_measurements=8,
+        warmup_kernels=1,
+        warmup_kernel_duration_s=0.08,
+        measure_kernel_duration_s=0.12,
+        probe_window_s=0.4,
+    )
+    bench = BenchContext(machine, config)
+    phase1 = run_phase1(bench)
+    target_stats = phase1.stats_for(PAIR[1])
+    cfg_ci = dataclasses.replace(
+        config, detection_criterion="confidence-interval"
+    )
+
+    outcomes = {"two-sigma": [], "confidence-interval": []}
+    for _ in range(N_ATTEMPTS):
+        raw = run_switch_benchmark(
+            bench, PAIR[0], PAIR[1], phase1.kernel, window_iterations=800
+        )
+        for name, cfg in (("two-sigma", config), ("confidence-interval", cfg_ci)):
+            ev = evaluate_switch(raw, target_stats, cfg)
+            outcomes[name].append(ev)
+    return phase1, target_stats, outcomes, config, cfg_ci
+
+
+def test_ablation_detection_criterion(benchmark):
+    phase1, target_stats, outcomes, cfg2s, cfgci = benchmark.pedantic(
+        run_ablation, rounds=1, iterations=1
+    )
+
+    band2s = detection_band(target_stats, cfg2s)
+    bandci = detection_band(target_stats, cfgci)
+    print("\nA-1: detection criterion ablation (A100, 1410->975 MHz)")
+    print(
+        f"  samples behind target stats: n={target_stats.n} "
+        f"(std {target_stats.std * 1e6:.2f} us, "
+        f"stderr {target_stats.stderr * 1e9:.1f} ns)"
+    )
+    print(
+        f"  two-sigma band width: {(band2s[1] - band2s[0]) * 1e6:8.3f} us"
+    )
+    print(
+        f"  CI band width:        {(bandci[1] - bandci[0]) * 1e9:8.3f} ns "
+        "(vs 1000 ns timer tick)"
+    )
+    for name, evs in outcomes.items():
+        ok = sum(1 for e in evs if e.ok)
+        print(f"  {name:<22} success {ok}/{len(evs)}")
+
+    # The 2-sigma band spans more than a timer tick; the CI band is far
+    # below one (it cannot contain any representable diff value).
+    assert (band2s[1] - band2s[0]) > 1.5e-6
+    assert (bandci[1] - bandci[0]) < 1e-6
+
+    ok_2s = sum(1 for e in outcomes["two-sigma"] if e.ok)
+    ok_ci = sum(1 for e in outcomes["confidence-interval"] if e.ok)
+    # The paper's criterion succeeds essentially always; the CI criterion
+    # starves.
+    assert ok_2s >= 0.9 * N_ATTEMPTS
+    assert ok_ci <= 0.2 * N_ATTEMPTS

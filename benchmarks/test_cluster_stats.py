@@ -1,0 +1,63 @@
+"""E-S1: Sec. VII-B cluster statistics across all pairs.
+
+The paper reports the share of single-cluster pairs per GPU (GH200 85 %,
+A100 96 %, RTX Quadro 6000 70 %), a maximum of five clusters (GH200), and
+silhouette scores always above 0.4 with a 0.84 average over the GPUs.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import print_paper_vs_measured
+from repro.analysis.clusters import cluster_report
+from repro.analysis.paper_reference import (
+    PAPER_AVG_SILHOUETTE,
+    PAPER_MIN_SILHOUETTE,
+    PAPER_SINGLE_CLUSTER_SHARE,
+)
+
+
+def test_cluster_statistics(benchmark, cluster_campaigns):
+    reports = benchmark(lambda: [cluster_report(c) for c in cluster_campaigns])
+
+    rows = []
+    for report in reports:
+        paper_share = PAPER_SINGLE_CLUSTER_SHARE[report.gpu_name]
+        rows.append(
+            (
+                f"{report.gpu_name}: single-cluster share",
+                paper_share,
+                report.single_cluster_share,
+            )
+        )
+    print_paper_vs_measured("Sec. VII-B cluster structure", rows)
+
+    by_name = {r.gpu_name: r for r in reports}
+    # Ordering of single-cluster shares matches the paper:
+    # A100 (most unimodal) > GH200 > RTX Quadro 6000 (most multimodal).
+    assert (
+        by_name["A100 SXM-4"].single_cluster_share
+        >= by_name["GH200"].single_cluster_share
+        >= by_name["RTX Quadro 6000"].single_cluster_share - 0.05
+    )
+    assert by_name["A100 SXM-4"].single_cluster_share > 0.75
+    assert by_name["RTX Quadro 6000"].single_cluster_share < 0.90
+
+    # Silhouette validation of multi-cluster pairs.
+    sils = np.concatenate(
+        [r.multi_cluster_silhouettes for r in reports if r.multi_cluster_silhouettes.size]
+    )
+    print(
+        f"\nsilhouettes: n={sils.size} min={sils.min():.2f} "
+        f"mean={sils.mean():.2f} "
+        f"(paper: min > {PAPER_MIN_SILHOUETTE}, avg {PAPER_AVG_SILHOUETTE})"
+    )
+    assert sils.size > 0
+    assert sils.min() > PAPER_MIN_SILHOUETTE
+    assert sils.mean() > 0.6
+
+    # GH200 is the only device with >2 clusters (up to five).
+    assert by_name["GH200"].max_clusters >= 3
+    # Outliers never exceed a low percentage of the measurements.
+    for report in reports:
+        assert report.outlier_share() < 0.12

@@ -1,0 +1,53 @@
+"""E-S2: Sec. VII's CPU-vs-GPU comparison.
+
+"Several studies presenting the transition latency of modern Intel and AMD
+CPUs show that CPUs complete the frequency transitions in microseconds, or
+units of milliseconds at most, while GPUs require significantly more time,
+ranging from tens to hundreds of milliseconds."
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.paper_reference import CPU_TRANSITION_RANGE_MS
+from repro.ftalat import CpuCore, FtalatConfig, run_ftalat
+from repro.simtime.clock import VirtualClock
+from repro.simtime.host import HostCpu
+
+
+def run_cpu_campaign():
+    clock = VirtualClock()
+    host = HostCpu(clock, rng=np.random.default_rng(77))
+    core = CpuCore(host)
+    return run_ftalat(
+        core, (1200.0, 1800.0, 2400.0, 3100.0), FtalatConfig(repeats=8)
+    )
+
+
+def test_cpu_vs_gpu_latency_regimes(benchmark, all_campaigns):
+    cpu = benchmark(run_cpu_campaign)
+    cpu_ms = cpu.all_latencies_s() * 1e3
+
+    print(f"\n{'device':<22} {'n':>5} {'min':>9} {'median':>9} {'max':>9}  [ms]")
+    print(
+        f"{'CPU (FTaLaT)':<22} {cpu_ms.size:5d} {cpu_ms.min():9.3f} "
+        f"{np.median(cpu_ms):9.3f} {cpu_ms.max():9.3f}"
+    )
+    for campaign in all_campaigns:
+        gpu_ms = campaign.all_latencies_s() * 1e3
+        print(
+            f"{campaign.gpu_name:<22} {gpu_ms.size:5d} {gpu_ms.min():9.3f} "
+            f"{np.median(gpu_ms):9.3f} {gpu_ms.max():9.3f}"
+        )
+
+    # CPU transitions: microseconds to units of milliseconds.
+    lo_ms, hi_ms = CPU_TRANSITION_RANGE_MS
+    assert cpu_ms.min() >= lo_ms / 10
+    assert cpu_ms.max() <= hi_ms
+    # Every GPU's median exceeds the CPU median by at least an order of
+    # magnitude; GPU worst cases live in the tens-to-hundreds of ms.
+    cpu_median = np.median(cpu_ms)
+    for campaign in all_campaigns:
+        gpu_ms = campaign.all_latencies_s() * 1e3
+        assert np.median(gpu_ms) > 10 * cpu_median
+        assert gpu_ms.max() > 10.0

@@ -1,0 +1,78 @@
+"""E-F4: Fig. 4 — switching-latency distributions, increasing vs
+decreasing transitions (violin plots).
+
+Regenerates the per-pair worst-case distributions split by direction for
+all three GPUs and asserts the published qualitative findings:
+
+* RTX Quadro 6000 shows the highest variability with multiple regions of
+  frequent values (multimodal violins),
+* A100 latencies clump tightly around the mean,
+* GH200 reaches the highest maxima, yet most worst cases stay below
+  100 ms (predictability).
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.distributions import split_by_direction
+
+
+def _print_violin(name, split):
+    for side, violin in (
+        ("increasing", split.increasing),
+        ("decreasing", split.decreasing),
+    ):
+        q25, q50, q75 = violin.quantiles_ms()
+        print(
+            f"{name:>18} {side:<11} n={violin.values_ms.size:3d} "
+            f"min={violin.stats.minimum:8.2f} q25={q25:8.2f} "
+            f"med={q50:8.2f} q75={q75:8.2f} max={violin.stats.maximum:8.2f} "
+            f"modes~{violin.modality_count()}"
+        )
+
+
+def test_fig4_violins(benchmark, all_campaigns):
+    splits = benchmark(
+        lambda: [split_by_direction(c, "max") for c in all_campaigns]
+    )
+    print("\nFig. 4: worst-case switching latency by direction [ms]")
+    for campaign, split in zip(all_campaigns, splits):
+        _print_violin(campaign.gpu_name, split)
+
+    by_name = {s.gpu_name: s for s in splits}
+    rtx = by_name["RTX Quadro 6000"]
+    a100 = by_name["A100 SXM-4"]
+    gh200 = by_name["GH200"]
+
+    # RTX: widest distributions and multimodal structure.
+    rtx_spread = max(
+        rtx.increasing.stats.std, rtx.decreasing.stats.std
+    )
+    a100_spread = max(
+        a100.increasing.stats.std, a100.decreasing.stats.std
+    )
+    assert rtx_spread > 5 * a100_spread
+    assert max(
+        rtx.increasing.modality_count(), rtx.decreasing.modality_count()
+    ) >= 2
+
+    # A100: tightly clumped around the mean on both sides.
+    for violin in (a100.increasing, a100.decreasing):
+        assert violin.stats.std < 0.5 * violin.stats.mean
+
+    # GH200: the single highest values of the three GPUs, but the bulk of
+    # the worst cases below 100 ms.
+    gh200_max = max(
+        gh200.increasing.stats.maximum, gh200.decreasing.stats.maximum
+    )
+    rtx_max = max(
+        rtx.increasing.stats.maximum, rtx.decreasing.stats.maximum
+    )
+    a100_max = max(
+        a100.increasing.stats.maximum, a100.decreasing.stats.maximum
+    )
+    assert gh200_max > a100_max
+    all_gh200 = np.concatenate(
+        [gh200.increasing.values_ms, gh200.decreasing.values_ms]
+    )
+    assert np.median(all_gh200) < 100.0

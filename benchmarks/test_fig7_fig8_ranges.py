@@ -1,0 +1,60 @@
+"""E-F7/E-F8: Figs. 7-8 — manufacturing variability of four A100 units.
+
+Regenerates the per-pair range (max - min across units) of the best-case
+(Fig. 7) and worst-case (Fig. 8) switching latencies for four simulated
+A100s on one node, and asserts the paper's observations: best-case ranges
+are tiny (sub-ms), worst-case ranges reach several ms on a few pairs, and
+transitions are "not entirely uniform across hardware instances".
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.render import render_matrix
+from repro.analysis.variability import variability_report
+
+
+def test_fig7_min_ranges(benchmark, a100_unit_campaigns):
+    report = benchmark(lambda: variability_report(a100_unit_campaigns))
+    grid = report.range_matrix_ms("min")
+    print("\nFig. 7: ranges of minimum switching latencies, 4x A100 [ms]")
+    print(
+        render_matrix(
+            grid,
+            report.frequencies_mhz,
+            report.frequencies_mhz,
+            corner="init\\tgt",
+            fmt="{:8.3f}",
+        )
+    )
+    finite = grid[np.isfinite(grid)]
+    assert finite.size >= 20
+    # Paper Fig. 7: best-case ranges are fractions of a millisecond
+    # (0.01-1.03 ms); they must be non-zero (units differ) yet small.
+    assert np.median(finite) < 1.5
+    assert finite.max() < 6.0
+    assert (finite > 0).all()
+
+
+def test_fig8_max_ranges(benchmark, a100_unit_campaigns):
+    report = benchmark(lambda: variability_report(a100_unit_campaigns))
+    grid = report.range_matrix_ms("max")
+    print("\nFig. 8: ranges of maximum switching latencies, 4x A100 [ms]")
+    print(
+        render_matrix(
+            grid,
+            report.frequencies_mhz,
+            report.frequencies_mhz,
+            corner="init\\tgt",
+            fmt="{:8.3f}",
+        )
+    )
+    finite = grid[np.isfinite(grid)]
+    # Paper Fig. 8: typical ranges of a few ms, occasional ~13 ms spikes.
+    assert 0.3 < np.median(finite) < 8.0
+    assert finite.max() > 2.0
+    # Worst-case variability exceeds best-case variability.
+    min_grid = report.range_matrix_ms("min")
+    assert np.nanmedian(finite) > np.nanmedian(
+        min_grid[np.isfinite(min_grid)]
+    )

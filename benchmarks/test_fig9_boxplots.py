@@ -1,0 +1,39 @@
+"""E-F9: Fig. 9 — per-unit boxplots of the highest-spread pairs.
+
+The paper selects the frequency pairs with the largest cross-unit spread
+and shows per-device boxplots, concluding that "no single hardware
+instance consistently exhibits worse than others".
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.variability import variability_report
+
+
+def test_fig9_boxplots(benchmark, a100_unit_campaigns):
+    report = benchmark(lambda: variability_report(a100_unit_campaigns))
+    top = report.top_spread_pairs(3, case="max")
+
+    print("\nFig. 9: highest-spread pairs across four A100 units")
+    for spread in top:
+        init, target = spread.key
+        print(f"\n  {init:g} -> {target:g} MHz")
+        for unit, campaign in enumerate(a100_unit_campaigns):
+            values = campaign.pair(init, target).latencies_s() * 1e3
+            q1, med, q3 = np.percentile(values, [25, 50, 75])
+            print(
+                f"    unit {unit}: n={values.size:3d} "
+                f"min={values.min():7.2f} q1={q1:7.2f} med={med:7.2f} "
+                f"q3={q3:7.2f} max={values.max():7.2f}"
+            )
+
+    assert len(top) == 3
+    assert top[0].range_ms >= top[1].range_ms >= top[2].range_ms
+
+    # The paper's conclusion: no unit is consistently the slowest.
+    hist = report.slowest_unit_histogram("max")
+    print(f"\n  slowest-unit histogram over all pairs: {list(hist)}")
+    assert report.consistently_slowest_unit("max") is None
+    # Every unit is slowest somewhere (variability is idiosyncratic).
+    assert (hist > 0).sum() >= 2

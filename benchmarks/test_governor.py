@@ -1,0 +1,76 @@
+"""A-4: the latency-aware governor use case (paper Sec. VIII).
+
+Uses the GH200 campaign's measured worst-case latency table to drive DVFS
+policies over a synthetic phase-changing application, quantifying the two
+benefits the paper predicts: better switch timing (skip phases shorter
+than the transition) and avoidance of pathological frequency pairs.
+"""
+
+import pytest
+
+from repro.governor import (
+    LatencyAwareGovernor,
+    LatencyTable,
+    NaiveGovernor,
+    OracleGovernor,
+    StaticGovernor,
+    make_phased_application,
+    simulate_governor,
+)
+from repro.gpusim.spec import GH200
+
+
+def run_comparison(gh200_campaign):
+    table = LatencyTable.from_campaign(gh200_campaign, statistic="max")
+    # Memory-bound phases prefer ~64 % of the max clock, which lands on
+    # the pathological 1260 MHz target band.
+    app = make_phased_application(
+        GH200, n_phases=120, seed=17, memory_optimal_ratio=0.636
+    )
+    static = simulate_governor(app, StaticGovernor(max(table.frequencies_mhz)))
+    naive = simulate_governor(app, NaiveGovernor(table))
+    aware = simulate_governor(app, LatencyAwareGovernor(table))
+    oracle = simulate_governor(app, OracleGovernor(table))
+    return table, app, static, naive, aware, oracle
+
+
+def test_governor_use_case(benchmark, gh200_campaign):
+    table, app, static, naive, aware, oracle = benchmark.pedantic(
+        run_comparison, args=(gh200_campaign,), rounds=1, iterations=1
+    )
+
+    print("\nA-4: governor comparison on GH200 latency table")
+    print(
+        f"  {'governor':>15} {'time s':>9} {'energy J':>10} {'switches':>9} "
+        f"{'stale s':>9}"
+    )
+    for run in (static, naive, aware, oracle):
+        print(
+            f"  {run.governor_name:>15} {run.total_time_s:9.2f} "
+            f"{run.total_energy_j:10.1f} {run.n_switches:9d} "
+            f"{run.stale_time_s:9.3f}"
+        )
+    print(
+        f"  energy savings vs static: naive "
+        f"{naive.energy_savings_vs(static) * 100:+.1f}%, aware "
+        f"{aware.energy_savings_vs(static) * 100:+.1f}%"
+    )
+
+    # DVFS saves energy over static max-clock operation.
+    assert aware.energy_savings_vs(static) > 0.03
+    # The aware governor avoids switches the naive one wastes.
+    assert aware.n_switches < naive.n_switches
+    # And spends less time off its requested frequency.
+    assert aware.stale_time_s < naive.stale_time_s
+    # Awareness does not cost meaningful runtime vs naive.
+    assert aware.total_time_s < naive.total_time_s * 1.02
+    # The energy x delay product improves.
+    assert (
+        aware.total_energy_j * aware.total_time_s
+        < naive.total_energy_j * naive.total_time_s
+    )
+    # The oracle (duration-clairvoyant) bounds every heuristic.
+    assert (
+        oracle.total_energy_j * oracle.total_time_s
+        <= aware.total_energy_j * aware.total_time_s * 1.02
+    )

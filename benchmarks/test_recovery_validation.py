@@ -1,0 +1,34 @@
+"""E-V1: ground-truth recovery — the simulator-only validation axis.
+
+On physical hardware the methodology's output cannot be checked against
+the true switching latency; here every transition's injected latency is
+known.  This bench scores the full pipeline (sync -> delay -> detection ->
+confirmation -> outlier filter) on all three GPU campaigns.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.validation import score_recovery
+
+
+def test_ground_truth_recovery(benchmark, all_campaigns):
+    reports = benchmark(lambda: [score_recovery(c) for c in all_campaigns])
+
+    print("\nE-V1: methodology recovery against injected ground truth")
+    for report in reports:
+        for line in report.summary_lines():
+            print(f"  {line}")
+
+    for report in reports:
+        # The detection bias is the iteration-granularity cost: positive
+        # (an upper-bound methodology) and below ~10 workload iterations.
+        assert -1e-3 < report.overall_bias_s < 2e-3
+        # Relative recovery error: median under 15 % on every device.
+        assert report.overall_median_rel_error < 0.15
+        # Worst absolute error bounded by the adaptation-ramp cap plus
+        # granularity.
+        assert report.worst_abs_error_s < 0.04
+        # The outlier filter finds most separable injected outliers
+        # without flooding false positives.
+        assert report.outlier_recall > 0.6

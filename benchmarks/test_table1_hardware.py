@@ -1,0 +1,70 @@
+"""E-T1: Table I — used hardware experimental setup.
+
+Regenerates the hardware parameter table from the simulated devices' NVML
+surface (not from the spec constants directly, so the driver path is what
+is being validated).
+"""
+
+import pytest
+
+from repro.machine import make_machine
+
+PAPER_TABLE1 = {
+    # model: (arch, SM, driver, mem MHz, max, nominal, min, steps)
+    "RTX6000": ("Turing", 72, "530.41.03", 7001, 2100, 1440, 300, 120),
+    "A100": ("Ampere", 108, "550.54.15", 1215, 1410, 1095, 210, 81),
+    "GH200": ("Hopper", 132, "545.23.08", 2619, 1980, 1980, 345, 110),
+}
+
+
+def build_table1():
+    rows = {}
+    for model in PAPER_TABLE1:
+        machine = make_machine(model, seed=0)
+        handle = machine.nvml().device_get_handle_by_index(0)
+        spec = machine.device().spec
+        clocks = handle.supported_graphics_clocks(
+            handle.supported_memory_clocks()[0]
+        )
+        rows[model] = {
+            "architecture": spec.architecture,
+            "sm_count": spec.sm_count,
+            "driver": handle.driver_version(),
+            "mem_mhz": handle.supported_memory_clocks()[0],
+            "max_mhz": clocks[0],
+            "nominal_mhz": spec.nominal_sm_frequency_mhz,
+            "min_mhz": clocks[-1],
+            "steps": len(clocks),
+        }
+    return rows
+
+
+def test_table1_reproduction(benchmark):
+    rows = benchmark(build_table1)
+
+    print("\nTABLE I: Used hardware experimental setup")
+    header = f"{'':24}" + "".join(f"{m:>16}" for m in rows)
+    print(header)
+    for field in (
+        "architecture", "sm_count", "driver", "mem_mhz",
+        "max_mhz", "nominal_mhz", "min_mhz", "steps",
+    ):
+        line = f"{field:<24}" + "".join(
+            f"{str(rows[m][field]):>16}" for m in rows
+        )
+        print(line)
+
+    for model, (arch, sm, driver, mem, fmax, fnom, fmin, steps) in (
+        PAPER_TABLE1.items()
+    ):
+        row = rows[model]
+        assert row["architecture"] == arch
+        assert row["sm_count"] == sm
+        assert row["driver"] == driver
+        assert row["mem_mhz"] == mem
+        assert row["max_mhz"] == fmax
+        assert row["nominal_mhz"] == fnom
+        assert row["min_mhz"] == fmin
+        # Ladder length within one step of the paper's count (NVIDIA
+        # 15 MHz ladders: the RTX span holds 121 entries vs. 120 reported).
+        assert abs(row["steps"] - steps) <= 1

@@ -1,0 +1,58 @@
+"""E-T2: Table II — summary of switching latencies across GPUs.
+
+Regenerates the min/mean/max of best-case and worst-case per-pair
+latencies for all three GPUs and compares the *shape* against the
+published values: ordering of devices, asymmetry between best and worst
+case, and the rough factors between architectures.
+"""
+
+import pytest
+
+from benchmarks.conftest import print_paper_vs_measured
+from repro.analysis.paper_reference import PAPER_TABLE2
+from repro.analysis.render import render_table2
+from repro.analysis.summary import summarize_campaign
+
+
+def test_table2_reproduction(benchmark, all_campaigns):
+    rows = benchmark(lambda: [summarize_campaign(c) for c in all_campaigns])
+
+    print()
+    print(render_table2(rows))
+    for row in rows:
+        paper = PAPER_TABLE2[row.gpu_name]
+        print_paper_vs_measured(
+            f"Table II — {row.gpu_name}",
+            [
+                ("worst-case min [ms]", paper.worst.min_ms, row.worst.min_ms),
+                ("worst-case mean [ms]", paper.worst.mean_ms, row.worst.mean_ms),
+                ("worst-case max [ms]", paper.worst.max_ms, row.worst.max_ms),
+                ("best-case min [ms]", paper.best.min_ms, row.best.min_ms),
+                ("best-case mean [ms]", paper.best.mean_ms, row.best.mean_ms),
+                ("best-case max [ms]", paper.best.max_ms, row.best.max_ms),
+            ],
+        )
+
+    by_name = {r.gpu_name: r for r in rows}
+    rtx = by_name["RTX Quadro 6000"]
+    a100 = by_name["A100 SXM-4"]
+    gh200 = by_name["GH200"]
+
+    # --- shape assertions against the paper -----------------------------
+    # A100 is the tightest/fastest device overall.
+    assert a100.worst.mean_ms < rtx.worst.mean_ms
+    assert a100.worst.max_ms < 40.0
+    assert 3.0 < a100.best.min_ms < 8.0
+    assert 8.0 < a100.worst.mean_ms < 30.0
+
+    # RTX: worst-case mean ~82 ms, plateau-driven; absolute max ~350 ms.
+    assert 40.0 < rtx.worst.mean_ms < 160.0
+    assert rtx.worst.max_ms > 200.0
+    # RTX best-case can be sub-ms (the 1650->1560 pair).
+    assert rtx.best.min_ms < 3.0
+
+    # GH200: mostly fast but with extreme maxima in the special bands.
+    assert gh200.best.min_ms < 9.0
+    assert gh200.worst.max_ms > 150.0
+    # GPUs, unlike CPUs, live in the tens-to-hundreds of ms regime.
+    assert all(r.worst.mean_ms > 5.0 for r in rows)

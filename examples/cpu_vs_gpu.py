@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""CPU vs GPU frequency switching latency (paper Sec. VII comparison).
+
+Runs FTaLaT (the CPU methodology, confidence-interval detection) on a
+simulated server CPU core and the LATEST methodology on a simulated A100,
+then prints both distributions side by side.  The paper's claim: "CPUs
+complete the frequency transitions in microseconds, or units of
+milliseconds at most, while GPUs require significantly more time, ranging
+from tens to hundreds of milliseconds."
+
+Run:  python examples/cpu_vs_gpu.py
+"""
+
+import numpy as np
+
+from repro import LatestConfig, make_machine, run_campaign
+from repro.ftalat import CpuCore, FtalatConfig, run_ftalat
+from repro.simtime.clock import VirtualClock
+from repro.simtime.host import HostCpu
+
+
+def main() -> None:
+    # --- CPU side: FTaLaT on a simulated Xeon core ---------------------
+    clock = VirtualClock()
+    host = HostCpu(clock, rng=np.random.default_rng(5))
+    core = CpuCore(host)
+    cpu_freqs = (1200.0, 2200.0, 3100.0)
+    print("running FTaLaT on simulated CPU ...")
+    cpu = run_ftalat(core, cpu_freqs, FtalatConfig(repeats=8))
+    cpu_ms = cpu.all_latencies_s() * 1e3
+
+    # --- GPU side: LATEST on a simulated A100 --------------------------
+    machine = make_machine("A100", seed=5)
+    config = LatestConfig(
+        frequencies=(705.0, 1095.0, 1410.0),
+        record_sm_count=12,
+        min_measurements=15,
+        max_measurements=30,
+        rse_check_every=5,
+    )
+    print("running LATEST on simulated A100 ...")
+    gpu = run_campaign(machine, config)
+    gpu_ms = gpu.all_latencies_s() * 1e3
+
+    print(f"\n{'':18} {'n':>5} {'min':>9} {'median':>9} {'max':>9}  [ms]")
+    print(
+        f"{'CPU (FTaLaT)':18} {cpu_ms.size:5d} {cpu_ms.min():9.3f} "
+        f"{np.median(cpu_ms):9.3f} {cpu_ms.max():9.3f}"
+    )
+    print(
+        f"{'GPU (LATEST)':18} {gpu_ms.size:5d} {gpu_ms.min():9.3f} "
+        f"{np.median(gpu_ms):9.3f} {gpu_ms.max():9.3f}"
+    )
+    print(
+        f"\nGPU/CPU median latency ratio: "
+        f"{np.median(gpu_ms) / np.median(cpu_ms):.0f}x"
+    )
+
+
+if __name__ == "__main__":
+    main()

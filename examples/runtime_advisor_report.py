@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""From measurement to runtime design: advisor + full campaign report.
+
+Measures a GH200 frequency subset that includes a pathological target band,
+then derives the artifacts a DVFS-runtime designer needs (paper Sec. VIII):
+
+* pathological targets and pairs to avoid, with cheap detours,
+* minimum region lengths for profitable switches (COUNTDOWN-style
+  boundary classification against *measured* latencies),
+* a full markdown report written to ./campaign_report.md, including the
+  ground-truth recovery scores only a simulator can provide.
+
+Run:  python examples/runtime_advisor_report.py
+"""
+
+from repro import LatestConfig, make_machine, run_campaign
+from repro.analysis.advisor import RuntimeAdvisor
+from repro.analysis.report import write_campaign_report
+from repro.analysis.validation import score_recovery
+
+
+def main() -> None:
+    machine = make_machine("GH200", seed=88)
+    config = LatestConfig(
+        frequencies=(1095.0, 1260.0, 1305.0, 1665.0, 1980.0),
+        record_sm_count=12,
+        min_measurements=15,
+        max_measurements=30,
+        rse_check_every=5,
+    )
+    print("measuring GH200 subset (includes the 1260 MHz special band) ...")
+    result = run_campaign(machine, config)
+
+    advisor = RuntimeAdvisor(result, residency_factor=3.0, avoid_factor=5.0)
+    print(f"\ncampaign median worst case: "
+          f"{advisor.median_worst_case_s * 1e3:.1f} ms")
+
+    pathological = advisor.pathological_targets()
+    if pathological:
+        print("pathological target frequencies: "
+              + ", ".join(f"{t:g} MHz" for t in pathological))
+
+    print("\npairs to avoid (with detours):")
+    for advice in advisor.pairs_to_avoid():
+        detour = (
+            f" -> detour via {advice.detour_target_mhz:g} MHz "
+            f"({advice.detour_worst_case_s * 1e3:.1f} ms)"
+            if advice.detour_target_mhz is not None
+            else " (no cheap detour nearby)"
+        )
+        print(
+            f"  {advice.key[0]:6g} -> {advice.key[1]:6g}: worst "
+            f"{advice.worst_case_s * 1e3:7.1f} ms{detour}"
+        )
+
+    print("\nregion classification examples (init=1980 MHz):")
+    for target, region_ms in ((1260.0, 20.0), (1260.0, 2000.0), (1305.0, 60.0)):
+        decision = advisor.classify_region(1980.0, target, region_ms * 1e-3)
+        print(f"  {region_ms:7.0f} ms region wanting {target:g} MHz: {decision}")
+
+    recovery = score_recovery(result)
+    print()
+    for line in recovery.summary_lines():
+        print(line)
+
+    path = write_campaign_report(result, "campaign_report.md")
+    print(f"\nfull markdown report written to {path}")
+
+
+if __name__ == "__main__":
+    main()

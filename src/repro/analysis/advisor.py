@@ -1,0 +1,189 @@
+"""Runtime-design advisor: actionable rules from a latency campaign.
+
+The paper's summary (Sec. VIII) names two ways measured switching
+latencies help an energy-efficiency runtime: "the frequency changes can be
+performed with better timing" and "the runtime system may avoid some
+frequency transitions, which show overhead higher than other frequency
+pairs".  This module turns a :class:`CampaignResult` into exactly those
+artifacts:
+
+* a **minimum residency** per pair — how long a region must be for a
+  switch into it to pay off (COUNTDOWN's boundary-classification idea,
+  generalized from its fixed 500 us to the measured latency),
+* a list of **pairs to avoid**, whose worst case exceeds the device's
+  typical transition by a configurable factor, each with the best cheap
+  **detour** target nearby,
+* per-target-frequency reachability summaries (the heatmaps' dominant
+  "row pattern" is a per-target property, so the advice is too).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.results import CampaignResult, PairKey
+from repro.errors import MeasurementError
+
+__all__ = ["PairAdvice", "TargetAdvice", "RuntimeAdvisor"]
+
+
+@dataclass(frozen=True)
+class PairAdvice:
+    """Advice for one (init -> target) transition."""
+
+    key: PairKey
+    worst_case_s: float
+    typical_s: float
+    min_residency_s: float
+    avoid: bool
+    detour_target_mhz: float | None
+    detour_worst_case_s: float | None
+
+
+@dataclass(frozen=True)
+class TargetAdvice:
+    """Per-target-frequency summary (the heatmaps' column structure)."""
+
+    target_mhz: float
+    median_worst_case_s: float
+    max_worst_case_s: float
+    pathological: bool
+
+
+@dataclass
+class RuntimeAdvisor:
+    """Derives runtime-system guidance from a measured campaign.
+
+    Parameters
+    ----------
+    result:
+        A completed campaign.
+    residency_factor:
+        A switch is worthwhile only if the region lasts at least this many
+        times the worst-case transition latency.
+    avoid_factor:
+        Pairs whose worst case exceeds ``avoid_factor`` x the campaign
+        median worst case are flagged for avoidance.
+    detour_tolerance_mhz:
+        How far a detour target may sit from the intended one.
+    """
+
+    result: CampaignResult
+    residency_factor: float = 3.0
+    avoid_factor: float = 5.0
+    detour_tolerance_mhz: float = 120.0
+    _worst: dict[PairKey, float] = field(init=False, default_factory=dict)
+    _typical: dict[PairKey, float] = field(init=False, default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for pair in self.result.iter_measured():
+            values = pair.latencies_s(without_outliers=True)
+            if values.size == 0:
+                continue
+            self._worst[pair.key] = float(values.max())
+            self._typical[pair.key] = float(np.median(values))
+        if not self._worst:
+            raise MeasurementError("campaign has no measured pairs to advise on")
+
+    # ------------------------------------------------------------------
+    @property
+    def median_worst_case_s(self) -> float:
+        return float(np.median(list(self._worst.values())))
+
+    def pair_advice(self, init_mhz: float, target_mhz: float) -> PairAdvice:
+        key = (float(init_mhz), float(target_mhz))
+        if key not in self._worst:
+            raise MeasurementError(f"pair {key} was not measured")
+        worst = self._worst[key]
+        avoid = worst > self.avoid_factor * self.median_worst_case_s
+        detour_target = detour_worst = None
+        if avoid:
+            detour = self._find_detour(key)
+            if detour is not None:
+                detour_target, detour_worst = detour
+        return PairAdvice(
+            key=key,
+            worst_case_s=worst,
+            typical_s=self._typical[key],
+            min_residency_s=self.residency_factor * worst,
+            avoid=avoid,
+            detour_target_mhz=detour_target,
+            detour_worst_case_s=detour_worst,
+        )
+
+    def _find_detour(self, key: PairKey) -> tuple[float, float] | None:
+        """Cheapest alternative target near the intended one."""
+        init, target = key
+        best: tuple[float, float] | None = None
+        for (i, t), worst in self._worst.items():
+            if i != init or t == target:
+                continue
+            if abs(t - target) > self.detour_tolerance_mhz:
+                continue
+            if worst >= self._worst[key]:
+                continue
+            if best is None or worst < best[1]:
+                best = (t, worst)
+        return best
+
+    def all_advice(self) -> list[PairAdvice]:
+        return [self.pair_advice(*key) for key in sorted(self._worst)]
+
+    def pairs_to_avoid(self) -> list[PairAdvice]:
+        return [a for a in self.all_advice() if a.avoid]
+
+    # ------------------------------------------------------------------
+    def target_advice(self) -> list[TargetAdvice]:
+        """Per-target summaries; pathological targets are column-wise slow."""
+        by_target: dict[float, list[float]] = {}
+        for (_, target), worst in self._worst.items():
+            by_target.setdefault(target, []).append(worst)
+        median_all = self.median_worst_case_s
+        out = []
+        for target, values in sorted(by_target.items()):
+            arr = np.asarray(values)
+            out.append(
+                TargetAdvice(
+                    target_mhz=target,
+                    median_worst_case_s=float(np.median(arr)),
+                    max_worst_case_s=float(arr.max()),
+                    pathological=bool(
+                        np.median(arr) > self.avoid_factor * median_all
+                    ),
+                )
+            )
+        return out
+
+    def pathological_targets(self) -> list[float]:
+        return [t.target_mhz for t in self.target_advice() if t.pathological]
+
+    # ------------------------------------------------------------------
+    def min_residency_table(self) -> dict[PairKey, float]:
+        """The better-timing rule: region length needed per pair."""
+        return {
+            key: self.residency_factor * worst
+            for key, worst in self._worst.items()
+        }
+
+    def classify_region(
+        self, init_mhz: float, target_mhz: float, region_s: float
+    ) -> str:
+        """COUNTDOWN-style boundary classification against measured data.
+
+        Returns ``"switch"`` when the region is long enough to amortize the
+        worst-case transition, ``"detour"`` when the direct pair should be
+        avoided but a cheap neighbour exists and pays off, and ``"stay"``
+        otherwise.
+        """
+        advice = self.pair_advice(init_mhz, target_mhz)
+        if advice.avoid and advice.detour_target_mhz is not None:
+            detour_residency = self.residency_factor * (
+                advice.detour_worst_case_s or 0.0
+            )
+            if region_s >= detour_residency:
+                return "detour"
+        if region_s >= advice.min_residency_s and not advice.avoid:
+            return "switch"
+        return "stay"

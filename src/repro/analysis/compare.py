@@ -1,0 +1,120 @@
+"""Campaign-to-campaign comparison (repeatability and drift detection).
+
+The paper stresses that "the process of the GPU stabilizing itself at the
+desired frequency level may vary if measured multiple times" — per-pair
+distributions are a *property of the device* that repeated campaigns must
+agree on.  This module compares two campaigns over the same frequency set:
+
+* per-pair Welch tests on the latency means (statistical agreement),
+* relative shifts of the per-pair best/worst cases,
+* a drift verdict usable in commissioning pipelines ("did this GPU's DVFS
+  behaviour change after the driver update?").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.results import CampaignResult, PairKey
+from repro.errors import MeasurementError
+from repro.stats.descriptive import summarize
+from repro.stats.hypothesis_tests import welch_t_test
+
+__all__ = ["PairComparison", "CampaignComparison", "compare_campaigns"]
+
+
+@dataclass(frozen=True)
+class PairComparison:
+    """Agreement metrics for one pair across two campaigns."""
+
+    key: PairKey
+    mean_a_s: float
+    mean_b_s: float
+    relative_shift: float       # (b - a) / a of the means
+    pvalue: float               # Welch test on the raw measurements
+    worst_shift: float          # relative shift of the per-pair maxima
+
+    def agrees(self, alpha: float = 0.01, max_shift: float = 0.5) -> bool:
+        """Statistically compatible, or practically close despite p < alpha.
+
+        Per-pair distributions are heavy-tailed; with enough samples tiny
+        mean differences become "significant", so practical equivalence
+        (small relative shift) also counts as agreement.
+        """
+        return self.pvalue >= alpha or abs(self.relative_shift) <= max_shift
+
+
+@dataclass
+class CampaignComparison:
+    """Full comparison of two campaigns on the same frequency set."""
+
+    gpu_name: str
+    pairs: list[PairComparison] = field(default_factory=list)
+
+    @property
+    def n_pairs(self) -> int:
+        return len(self.pairs)
+
+    def agreement_share(self, alpha: float = 0.01, max_shift: float = 0.5) -> float:
+        if not self.pairs:
+            raise MeasurementError("no common pairs to compare")
+        agreeing = sum(1 for p in self.pairs if p.agrees(alpha, max_shift))
+        return agreeing / len(self.pairs)
+
+    @property
+    def median_relative_shift(self) -> float:
+        return float(np.median([abs(p.relative_shift) for p in self.pairs]))
+
+    def drifted_pairs(
+        self, alpha: float = 0.01, max_shift: float = 0.5
+    ) -> list[PairComparison]:
+        return [p for p in self.pairs if not p.agrees(alpha, max_shift)]
+
+    def verdict(self, max_drifted_share: float = 0.2) -> str:
+        """"stable" when most pairs agree, "drifted" otherwise."""
+        share = 1.0 - self.agreement_share()
+        return "drifted" if share > max_drifted_share else "stable"
+
+
+def compare_campaigns(
+    a: CampaignResult, b: CampaignResult, without_outliers: bool = True
+) -> CampaignComparison:
+    """Compare two campaigns pair by pair.
+
+    Requires a common frequency set; pairs measured in only one campaign
+    are skipped (both campaigns may have skipped different pairs for
+    legitimate reasons, e.g. throttling).
+    """
+    if set(a.frequencies) != set(b.frequencies):
+        raise MeasurementError(
+            "campaigns use different frequency sets: "
+            f"{a.frequencies} vs {b.frequencies}"
+        )
+    comparison = CampaignComparison(gpu_name=a.gpu_name)
+    measured_b = {p.key: p for p in b.iter_measured()}
+    for pair_a in a.iter_measured():
+        pair_b = measured_b.get(pair_a.key)
+        if pair_b is None:
+            continue
+        values_a = pair_a.latencies_s(without_outliers)
+        values_b = pair_b.latencies_s(without_outliers)
+        if values_a.size < 2 or values_b.size < 2:
+            continue
+        stats_a, stats_b = summarize(values_a), summarize(values_b)
+        comparison.pairs.append(
+            PairComparison(
+                key=pair_a.key,
+                mean_a_s=stats_a.mean,
+                mean_b_s=stats_b.mean,
+                relative_shift=(stats_b.mean - stats_a.mean) / stats_a.mean,
+                pvalue=welch_t_test(stats_a, stats_b).pvalue,
+                worst_shift=(
+                    (stats_b.maximum - stats_a.maximum) / stats_a.maximum
+                ),
+            )
+        )
+    if not comparison.pairs:
+        raise MeasurementError("campaigns share no measured pairs")
+    return comparison

@@ -1,0 +1,114 @@
+"""Direction-split latency distributions (paper Fig. 4 violin plots).
+
+The violins compare per-pair worst-case switching latencies for frequency
+*increasing* transitions (init < target, left half) against *decreasing*
+ones (init > target, right half).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.results import CampaignResult
+from repro.errors import MeasurementError
+from repro.stats.descriptive import SampleStats, summarize
+
+__all__ = ["ViolinData", "DirectionSplit", "split_by_direction"]
+
+
+@dataclass(frozen=True)
+class ViolinData:
+    """One violin: raw values plus a kernel-density-style histogram."""
+
+    values_ms: np.ndarray
+    stats: SampleStats
+    bin_edges_ms: np.ndarray
+    density: np.ndarray
+
+    @classmethod
+    def from_values(cls, values_ms: np.ndarray, bins: int = 40) -> "ViolinData":
+        if values_ms.size == 0:
+            raise MeasurementError("no values for violin")
+        density, edges = np.histogram(values_ms, bins=bins, density=True)
+        return cls(
+            values_ms=values_ms,
+            stats=summarize(values_ms),
+            bin_edges_ms=edges,
+            density=density,
+        )
+
+    def quantiles_ms(self, qs=(0.25, 0.5, 0.75)) -> np.ndarray:
+        return np.quantile(self.values_ms, qs)
+
+    def modality_count(self, min_prominence: float = 0.15) -> int:
+        """Rough count of density modes (multimodality of the RTX violins).
+
+        A mode is a local maximum of the smoothed histogram exceeding
+        ``min_prominence`` times the global peak.
+        """
+        d = self.density
+        if d.size < 3:
+            return 1
+        kernel = np.array([0.25, 0.5, 0.25])
+        smooth = np.convolve(d, kernel, mode="same")
+        smooth = np.convolve(smooth, kernel, mode="same")
+        peak = smooth.max()
+        if peak == 0:
+            return 1
+        count = 0
+        for i in range(1, len(smooth) - 1):
+            if (
+                smooth[i] >= smooth[i - 1]
+                and smooth[i] > smooth[i + 1]
+                and smooth[i] >= min_prominence * peak
+            ):
+                count += 1
+        return max(count, 1)
+
+
+@dataclass(frozen=True)
+class DirectionSplit:
+    """The Fig. 4 data for one GPU."""
+
+    gpu_name: str
+    increasing: ViolinData
+    decreasing: ViolinData
+
+    @property
+    def asymmetry(self) -> float:
+        """mean(increasing) / mean(decreasing) of the per-pair worst cases."""
+        return self.increasing.stats.mean / self.decreasing.stats.mean
+
+
+def split_by_direction(
+    result: CampaignResult,
+    statistic: str = "max",
+    without_outliers: bool = True,
+    bins: int = 40,
+) -> DirectionSplit:
+    """Build Fig. 4 violin data from a campaign."""
+    inc, dec = [], []
+    for p in result.iter_measured():
+        values = p.latencies_s(without_outliers)
+        if values.size == 0:
+            continue
+        v = {
+            "max": values.max(),
+            "min": values.min(),
+            "mean": values.mean(),
+            "all": values,
+        }[statistic]
+        bucket = inc if p.increasing else dec
+        if statistic == "all":
+            bucket.extend(np.atleast_1d(v) * 1e3)
+        else:
+            bucket.append(v * 1e3)
+    if not inc or not dec:
+        raise MeasurementError("need both increasing and decreasing pairs")
+    return DirectionSplit(
+        gpu_name=result.gpu_name,
+        increasing=ViolinData.from_values(np.asarray(inc), bins),
+        decreasing=ViolinData.from_values(np.asarray(dec), bins),
+    )

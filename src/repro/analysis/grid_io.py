@@ -1,0 +1,74 @@
+"""Heatmap grid persistence (CSV) for downstream plotting tools.
+
+The paper's figures are rendered from exactly these per-pair grids; this
+module round-trips them through a simple labelled-CSV format so external
+plotting (matplotlib, gnuplot, spreadsheets) can consume campaign output
+without touching the library.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+import numpy as np
+
+from repro.analysis.heatmap import HeatmapGrid
+from repro.errors import MeasurementError
+
+__all__ = ["write_grid_csv", "read_grid_csv"]
+
+
+def write_grid_csv(grid: HeatmapGrid, path: str | Path) -> Path:
+    """Write a labelled grid: first row/column are frequencies in MHz."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(
+            ["init_mhz\\target_mhz", *(f"{f:g}" for f in grid.frequencies_mhz)]
+        )
+        for freq, row in zip(grid.frequencies_mhz, grid.values_ms):
+            writer.writerow(
+                [f"{freq:g}"]
+                + [f"{v:.6f}" if np.isfinite(v) else "" for v in row]
+            )
+        # Metadata footer rows (ignored by spreadsheet tools, recovered by
+        # the reader).
+        writer.writerow(["#gpu_name", grid.gpu_name])
+        writer.writerow(["#statistic", grid.statistic])
+    return path
+
+
+def read_grid_csv(path: str | Path) -> HeatmapGrid:
+    """Load a grid written by :func:`write_grid_csv`."""
+    path = Path(path)
+    rows: list[list[str]] = []
+    meta: dict[str, str] = {}
+    with path.open() as fh:
+        for record in csv.reader(fh):
+            if not record:
+                continue
+            if record[0].startswith("#"):
+                meta[record[0][1:]] = record[1] if len(record) > 1 else ""
+            else:
+                rows.append(record)
+    if len(rows) < 2:
+        raise MeasurementError(f"not a grid CSV: {path}")
+    header = rows[0][1:]
+    frequencies = tuple(float(f) for f in header)
+    values = np.full((len(rows) - 1, len(frequencies)), np.nan)
+    for i, row in enumerate(rows[1:]):
+        if abs(float(row[0]) - frequencies[i]) > 0.5:
+            raise MeasurementError(
+                f"grid CSV row label {row[0]} does not match column order"
+            )
+        for j, cell in enumerate(row[1 : len(frequencies) + 1]):
+            if cell != "":
+                values[i, j] = float(cell)
+    return HeatmapGrid(
+        frequencies_mhz=frequencies,
+        values_ms=values,
+        statistic=meta.get("statistic", "unknown"),
+        gpu_name=meta.get("gpu_name", "unknown"),
+    )

@@ -1,0 +1,99 @@
+"""Heatmap grids of per-pair switching latencies (paper Fig. 3).
+
+Rows are initial frequencies, columns target frequencies, matching the
+orientation stated in the paper's figure caption.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.results import CampaignResult
+from repro.errors import MeasurementError
+
+__all__ = ["HeatmapGrid", "heatmap_from_campaign"]
+
+
+@dataclass(frozen=True)
+class HeatmapGrid:
+    """A labelled latency grid in milliseconds."""
+
+    frequencies_mhz: tuple[float, ...]
+    values_ms: np.ndarray  # (init, target); NaN on the diagonal/unmeasured
+    statistic: str
+    gpu_name: str
+
+    def value(self, init_mhz: float, target_mhz: float) -> float:
+        i = self.frequencies_mhz.index(float(init_mhz))
+        j = self.frequencies_mhz.index(float(target_mhz))
+        return float(self.values_ms[i, j])
+
+    @property
+    def finite_values(self) -> np.ndarray:
+        v = self.values_ms[np.isfinite(self.values_ms)]
+        return v
+
+    def global_max(self) -> tuple[float, tuple[float, float]]:
+        """Largest value and its (init, target) pair."""
+        if not np.isfinite(self.values_ms).any():
+            raise MeasurementError("empty heatmap")
+        idx = np.unravel_index(
+            np.nanargmax(self.values_ms), self.values_ms.shape
+        )
+        pair = (self.frequencies_mhz[idx[0]], self.frequencies_mhz[idx[1]])
+        return float(self.values_ms[idx]), pair
+
+    def global_min(self) -> tuple[float, tuple[float, float]]:
+        if not np.isfinite(self.values_ms).any():
+            raise MeasurementError("empty heatmap")
+        idx = np.unravel_index(
+            np.nanargmin(self.values_ms), self.values_ms.shape
+        )
+        pair = (self.frequencies_mhz[idx[0]], self.frequencies_mhz[idx[1]])
+        return float(self.values_ms[idx]), pair
+
+    def row_means_ms(self) -> np.ndarray:
+        """Mean per initial frequency (ignoring NaN)."""
+        return np.nanmean(self.values_ms, axis=1)
+
+    def column_means_ms(self) -> np.ndarray:
+        """Mean per target frequency — the dominant pattern of Fig. 3."""
+        return np.nanmean(self.values_ms, axis=0)
+
+    def target_dominance_ratio(self) -> float:
+        """Column-structure strength over row-structure strength.
+
+        The paper observes "the target frequency has a much higher impact
+        (visible row pattern in the heatmaps)": variance explained by
+        column (target) means should exceed variance explained by row
+        (init) means.  Values > 1 confirm target dominance.
+        """
+        v = self.values_ms
+        finite = np.isfinite(v)
+        grand = np.nanmean(v)
+        col_var = np.nansum(
+            (np.where(finite, np.nanmean(v, axis=0)[None, :], np.nan) - grand) ** 2
+        )
+        row_var = np.nansum(
+            (np.where(finite, np.nanmean(v, axis=1)[:, None], np.nan) - grand) ** 2
+        )
+        if row_var == 0.0:
+            return float("inf")
+        return float(col_var / row_var)
+
+
+def heatmap_from_campaign(
+    result: CampaignResult,
+    statistic: str = "max",
+    without_outliers: bool = True,
+) -> HeatmapGrid:
+    """Build the Fig. 3-style grid from a campaign."""
+    grid_s = result.latency_matrix(statistic, without_outliers)
+    return HeatmapGrid(
+        frequencies_mhz=tuple(float(f) for f in result.frequencies),
+        values_ms=grid_s * 1e3,
+        statistic=statistic,
+        gpu_name=result.gpu_name,
+    )

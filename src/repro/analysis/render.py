@@ -1,0 +1,76 @@
+"""Plain-text rendering of grids and tables for bench/CLI output."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.heatmap import HeatmapGrid
+from repro.analysis.summary import Table2Row
+
+__all__ = ["render_heatmap", "render_table2", "render_matrix"]
+
+
+def render_matrix(
+    values: np.ndarray,
+    row_labels,
+    col_labels,
+    corner: str = "",
+    fmt: str = "{:8.2f}",
+    na: str = "       -",
+) -> str:
+    """Format a labelled 2-D grid as fixed-width text."""
+    width = max(len(fmt.format(0.0)), 8)
+    head = f"{corner:>8} " + " ".join(f"{c:>{width}g}" for c in col_labels)
+    lines = [head]
+    for label, row in zip(row_labels, values):
+        cells = " ".join(
+            fmt.format(v) if np.isfinite(v) else na for v in row
+        )
+        lines.append(f"{label:>8g} {cells}")
+    return "\n".join(lines)
+
+
+def render_heatmap(grid: HeatmapGrid) -> str:
+    """Fig. 3-style text heatmap (initial freq in rows, target in columns)."""
+    title = f"{grid.gpu_name} — {grid.statistic} switching latencies [ms]"
+    body = render_matrix(
+        grid.values_ms,
+        grid.frequencies_mhz,
+        grid.frequencies_mhz,
+        corner="init\\tgt",
+    )
+    return f"{title}\n{body}"
+
+
+def render_table2(rows: list[Table2Row]) -> str:
+    """Table II-style summary across GPUs."""
+    lines = ["Summary of switching latencies across GPUs"]
+    header = f"{'':28} " + " ".join(f"{r.gpu_name:>18}" for r in rows)
+    lines.append(header)
+
+    def block(title: str, attr: str) -> None:
+        lines.append(f"{title}")
+        for field, label in (
+            ("min_ms", "Min [ms]"),
+            ("mean_ms", "Mean [ms]"),
+            ("max_ms", "Max [ms]"),
+        ):
+            cells = " ".join(
+                f"{getattr(getattr(r, attr), field):>18.3f}" for r in rows
+            )
+            lines.append(f"  {label:26} {cells}")
+        for field, label in (
+            ("min_pair", "  min transition [MHz]"),
+            ("max_pair", "  max transition [MHz]"),
+        ):
+            cells = " ".join(
+                "{:>18}".format(
+                    "{:g}->{:g}".format(*getattr(getattr(r, attr), field))
+                )
+                for r in rows
+            )
+            lines.append(f"  {label:26} {cells}")
+
+    block("The worst-case latencies", "worst")
+    block("The best-case latencies", "best")
+    return "\n".join(lines)

@@ -1,0 +1,194 @@
+"""Markdown campaign report generation.
+
+Combines every analysis the library offers — Table II summary, heatmaps,
+direction split, cluster structure, runtime advice, and (when ground truth
+is available) methodology-recovery scores — into one self-contained
+markdown document, the artifact a user would attach to a cluster
+commissioning ticket.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.analysis.advisor import RuntimeAdvisor
+from repro.analysis.clusters import cluster_report
+from repro.analysis.distributions import split_by_direction
+from repro.analysis.heatmap import heatmap_from_campaign
+from repro.analysis.render import render_matrix
+from repro.analysis.summary import summarize_campaign
+from repro.analysis.validation import score_recovery
+from repro.core.results import CampaignResult
+from repro.errors import MeasurementError
+
+__all__ = ["campaign_report", "write_campaign_report"]
+
+
+def _heatmap_section(result: CampaignResult, statistic: str) -> list[str]:
+    grid = heatmap_from_campaign(result, statistic)
+    body = render_matrix(
+        grid.values_ms,
+        grid.frequencies_mhz,
+        grid.frequencies_mhz,
+        corner="init\\tgt",
+    )
+    return [
+        f"### {statistic.capitalize()} switching latencies [ms]",
+        "",
+        "```",
+        body,
+        "```",
+        "",
+    ]
+
+
+def _summary_section(result: CampaignResult) -> list[str]:
+    row = summarize_campaign(result)
+    lines = [
+        "## Summary (Table II format)",
+        "",
+        "| case | min [ms] | mean [ms] | max [ms] | min pair | max pair |",
+        "|---|---|---|---|---|---|",
+    ]
+    for label, case in (("worst", row.worst), ("best", row.best)):
+        lines.append(
+            f"| {label} | {case.min_ms:.3f} | {case.mean_ms:.3f} | "
+            f"{case.max_ms:.3f} | {case.min_pair[0]:g}→{case.min_pair[1]:g} | "
+            f"{case.max_pair[0]:g}→{case.max_pair[1]:g} |"
+        )
+    lines.append("")
+    return lines
+
+
+def _direction_section(result: CampaignResult) -> list[str]:
+    try:
+        split = split_by_direction(result, "max")
+    except MeasurementError:
+        return []
+    lines = ["## Direction split (Fig. 4 format)", ""]
+    for name, violin in (
+        ("increasing", split.increasing),
+        ("decreasing", split.decreasing),
+    ):
+        q25, q50, q75 = violin.quantiles_ms()
+        lines.append(
+            f"- **{name}**: n={violin.values_ms.size}, "
+            f"median {q50:.2f} ms (IQR {q25:.2f}–{q75:.2f}), "
+            f"max {violin.stats.maximum:.2f} ms, "
+            f"~{violin.modality_count()} mode(s)"
+        )
+    lines.append("")
+    return lines
+
+
+def _cluster_section(result: CampaignResult) -> list[str]:
+    report = cluster_report(result)
+    if not report.pairs:
+        return []
+    lines = [
+        "## Cluster structure (Sec. VII-B format)",
+        "",
+        f"- single-cluster pairs: {report.single_cluster_share * 100:.0f} %",
+        f"- maximum clusters on one pair: {report.max_clusters}",
+        f"- outlier share: {report.outlier_share() * 100:.1f} %",
+    ]
+    sils = report.multi_cluster_silhouettes
+    if sils.size:
+        lines.append(
+            f"- silhouette of multi-cluster pairs: "
+            f"min {sils.min():.2f}, mean {sils.mean():.2f}"
+        )
+    lines.append("")
+    return lines
+
+
+def _advice_section(result: CampaignResult) -> list[str]:
+    try:
+        advisor = RuntimeAdvisor(result)
+    except MeasurementError:
+        return []
+    lines = ["## Runtime-design advice (Sec. VIII)", ""]
+    pathological = advisor.pathological_targets()
+    if pathological:
+        lines.append(
+            "- **pathological target frequencies** (avoid or detour): "
+            + ", ".join(f"{t:g} MHz" for t in pathological)
+        )
+    avoid = advisor.pairs_to_avoid()
+    if avoid:
+        lines.append("- **pairs to avoid** (worst case ≫ device median):")
+        for advice in avoid[:10]:
+            detour = (
+                f"; detour via {advice.detour_target_mhz:g} MHz "
+                f"({advice.detour_worst_case_s * 1e3:.1f} ms)"
+                if advice.detour_target_mhz is not None
+                else ""
+            )
+            lines.append(
+                f"  - {advice.key[0]:g}→{advice.key[1]:g}: "
+                f"{advice.worst_case_s * 1e3:.1f} ms worst case{detour}"
+            )
+    residencies = [r for r in advisor.min_residency_table().values()]
+    lines.append(
+        f"- minimum region length for a profitable switch: "
+        f"median {np.median(residencies) * 1e3:.1f} ms, "
+        f"max {max(residencies) * 1e3:.1f} ms "
+        f"(at {advisor.residency_factor:g}× the worst-case latency)"
+    )
+    lines.append("")
+    return lines
+
+
+def _recovery_section(result: CampaignResult) -> list[str]:
+    try:
+        recovery = score_recovery(result)
+    except MeasurementError:
+        return []
+    lines = ["## Ground-truth recovery (simulator-only validation)", ""]
+    lines.extend(f"- {line.strip()}" for line in recovery.summary_lines()[1:])
+    lines.append("")
+    return lines
+
+
+def campaign_report(result: CampaignResult) -> str:
+    """Render the full markdown report for one campaign."""
+    lines = [
+        f"# Switching-latency campaign report — {result.gpu_name}",
+        "",
+        f"- host: `{result.hostname}`, GPU index {result.device_index}"
+        f" ({result.architecture})",
+        f"- frequencies: {', '.join(f'{f:g}' for f in result.frequencies)} MHz",
+        f"- measured pairs: {result.n_measured_pairs}"
+        f" (skipped: {len(result.skipped_pairs)})",
+        f"- simulated device time: {result.wall_virtual_s:.1f} s",
+        "",
+    ]
+    lines.extend(_summary_section(result))
+    lines.extend(["## Heatmaps (Fig. 3 format)", ""])
+    lines.extend(_heatmap_section(result, "min"))
+    lines.extend(_heatmap_section(result, "max"))
+    lines.extend(_direction_section(result))
+    lines.extend(_cluster_section(result))
+    lines.extend(_advice_section(result))
+    lines.extend(_recovery_section(result))
+    skipped = result.skipped_pairs
+    if skipped:
+        lines.extend(["## Skipped pairs", ""])
+        for pair in skipped:
+            lines.append(
+                f"- {pair.init_mhz:g}→{pair.target_mhz:g}: {pair.skip_reason}"
+            )
+        lines.append("")
+    return "\n".join(lines)
+
+
+def write_campaign_report(
+    result: CampaignResult, path: str | Path
+) -> Path:
+    """Write :func:`campaign_report` to ``path``; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(campaign_report(result))
+    return path

@@ -1,0 +1,84 @@
+"""Campaign summaries reproducing Table II.
+
+For every measured pair the *best case* is the minimum observed switching
+latency and the *worst case* the maximum (outliers removed, as the paper
+presents its results).  Table II then reports the min/mean/max of those
+per-pair values across all pairs, with the pairs achieving the extremes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.results import CampaignResult
+from repro.errors import MeasurementError
+
+__all__ = ["CaseSummary", "Table2Row", "summarize_campaign"]
+
+
+@dataclass(frozen=True)
+class CaseSummary:
+    """min/mean/max over per-pair case values (ms), with extreme pairs."""
+
+    min_ms: float
+    min_pair: tuple[float, float]
+    mean_ms: float
+    max_ms: float
+    max_pair: tuple[float, float]
+
+    def as_dict(self) -> dict:
+        return {
+            "min_ms": self.min_ms,
+            "min_pair": self.min_pair,
+            "mean_ms": self.mean_ms,
+            "max_ms": self.max_ms,
+            "max_pair": self.max_pair,
+        }
+
+
+@dataclass(frozen=True)
+class Table2Row:
+    """One GPU's row block of Table II."""
+
+    gpu_name: str
+    worst: CaseSummary
+    best: CaseSummary
+    n_pairs: int
+
+
+def _case_summary(values_ms: np.ndarray, pairs: list) -> CaseSummary:
+    i_min = int(np.argmin(values_ms))
+    i_max = int(np.argmax(values_ms))
+    return CaseSummary(
+        min_ms=float(values_ms[i_min]),
+        min_pair=pairs[i_min],
+        mean_ms=float(values_ms.mean()),
+        max_ms=float(values_ms[i_max]),
+        max_pair=pairs[i_max],
+    )
+
+
+def summarize_campaign(
+    result: CampaignResult, without_outliers: bool = True
+) -> Table2Row:
+    """Compute the Table II row block for one campaign."""
+    pairs = []
+    worst_ms = []
+    best_ms = []
+    for p in result.iter_measured():
+        values = p.latencies_s(without_outliers)
+        if values.size == 0:
+            continue
+        pairs.append(p.key)
+        worst_ms.append(values.max() * 1e3)
+        best_ms.append(values.min() * 1e3)
+    if not pairs:
+        raise MeasurementError("campaign has no measured pairs")
+    return Table2Row(
+        gpu_name=result.gpu_name,
+        worst=_case_summary(np.asarray(worst_ms), pairs),
+        best=_case_summary(np.asarray(best_ms), pairs),
+        n_pairs=len(pairs),
+    )

@@ -1,0 +1,134 @@
+"""Methodology-recovery scoring against simulator ground truth.
+
+On physical hardware the true switching latency of a transition is
+unobservable — the methodology's output *is* the best estimate.  The
+simulator knows the injected latency of every transition, so a campaign
+can be scored end-to-end: detection bias (the granularity cost of the
+iteration size), relative recovery error, and the outlier filter's
+precision/recall against the injected driver-noise events.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.results import CampaignResult, PairKey
+from repro.errors import MeasurementError
+
+__all__ = ["PairRecovery", "RecoveryReport", "score_recovery"]
+
+
+@dataclass(frozen=True)
+class PairRecovery:
+    """Recovery quality for one pair."""
+
+    key: PairKey
+    n: int
+    bias_s: float          # mean(measured - truth)
+    max_abs_error_s: float
+    median_rel_error: float
+
+
+@dataclass
+class RecoveryReport:
+    """Campaign-level recovery scores."""
+
+    gpu_name: str
+    pairs: list[PairRecovery]
+    outlier_true_positives: int
+    outlier_false_negatives: int
+    outlier_false_positives: int
+
+    @property
+    def overall_bias_s(self) -> float:
+        return float(np.mean([p.bias_s for p in self.pairs]))
+
+    @property
+    def overall_median_rel_error(self) -> float:
+        return float(np.median([p.median_rel_error for p in self.pairs]))
+
+    @property
+    def worst_abs_error_s(self) -> float:
+        return float(max(p.max_abs_error_s for p in self.pairs))
+
+    @property
+    def outlier_recall(self) -> float:
+        denom = self.outlier_true_positives + self.outlier_false_negatives
+        return self.outlier_true_positives / denom if denom else 1.0
+
+    @property
+    def outlier_precision(self) -> float:
+        denom = self.outlier_true_positives + self.outlier_false_positives
+        return self.outlier_true_positives / denom if denom else 1.0
+
+    def summary_lines(self) -> list[str]:
+        return [
+            f"recovery on {self.gpu_name}: "
+            f"{len(self.pairs)} pairs",
+            f"  mean bias: {self.overall_bias_s * 1e6:+.1f} us "
+            f"(detection granularity)",
+            f"  median relative error: "
+            f"{self.overall_median_rel_error * 100:.1f} %",
+            f"  worst absolute error: "
+            f"{self.worst_abs_error_s * 1e3:.3f} ms",
+            f"  outlier filter: precision "
+            f"{self.outlier_precision:.2f}, recall {self.outlier_recall:.2f}",
+        ]
+
+
+def score_recovery(
+    result: CampaignResult, small_outlier_floor_s: float = 0.02
+) -> RecoveryReport:
+    """Score a campaign against its embedded ground truth.
+
+    Outlier scoring counts an injected driver-noise event as *caught* when
+    DBSCAN labels it noise; events whose extra delay stayed small (below
+    ``small_outlier_floor_s`` above the pair median) are excluded — they
+    hide inside the regular distribution by construction and no filter can
+    (or needs to) find them.
+    """
+    pairs: list[PairRecovery] = []
+    tp = fn = fp = 0
+    for pair in result.iter_measured():
+        measured = pair.latencies_s(without_outliers=False)
+        truth = pair.ground_truths_s(without_outliers=False)
+        ok = ~np.isnan(truth)
+        if not ok.any():
+            continue
+        err = measured[ok] - truth[ok]
+        rel = np.abs(err) / np.maximum(truth[ok], 1e-9)
+        pairs.append(
+            PairRecovery(
+                key=pair.key,
+                n=int(ok.sum()),
+                bias_s=float(err.mean()),
+                max_abs_error_s=float(np.abs(err).max()),
+                median_rel_error=float(np.median(rel)),
+            )
+        )
+        if pair.outliers is None:
+            continue
+        labels = pair.outliers.labels
+        median = float(np.median(measured))
+        for i, m in enumerate(pair.measurements):
+            flagged = labels[i] == -1
+            if m.ground_truth_outlier:
+                if m.latency_s < median + small_outlier_floor_s:
+                    continue  # hidden in-band by construction
+                if flagged:
+                    tp += 1
+                else:
+                    fn += 1
+            elif flagged:
+                fp += 1
+    if not pairs:
+        raise MeasurementError("no ground truth available to score")
+    return RecoveryReport(
+        gpu_name=result.gpu_name,
+        pairs=pairs,
+        outlier_true_positives=tp,
+        outlier_false_negatives=fn,
+        outlier_false_positives=fp,
+    )

@@ -1,0 +1,124 @@
+"""Manufacturing variability across device instances (paper Sec. VII-C).
+
+The paper benchmarks four A100 units on one Karolina node and reports:
+
+* Fig. 7 — per-pair range (max - min across units) of the *best-case*
+  switching latencies,
+* Fig. 8 — per-pair range of the *worst-case* latencies,
+* Fig. 9 — boxplots of the pairs with the highest spread across units,
+* the conclusion that no single unit is consistently slower.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.results import CampaignResult, PairKey
+from repro.errors import MeasurementError
+
+__all__ = ["PairSpread", "VariabilityReport", "variability_report"]
+
+
+@dataclass(frozen=True)
+class PairSpread:
+    """Cross-unit spread for one frequency pair."""
+
+    key: PairKey
+    per_unit_values_ms: np.ndarray  # one value per unit (case statistic)
+    range_ms: float
+    slowest_unit: int
+
+
+@dataclass
+class VariabilityReport:
+    """Cross-unit variability over a set of campaigns (one per unit)."""
+
+    gpu_name: str
+    n_units: int
+    frequencies_mhz: tuple[float, ...]
+    best_spreads: dict[PairKey, PairSpread]
+    worst_spreads: dict[PairKey, PairSpread]
+
+    # ------------------------------------------------------------------
+    def range_matrix_ms(self, case: str = "min") -> np.ndarray:
+        """Fig. 7 ("min") / Fig. 8 ("max") range grids."""
+        spreads = self.best_spreads if case == "min" else self.worst_spreads
+        freqs = list(self.frequencies_mhz)
+        grid = np.full((len(freqs), len(freqs)), np.nan)
+        for (init, target), spread in spreads.items():
+            grid[freqs.index(init), freqs.index(target)] = spread.range_ms
+        return grid
+
+    def top_spread_pairs(self, n: int = 3, case: str = "min") -> list[PairSpread]:
+        """Pairs with the highest cross-unit spread (Fig. 9 selection)."""
+        spreads = self.best_spreads if case == "min" else self.worst_spreads
+        return sorted(spreads.values(), key=lambda s: -s.range_ms)[:n]
+
+    def slowest_unit_histogram(self, case: str = "max") -> np.ndarray:
+        """How often each unit is the slowest; near-uniform supports the
+        paper's "no single hardware instance consistently exhibits worse"
+        conclusion."""
+        spreads = self.best_spreads if case == "min" else self.worst_spreads
+        counts = np.zeros(self.n_units, dtype=int)
+        for s in spreads.values():
+            counts[s.slowest_unit] += 1
+        return counts
+
+    def consistently_slowest_unit(self, case: str = "max") -> int | None:
+        """A unit slowest on > 60 % of pairs, or None (the paper's finding)."""
+        counts = self.slowest_unit_histogram(case)
+        total = counts.sum()
+        if total == 0:
+            return None
+        worst = int(np.argmax(counts))
+        return worst if counts[worst] / total > 0.6 else None
+
+
+def _case_values(results: list[CampaignResult], key: PairKey, case: str):
+    values = []
+    for r in results:
+        pair = r.pairs.get(key)
+        if pair is None or pair.skipped or pair.n_measurements == 0:
+            return None
+        v = pair.latencies_s(without_outliers=True)
+        if v.size == 0:
+            return None
+        values.append((v.min() if case == "min" else v.max()) * 1e3)
+    return np.asarray(values)
+
+
+def variability_report(results: list[CampaignResult]) -> VariabilityReport:
+    """Build the Sec. VII-C report from per-unit campaigns.
+
+    All campaigns must share the frequency list (same benchmark config run
+    against each device index / unit).
+    """
+    if len(results) < 2:
+        raise MeasurementError("variability needs at least two units")
+    freqs = results[0].frequencies
+    for r in results[1:]:
+        if r.frequencies != freqs:
+            raise MeasurementError("campaigns use different frequency lists")
+
+    best: dict[PairKey, PairSpread] = {}
+    worst: dict[PairKey, PairSpread] = {}
+    for key in results[0].pairs:
+        for case, store in (("min", best), ("max", worst)):
+            values = _case_values(results, key, case)
+            if values is None:
+                continue
+            store[key] = PairSpread(
+                key=key,
+                per_unit_values_ms=values,
+                range_ms=float(values.max() - values.min()),
+                slowest_unit=int(np.argmax(values)),
+            )
+    return VariabilityReport(
+        gpu_name=results[0].gpu_name,
+        n_units=len(results),
+        frequencies_mhz=tuple(float(f) for f in freqs),
+        best_spreads=best,
+        worst_spreads=worst,
+    )

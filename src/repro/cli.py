@@ -1,0 +1,171 @@
+"""``latest-bench``: command-line interface mirroring the LATEST tool.
+
+Paper Sec. VI: "This benchmark application accepts one mandatory argument -
+a comma-separated list of the benchmarked frequencies", plus optional
+device index, relative-standard-error threshold, and minimum/maximum
+measurement counts.  The simulated-environment extras (GPU model, seed,
+recorded-SM count) are grouped separately.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis.heatmap import heatmap_from_campaign
+from repro.analysis.render import render_heatmap, render_table2
+from repro.analysis.summary import summarize_campaign
+from repro.core.campaign import run_campaign
+from repro.core.config import LatestConfig
+from repro.errors import ReproError
+from repro.machine import make_machine
+
+__all__ = ["build_parser", "main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="latest-bench",
+        description=(
+            "Measure GPU SM frequency switching latency on a simulated "
+            "CUDA device (reproduction of the LATEST methodology)."
+        ),
+    )
+    parser.add_argument(
+        "frequencies",
+        help="comma-separated SM frequencies to benchmark, in MHz "
+        "(e.g. 705,1095,1410)",
+    )
+    parser.add_argument(
+        "--device", type=int, default=0, help="GPU index (default 0)"
+    )
+    parser.add_argument(
+        "--rse",
+        type=float,
+        default=0.05,
+        help="relative standard error stop threshold (default 0.05)",
+    )
+    parser.add_argument(
+        "--min-measurements",
+        type=int,
+        default=25,
+        help="measurements collected before RSE checks start",
+    )
+    parser.add_argument(
+        "--max-measurements",
+        type=int,
+        default=200,
+        help="hard per-pair measurement cap",
+    )
+    parser.add_argument(
+        "--output-dir",
+        default=None,
+        help="directory for the per-pair CSV files",
+    )
+    sim = parser.add_argument_group("simulated environment")
+    sim.add_argument(
+        "--gpu-model",
+        default="A100",
+        help="A100 | GH200 | RTX6000 (default A100)",
+    )
+    sim.add_argument(
+        "--n-gpus", type=int, default=1, help="GPUs on the simulated node"
+    )
+    sim.add_argument("--seed", type=int, default=0, help="simulation seed")
+    sim.add_argument(
+        "--sm-count",
+        type=int,
+        default=None,
+        help="SMs recorded by the benchmark kernel (default: all)",
+    )
+    sim.add_argument(
+        "--hostname", default="simnode01", help="simulated hostname"
+    )
+    parser.add_argument(
+        "--heatmaps",
+        action="store_true",
+        help="print min/max latency heatmaps after the campaign",
+    )
+    parser.add_argument(
+        "--report",
+        default=None,
+        metavar="PATH",
+        help="write a full markdown campaign report to PATH",
+    )
+    parser.add_argument(
+        "--quiet", action="store_true", help="suppress per-pair progress"
+    )
+    return parser
+
+
+def parse_frequencies(text: str) -> tuple[float, ...]:
+    try:
+        freqs = tuple(float(tok) for tok in text.split(",") if tok.strip())
+    except ValueError:
+        raise SystemExit(f"invalid frequency list: {text!r}")
+    if len(freqs) < 2:
+        raise SystemExit("need at least two frequencies")
+    return freqs
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    freqs = parse_frequencies(args.frequencies)
+
+    machine = make_machine(
+        args.gpu_model,
+        n_gpus=args.n_gpus,
+        seed=args.seed,
+        hostname=args.hostname,
+    )
+    config = LatestConfig(
+        frequencies=freqs,
+        device_index=args.device,
+        rse_threshold=args.rse,
+        min_measurements=args.min_measurements,
+        max_measurements=args.max_measurements,
+        record_sm_count=args.sm_count,
+        output_dir=args.output_dir,
+    )
+    try:
+        result = run_campaign(machine, config)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+    if not args.quiet:
+        for pair in result.pairs.values():
+            if pair.skipped:
+                print(
+                    f"{pair.init_mhz:7g} -> {pair.target_mhz:7g} MHz: "
+                    f"skipped ({pair.skip_reason})"
+                )
+                continue
+            stats = pair.stats(without_outliers=True)
+            print(
+                f"{pair.init_mhz:7g} -> {pair.target_mhz:7g} MHz: "
+                f"n={pair.n_measurements:4d}  "
+                f"min={stats.minimum * 1e3:8.3f} ms  "
+                f"mean={stats.mean * 1e3:8.3f} ms  "
+                f"max={stats.maximum * 1e3:8.3f} ms  "
+                f"clusters={pair.n_clusters}"
+            )
+
+    print()
+    print(render_table2([summarize_campaign(result)]))
+    if args.heatmaps:
+        for stat in ("min", "max"):
+            print()
+            print(render_heatmap(heatmap_from_campaign(result, stat)))
+    if args.report:
+        from repro.analysis.report import write_campaign_report
+
+        path = write_campaign_report(result, args.report)
+        print(f"\nreport written to {path}")
+    if args.output_dir:
+        print(f"\nCSV files written to {args.output_dir}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

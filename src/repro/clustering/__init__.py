@@ -1,0 +1,24 @@
+"""Clustering toolkit for outlier detection (paper Sec. V-C, Algorithm 3).
+
+Implements DBSCAN from scratch (no sklearn in this environment), the
+k-nearest-neighbour distance diagnostics used to justify the eps choice,
+the silhouette score used to validate multi-cluster pairs (Sec. VII-B),
+and the paper's adaptive iterative parameter-descent wrapper.
+"""
+
+from repro.clustering.dbscan import DbscanResult, dbscan
+from repro.clustering.kdist import kdist_curve, knee_point
+from repro.clustering.silhouette import silhouette_samples, silhouette_score
+from repro.clustering.adaptive import AdaptiveDbscanConfig, AdaptiveDbscanResult, adaptive_dbscan
+
+__all__ = [
+    "dbscan",
+    "DbscanResult",
+    "kdist_curve",
+    "knee_point",
+    "silhouette_samples",
+    "silhouette_score",
+    "adaptive_dbscan",
+    "AdaptiveDbscanConfig",
+    "AdaptiveDbscanResult",
+]

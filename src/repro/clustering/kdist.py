@@ -1,0 +1,73 @@
+"""k-nearest-neighbour distance diagnostics for eps selection.
+
+The paper follows the standard DBSCAN guideline: "the eps parameter is
+often obtained through the k-nearest neighbors algorithm as its graph
+representation knee point", and refines the quantile-range multiplier by
+"comparing the ratio of the average k-nearest neighbor distance to the
+0.05-0.95 quantile range" (Sec. V-C).  These helpers provide both
+quantities.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.stats.descriptive import quantile_range
+
+__all__ = ["kdist_curve", "knee_point", "mean_kdist_ratio"]
+
+
+def kdist_curve(points, k: int) -> np.ndarray:
+    """Sorted distances to each point's k-th nearest neighbour (ascending).
+
+    1-D and low-dimensional inputs only (brute force distances).
+    """
+    pts = np.asarray(points, dtype=np.float64)
+    if pts.ndim == 1:
+        pts = pts[:, None]
+    n = pts.shape[0]
+    if k < 1:
+        raise ConfigError("k must be >= 1")
+    if n <= k:
+        raise ConfigError(f"need more than k={k} points, got {n}")
+    d2 = ((pts[:, None, :] - pts[None, :, :]) ** 2).sum(axis=2)
+    d2.sort(axis=1)
+    # Column 0 is the self-distance (zero); the k-th neighbour is column k.
+    kdist = np.sqrt(d2[:, k])
+    kdist.sort()
+    return kdist
+
+
+def knee_point(curve) -> tuple[int, float]:
+    """Index and value of the knee of an ascending curve.
+
+    Uses the max-distance-to-chord construction: the knee is the point
+    farthest from the straight line joining the curve's endpoints.
+    """
+    y = np.asarray(curve, dtype=np.float64).ravel()
+    if y.size < 3:
+        raise ConfigError("knee detection needs at least three points")
+    x = np.arange(y.size, dtype=np.float64)
+    x0, y0, x1, y1 = x[0], y[0], x[-1], y[-1]
+    chord_len = np.hypot(x1 - x0, y1 - y0)
+    if chord_len == 0.0:
+        return 0, float(y[0])
+    # Perpendicular distance of each point from the chord.
+    dist = np.abs((y1 - y0) * x - (x1 - x0) * y + x1 * y0 - y1 * x0) / chord_len
+    idx = int(np.argmax(dist))
+    return idx, float(y[idx])
+
+
+def mean_kdist_ratio(points, k: int, lo: float = 0.05, hi: float = 0.95) -> float:
+    """Average k-NN distance over the [lo, hi] quantile range of the data.
+
+    The paper observed this ratio stays below ~0.20 when min_pts is chosen
+    within 4 %..2 % of the dataset size — the observation that anchors the
+    default eps multiplier of 0.15.
+    """
+    qr = quantile_range(points, lo, hi)
+    if qr == 0.0:
+        return float("inf")
+    kd = kdist_curve(points, k)
+    return float(kd.mean()) / qr

@@ -1,0 +1,289 @@
+"""The LATEST campaign loop (paper Sec. VI).
+
+Orchestrates the three phases over every requested frequency pair:
+
+* phase 1 once per campaign (with workload growth for indistinguishable
+  pairs),
+* a probe stage sizing the switch window ("tenfold the longest switching
+  latency of these few tested pairs", Sec. V),
+* per pair: repeat phases 2+3 until the relative standard error of the
+  collected latencies drops below the threshold (checked every 25 passes),
+  with throttle checks every five passes — thermal throttling discards the
+  newest five measurements and backs off ten seconds, power throttling
+  skips the pair entirely,
+* adaptive DBSCAN outlier labelling per pair (Algorithm 3),
+* CSV output per pair under the standardized naming convention.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.clustering.adaptive import adaptive_dbscan
+from repro.core.config import LatestConfig
+from repro.core.context import BenchContext
+from repro.core.csvio import write_campaign_csvs
+from repro.core.phase1 import Phase1Result, run_phase1
+from repro.core.phase2 import run_switch_benchmark
+from repro.core.phase3 import evaluate_switch
+from repro.core.results import (
+    CampaignResult,
+    PairResult,
+    SwitchingLatencyMeasurement,
+)
+from repro.errors import MeasurementError
+from repro.gpusim.thermal import ThrottleReasons
+from repro.machine import Machine
+
+__all__ = ["ProbeInfo", "LatestBenchmark", "run_campaign"]
+
+#: minimum number of measurements before outlier filtering is meaningful
+_MIN_FOR_OUTLIER_FILTER = 12
+
+
+@dataclass(frozen=True)
+class ProbeInfo:
+    """Window-sizing information from the probe stage."""
+
+    max_latency_s: float
+    median_latency_s: float
+    pair_latencies: tuple[tuple[float, float, float], ...]  # (init, tgt, lat)
+
+
+class LatestBenchmark:
+    """A configured switching-latency campaign bound to one machine."""
+
+    def __init__(self, machine: Machine, config: LatestConfig) -> None:
+        self.bench = BenchContext(machine, config)
+        self.config = config
+        self.machine = machine
+
+    # ------------------------------------------------------------------
+    def run(self) -> CampaignResult:
+        """Execute the full campaign and (optionally) write CSV output."""
+        t_begin = self.machine.clock.now
+        phase1 = run_phase1(self.bench)
+        # Power caps or too-coarse workloads can leave no distinguishable
+        # pair at all; the campaign then reports every pair as skipped
+        # rather than failing (the tool's CSV output stays consistent).
+        probe = self._probe_windows(phase1) if phase1.valid_pairs else None
+
+        valid = set(phase1.valid_pairs)
+        pairs: dict[tuple[float, float], PairResult] = {}
+        for init, target in self.config.pairs():
+            key = (float(init), float(target))
+            if key not in valid:
+                reason = (
+                    phase1.unreachable.get(key[0])
+                    or phase1.unreachable.get(key[1])
+                    or "statistically-indistinguishable"
+                )
+                pairs[key] = PairResult(
+                    init_mhz=key[0],
+                    target_mhz=key[1],
+                    skipped=True,
+                    skip_reason=reason,
+                )
+                continue
+            pairs[key] = self.measure_pair(key[0], key[1], phase1, probe)
+
+        result = CampaignResult(
+            gpu_name=self.bench.device.spec.name,
+            architecture=self.bench.device.spec.architecture,
+            hostname=self.machine.hostname,
+            device_index=self.config.device_index,
+            frequencies=self.config.frequencies,
+            pairs=pairs,
+            phase1=phase1,
+            wall_virtual_s=self.machine.clock.now - t_begin,
+        )
+        if self.config.output_dir is not None:
+            write_campaign_csvs(self.config.output_dir, result)
+        return result
+
+    # ------------------------------------------------------------------
+    # probe stage
+    # ------------------------------------------------------------------
+    def _probe_pairs(self, phase1: Phase1Result) -> list[tuple[float, float]]:
+        """Pick representative pairs spanning small/medium/high levels."""
+        valid = phase1.valid_pairs
+        if not valid:  # guarded by run(); direct callers get the error
+            raise MeasurementError(
+                "no statistically distinguishable frequency pairs"
+            )
+        freqs = sorted(self.config.frequencies)
+        lo, hi = freqs[0], freqs[-1]
+        mid = freqs[len(freqs) // 2]
+        preferred = [(lo, hi), (hi, lo), (mid, hi), (hi, mid), (lo, mid)]
+        chosen = [p for p in preferred if p in set(valid)]
+        for p in valid:
+            if len(chosen) >= self.config.probe_pair_count:
+                break
+            if p not in chosen:
+                chosen.append(p)
+        return chosen[: self.config.probe_pair_count]
+
+    def _probe_windows(self, phase1: Phase1Result) -> ProbeInfo:
+        """Estimate the switch-window size from a few probe measurements."""
+        cfg = self.config
+        kernel = phase1.kernel
+        results: list[tuple[float, float, float]] = []
+        for init, target in self._probe_pairs(phase1):
+            window_s = cfg.probe_window_s
+            latency = None
+            for _ in range(cfg.max_window_retries + 1):
+                iters = self._iters_for_window(window_s, init, target, kernel)
+                try:
+                    raw = run_switch_benchmark(self.bench, init, target, kernel, iters)
+                except MeasurementError:
+                    continue
+                ev = evaluate_switch(raw, phase1.stats_for(target), cfg)
+                if ev.ok:
+                    latency = ev.latency_s
+                    break
+                if ev.window_too_short:
+                    window_s *= cfg.window_growth_factor
+            if latency is not None:
+                results.append((init, target, latency))
+        if not results:
+            raise MeasurementError("all probe measurements failed")
+        lats = np.asarray([r[2] for r in results])
+        return ProbeInfo(
+            max_latency_s=float(lats.max()),
+            median_latency_s=float(np.median(lats)),
+            pair_latencies=tuple(results),
+        )
+
+    def _iters_for_window(
+        self, window_s: float, init: float, target: float, kernel
+    ) -> int:
+        """Iterations needed to keep measuring for ``window_s``.
+
+        Sized with the *shortest* iteration duration of the pair (highest
+        frequency) so the window never undershoots in time.
+        """
+        iter_s = kernel.iteration_duration_s(max(init, target))
+        return max(50, int(math.ceil(window_s / iter_s)))
+
+    def _initial_window_iters(
+        self, init: float, target: float, probe: ProbeInfo, kernel
+    ) -> int:
+        cfg = self.config
+        base = (
+            probe.max_latency_s
+            if cfg.window_policy == "probe-max"
+            else probe.median_latency_s
+        )
+        window_s = max(cfg.switch_window_factor * base, 2e-3)
+        return self._iters_for_window(window_s, init, target, kernel)
+
+    # ------------------------------------------------------------------
+    # per-pair measurement loop
+    # ------------------------------------------------------------------
+    def measure_pair(
+        self,
+        init_mhz: float,
+        target_mhz: float,
+        phase1: Phase1Result,
+        probe: ProbeInfo,
+    ) -> PairResult:
+        cfg = self.config
+        kernel = phase1.kernel
+        target_stats = phase1.stats_for(target_mhz)
+        rule = cfg.stopping_rule()
+
+        pair = PairResult(init_mhz=float(init_mhz), target_mhz=float(target_mhz))
+        window_iters = self._initial_window_iters(
+            init_mhz, target_mhz, probe, kernel
+        )
+        growths = 0
+        consecutive_failures = 0
+        passes = 0
+
+        while True:
+            try:
+                raw = run_switch_benchmark(
+                    self.bench, init_mhz, target_mhz, kernel, window_iters
+                )
+            except MeasurementError:
+                pair.n_failed_attempts += 1
+                consecutive_failures += 1
+                if consecutive_failures >= cfg.max_consecutive_failures:
+                    pair.skipped = True
+                    pair.skip_reason = "initial-frequency-never-settled"
+                    break
+                continue
+            passes += 1
+
+            # Throttle handling (paper Sec. VI): every five passes.
+            if passes % cfg.throttle_check_every == 0:
+                reasons = raw.throttle_reasons
+                if reasons & ThrottleReasons.SW_POWER_CAP:
+                    pair.skipped = True
+                    pair.skip_reason = "power-throttled"
+                    break
+                if reasons & (ThrottleReasons.SW_THERMAL | ThrottleReasons.HW_THERMAL):
+                    drop = min(cfg.throttle_discard_count, len(pair.measurements))
+                    if drop:
+                        del pair.measurements[-drop:]
+                    pair.n_throttle_discards += drop
+                    self.bench.host.sleep(cfg.throttle_backoff_s)
+                    continue
+
+            ev = evaluate_switch(raw, target_stats, cfg)
+            self.machine.tracer.emit(
+                self.machine.clock.now, "campaign", "evaluation",
+                pair=f"{init_mhz:g}->{target_mhz:g}",
+                outcome=ev.reason,
+                latency_ms=(
+                    round(ev.latency_s * 1e3, 3) if ev.ok else None
+                ),
+            )
+            if ev.ok:
+                consecutive_failures = 0
+                pair.measurements.append(
+                    SwitchingLatencyMeasurement(
+                        latency_s=float(ev.latency_s),
+                        ts_acc=raw.ts_acc,
+                        te_acc=float(ev.te_acc),
+                        n_valid_sm=ev.n_valid_sm,
+                        window_iterations=window_iters,
+                        ground_truth_s=raw.ground_truth_latency_s,
+                        ground_truth_outlier=raw.ground_truth_outlier,
+                    )
+                )
+                if rule.should_stop([m.latency_s for m in pair.measurements]):
+                    break
+                continue
+
+            # Failed evaluation: grow the window when the latency escaped
+            # it ("repeated with a ten-times longer workload", Sec. V);
+            # otherwise simply repeat phases two and three.
+            pair.n_failed_attempts += 1
+            consecutive_failures += 1
+            if ev.window_too_short and growths < cfg.max_window_retries:
+                window_iters = int(
+                    math.ceil(window_iters * cfg.window_growth_factor)
+                )
+                growths += 1
+                pair.n_window_growths += 1
+                consecutive_failures = 0
+            elif consecutive_failures >= cfg.max_consecutive_failures:
+                if not pair.measurements:
+                    pair.skipped = True
+                    pair.skip_reason = "no-viable-measurements"
+                break
+
+        if len(pair.measurements) >= _MIN_FOR_OUTLIER_FILTER:
+            pair.outliers = adaptive_dbscan(
+                [m.latency_s for m in pair.measurements], cfg.outlier_config
+            )
+        return pair
+
+
+def run_campaign(machine: Machine, config: LatestConfig) -> CampaignResult:
+    """Convenience wrapper: build and run a campaign."""
+    return LatestBenchmark(machine, config).run()

@@ -1,0 +1,148 @@
+"""Campaign configuration (mirrors the LATEST tool's arguments, Sec. VI).
+
+The mandatory argument is the comma-separated benchmark frequency list; the
+optional arguments reproduced here are the device index, the RSE threshold
+(default 5 %), and the minimum/maximum switching-latency measurement
+counts.  Everything else parameterizes the methodology internals with the
+paper's defaults.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.clustering.adaptive import AdaptiveDbscanConfig
+from repro.errors import ConfigError
+from repro.stats.rse import RseStoppingRule
+
+__all__ = ["LatestConfig"]
+
+
+@dataclass(frozen=True)
+class LatestConfig:
+    """Full configuration of a switching-latency campaign."""
+
+    # ----- the tool's CLI surface (paper Sec. VI) ---------------------
+    frequencies: tuple[float, ...]
+    device_index: int = 0
+    rse_threshold: float = 0.05
+    min_measurements: int = 25
+    max_measurements: int = 200
+    rse_check_every: int = 25
+
+    # ----- workload sizing (paper Sec. V) -----------------------------
+    #: per-iteration duration at the device's max clock; iterations must be
+    #: tiny (they set the latency resolution) yet distinguishable between
+    #: neighbouring frequencies
+    iteration_duration_s: float = 60e-6
+    #: SMs recorded by the benchmark kernel (None = every SM)
+    record_sm_count: int | None = None
+    #: warm-up kernels per frequency in phase 1 (thermal + wake-up settling)
+    warmup_kernels: int = 2
+    warmup_kernel_duration_s: float = 0.12
+    #: duration of the phase-1 measurement kernel per frequency
+    measure_kernel_duration_s: float = 0.20
+    #: iterations executed on the initial frequency before the change call
+    #: ("ideally several hundred", Sec. V)
+    delay_iterations: int = 300
+    #: identification iterations after the switch window ("several hundred
+    #: up to a thousand", Sec. V)
+    confirm_iterations: int = 300
+    #: switch window = this factor times the longest probe latency
+    switch_window_factor: float = 10.0
+    #: probe pairs used for window estimation (small/medium/high levels)
+    probe_pair_count: int = 3
+    #: growth factor and retry budget when a latency is not captured
+    window_growth_factor: float = 10.0
+    max_window_retries: int = 2
+    #: "probe-max" sizes every pair's window from the probe maximum (the
+    #: paper's rule); "adaptive" starts from the probe median and relies on
+    #: window growth, trading fidelity for speed on pathological pairs
+    window_policy: str = "adaptive"
+    #: fixed settle time on the initial frequency before the benchmark
+    #: kernel; None enables NVML clock polling between filler chunks
+    init_settle_s: float | None = None
+    #: filler chunk length while polling for the initial clock to settle
+    settle_chunk_s: float = 0.12
+    #: give up on settling after this much busy time (counts as a failed
+    #: attempt; pathological initial frequencies exist, see GH200)
+    max_settle_s: float = 3.0
+    #: switch-window length used by the probe measurements
+    probe_window_s: float = 0.8
+
+    # ----- statistics --------------------------------------------------
+    alpha: float = 0.05
+    confidence: float = 0.95
+    #: width of the acceptance band in standard deviations (Sec. V-A)
+    detection_sigmas: float = 2.0
+    #: "two-sigma" (the paper's criterion) or "confidence-interval"
+    #: (FTaLaT's criterion, kept for the ablation of Sec. V-A)
+    detection_criterion: str = "two-sigma"
+    #: relative tolerance on the tail-vs-target mean difference (the ``tol``
+    #: input of Algorithm 2)
+    tolerance_rel: float = 0.02
+    #: minimum tail length for a trustworthy confirmation test
+    min_confirm_tail: int = 30
+    #: phase-1 workload growth retries for indistinguishable pairs
+    max_workload_growth: int = 2
+    workload_growth_factor: float = 2.0
+
+    # ----- timer synchronization ----------------------------------------
+    #: transport model for the IEEE-1588 handshake; None uses the default
+    #: near-symmetric PCIe link (override to study sync-error impact)
+    ptp_link: "PtpLink | None" = None  # noqa: F821 - forward ref
+    ptp_rounds: int = 16
+
+    # ----- resilience ---------------------------------------------------
+    throttle_check_every: int = 5
+    throttle_backoff_s: float = 10.0
+    throttle_discard_count: int = 5
+    #: consecutive evaluation failures before the pair is abandoned
+    max_consecutive_failures: int = 12
+
+    # ----- outlier filtering (Algorithm 3) ------------------------------
+    outlier_config: AdaptiveDbscanConfig = field(default_factory=AdaptiveDbscanConfig)
+
+    # ----- output --------------------------------------------------------
+    output_dir: str | None = None
+
+    def __post_init__(self) -> None:
+        if len(self.frequencies) < 2:
+            raise ConfigError("need at least two benchmark frequencies")
+        if len(set(self.frequencies)) != len(self.frequencies):
+            raise ConfigError("duplicate benchmark frequencies")
+        if self.detection_criterion not in ("two-sigma", "confidence-interval"):
+            raise ConfigError(
+                f"unknown detection criterion {self.detection_criterion!r}"
+            )
+        if self.window_policy not in ("adaptive", "probe-max"):
+            raise ConfigError(f"unknown window policy {self.window_policy!r}")
+        if not 0 < self.rse_threshold:
+            raise ConfigError("rse_threshold must be positive")
+        if self.min_measurements < 2:
+            raise ConfigError("min_measurements must be >= 2")
+        if self.max_measurements < self.min_measurements:
+            raise ConfigError("max_measurements below min_measurements")
+        if self.delay_iterations < 1 or self.confirm_iterations < 1:
+            raise ConfigError("delay/confirm iteration counts must be >= 1")
+
+    # ------------------------------------------------------------------
+    def stopping_rule(self) -> RseStoppingRule:
+        return RseStoppingRule(
+            threshold=self.rse_threshold,
+            min_measurements=self.min_measurements,
+            max_measurements=self.max_measurements,
+            check_every=self.rse_check_every,
+        )
+
+    def pairs(self) -> list[tuple[float, float]]:
+        """All ordered frequency pairs (latencies are non-symmetric)."""
+        return [
+            (a, b)
+            for a in self.frequencies
+            for b in self.frequencies
+            if a != b
+        ]
+
+    def with_frequencies(self, freqs) -> "LatestConfig":
+        return replace(self, frequencies=tuple(freqs))

@@ -1,0 +1,99 @@
+"""Shared execution context for the methodology phases."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.config import LatestConfig
+from repro.cuda.kernel import MicrobenchmarkKernel
+from repro.cuda.runtime import CudaContext
+from repro.gpusim.device import GpuDevice
+from repro.machine import Machine
+from repro.nvml.api import NvmlDeviceHandle, NvmlSession
+
+__all__ = ["BenchContext"]
+
+
+@dataclass
+class BenchContext:
+    """Bundles the machine, runtime and driver handles for one campaign."""
+
+    machine: Machine
+    config: LatestConfig
+    device: GpuDevice = field(init=False)
+    cuda: CudaContext = field(init=False)
+    nvml: NvmlSession = field(init=False)
+    handle: NvmlDeviceHandle = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.device = self.machine.device(self.config.device_index)
+        self.cuda = self.machine.cuda_context(self.config.device_index)
+        self.nvml = self.machine.nvml()
+        self.handle = self.nvml.device_get_handle_by_index(self.config.device_index)
+
+    # ------------------------------------------------------------------
+    @property
+    def host(self):
+        return self.machine.host
+
+    def base_kernel(self) -> MicrobenchmarkKernel:
+        """The campaign's microbenchmark sized per configuration."""
+        return MicrobenchmarkKernel.sized_for(
+            self.device.spec,
+            iteration_duration_s=self.config.iteration_duration_s,
+            total_duration_s=self.config.measure_kernel_duration_s,
+            sm_count=self.record_sm_count(),
+        )
+
+    def record_sm_count(self) -> int:
+        if self.config.record_sm_count is None:
+            return self.device.spec.sm_count
+        return min(self.config.record_sm_count, self.device.spec.sm_count)
+
+    def set_frequency(self, freq_mhz: float):
+        """Lock the SM clock; returns the ground-truth transition record."""
+        return self.handle.set_gpu_locked_clocks(freq_mhz, freq_mhz)
+
+    def settle_on(self, freq_mhz: float) -> bool:
+        """Bring the SM clock to ``freq_mhz`` under sustained load.
+
+        Locks the clock, then alternates filler workload chunks with NVML
+        ``clock_info`` polls until the effective SM clock matches the
+        request.  Bounded by ``max_settle_s`` of busy time — transitions
+        *into* some frequencies are themselves pathologically slow (GH200's
+        special target bands), and both phase 1 (characterization) and
+        phase 2 (initial condition) must not proceed before the clock is
+        actually there.
+        """
+        cfg = self.config
+        self.set_frequency(freq_mhz)
+        if cfg.init_settle_s is not None:
+            self.run_filler(cfg.init_settle_s, freq_mhz)
+            return True
+        waited = 0.0
+        while waited < cfg.max_settle_s:
+            self.run_filler(cfg.settle_chunk_s, freq_mhz)
+            waited += cfg.settle_chunk_s
+            if abs(self.handle.clock_info_sm_mhz() - freq_mhz) < 1.0:
+                return True
+        return False
+
+    def run_filler(self, duration_s: float, freq_mhz: float) -> None:
+        """Keep the device busy for ~duration without recording timestamps.
+
+        Single-SM filler kernels are physically equivalent for the clock
+        domain (frequency behaviour does not depend on how many SMs the
+        simulator records) and keep warm-up phases cheap.
+        """
+        iter_s = self.config.iteration_duration_s
+        n = max(1, int(round(duration_s / iter_s)))
+        kernel = MicrobenchmarkKernel(
+            n_iterations=n,
+            cycles_per_iteration=self.config.iteration_duration_s
+            * self.device.spec.max_sm_frequency_mhz
+            * 1e6,
+            sm_count=1,
+            label="filler",
+        )
+        self.cuda.launch(kernel)
+        self.cuda.synchronize()

@@ -1,0 +1,190 @@
+"""CSV persistence with the LATEST naming convention (paper Sec. VI).
+
+"After each frequency pair measurement, the switching latencies are output
+to a .csv file.  The .csv filename contains the initial, the target
+frequency, the hostname, and the index of the benchmarked GPU."
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.results import (
+    CampaignResult,
+    PairResult,
+    SwitchingLatencyMeasurement,
+)
+from repro.errors import MeasurementError
+
+__all__ = [
+    "pair_csv_name",
+    "write_pair_csv",
+    "read_pair_csv",
+    "write_campaign_csvs",
+    "write_summary_csv",
+]
+
+_FIELDS = [
+    "index",
+    "latency_ms",
+    "ts_acc_s",
+    "te_acc_s",
+    "n_valid_sm",
+    "window_iterations",
+    "cluster_label",
+    "is_outlier",
+    "ground_truth_ms",
+    "ground_truth_outlier",
+]
+
+
+def pair_csv_name(
+    init_mhz: float, target_mhz: float, hostname: str, device_index: int
+) -> str:
+    """Standardized per-pair file name."""
+    return (
+        f"swlat_{init_mhz:g}_{target_mhz:g}_{hostname}_gpu{device_index}.csv"
+    )
+
+
+def write_pair_csv(
+    directory: str | Path,
+    pair: PairResult,
+    hostname: str,
+    device_index: int,
+) -> Path:
+    """Write one pair's measurements; returns the file path."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / pair_csv_name(
+        pair.init_mhz, pair.target_mhz, hostname, device_index
+    )
+    labels = (
+        pair.outliers.labels
+        if pair.outliers is not None
+        else np.zeros(len(pair.measurements), dtype=int)
+    )
+    with path.open("w", newline="") as fh:
+        writer = csv.DictWriter(fh, fieldnames=_FIELDS)
+        writer.writeheader()
+        for i, m in enumerate(pair.measurements):
+            writer.writerow(
+                {
+                    "index": i,
+                    "latency_ms": f"{m.latency_s * 1e3:.6f}",
+                    "ts_acc_s": f"{m.ts_acc:.9f}",
+                    "te_acc_s": f"{m.te_acc:.9f}",
+                    "n_valid_sm": m.n_valid_sm,
+                    "window_iterations": m.window_iterations,
+                    "cluster_label": int(labels[i]),
+                    "is_outlier": int(labels[i] == -1),
+                    "ground_truth_ms": (
+                        f"{m.ground_truth_s * 1e3:.6f}"
+                        if m.ground_truth_s is not None
+                        else ""
+                    ),
+                    "ground_truth_outlier": int(m.ground_truth_outlier),
+                }
+            )
+    return path
+
+
+def read_pair_csv(path: str | Path) -> PairResult:
+    """Load a per-pair CSV back into a :class:`PairResult`.
+
+    The frequencies are recovered from the standardized file name; cluster
+    labels are restored as plain arrays (the DBSCAN descent trace is not
+    persisted).
+    """
+    path = Path(path)
+    parts = path.stem.split("_")
+    if len(parts) < 4 or parts[0] != "swlat":
+        raise MeasurementError(f"not a pair CSV: {path.name}")
+    init_mhz, target_mhz = float(parts[1]), float(parts[2])
+
+    measurements: list[SwitchingLatencyMeasurement] = []
+    with path.open() as fh:
+        for row in csv.DictReader(fh):
+            gt = row.get("ground_truth_ms", "")
+            measurements.append(
+                SwitchingLatencyMeasurement(
+                    latency_s=float(row["latency_ms"]) * 1e-3,
+                    ts_acc=float(row["ts_acc_s"]),
+                    te_acc=float(row["te_acc_s"]),
+                    n_valid_sm=int(row["n_valid_sm"]),
+                    window_iterations=int(row["window_iterations"]),
+                    ground_truth_s=float(gt) * 1e-3 if gt else None,
+                    ground_truth_outlier=bool(int(row["ground_truth_outlier"])),
+                )
+            )
+    return PairResult(
+        init_mhz=init_mhz, target_mhz=target_mhz, measurements=measurements
+    )
+
+
+def write_campaign_csvs(directory: str | Path, result: CampaignResult) -> list[Path]:
+    """Write every measured pair plus the campaign summary."""
+    paths = [
+        write_pair_csv(directory, pair, result.hostname, result.device_index)
+        for pair in result.iter_measured()
+    ]
+    paths.append(write_summary_csv(directory, result))
+    return paths
+
+
+def write_summary_csv(directory: str | Path, result: CampaignResult) -> Path:
+    """One row per pair: status and headline statistics."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / (
+        f"summary_{result.hostname}_gpu{result.device_index}.csv"
+    )
+    with path.open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(
+            [
+                "init_mhz",
+                "target_mhz",
+                "status",
+                "n_measurements",
+                "n_outliers",
+                "min_ms",
+                "mean_ms",
+                "max_ms",
+                "n_clusters",
+            ]
+        )
+        for pair in result.pairs.values():
+            if pair.skipped or pair.n_measurements == 0:
+                writer.writerow(
+                    [
+                        f"{pair.init_mhz:g}",
+                        f"{pair.target_mhz:g}",
+                        pair.skip_reason or "empty",
+                        0, 0, "", "", "", 0,
+                    ]
+                )
+                continue
+            stats = pair.stats(without_outliers=True)
+            n_out = (
+                int(pair.outliers.outlier_mask.sum())
+                if pair.outliers is not None
+                else 0
+            )
+            writer.writerow(
+                [
+                    f"{pair.init_mhz:g}",
+                    f"{pair.target_mhz:g}",
+                    "ok",
+                    pair.n_measurements,
+                    n_out,
+                    f"{stats.minimum * 1e3:.6f}",
+                    f"{stats.mean * 1e3:.6f}",
+                    f"{stats.maximum * 1e3:.6f}",
+                    pair.n_clusters,
+                ]
+            )
+    return path

@@ -1,0 +1,140 @@
+"""Phase 2: the switching-latency benchmark (Algorithm 2, lines 1-8).
+
+Per measurement:
+
+1. synchronize the CPU and accelerator timers (IEEE 1588),
+2. lock the initial frequency and run warm-up workload until the device
+   settled on it,
+3. launch the benchmark kernel (delay + switch window + confirmation
+   iterations),
+4. sleep through the delay period, take the CPU timestamp ``t_s``, issue
+   the frequency change to the target,
+5. synchronize the device and read back the per-iteration timestamps.
+
+``t_s`` is converted into the accelerator timebase with the sync result,
+exactly as Algorithm 2 line 6 (``clock_gettime() - cpu_sync + acc_sync``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.context import BenchContext
+from repro.cuda.kernel import MicrobenchmarkKernel
+from repro.gpusim.dvfs import TransitionRecord
+from repro.gpusim.sm import DeviceTimestamps
+from repro.gpusim.thermal import ThrottleReasons
+from repro.timesync.ptp import SyncResult, synchronize_timers
+
+__all__ = ["RawSwitchData", "run_switch_benchmark"]
+
+
+@dataclass
+class RawSwitchData:
+    """Everything phase 3 needs to evaluate one switch measurement."""
+
+    init_mhz: float
+    target_mhz: float
+    sync: SyncResult
+    ts_cpu: float
+    ts_acc: float
+    timestamps: DeviceTimestamps
+    window_iterations: int
+    kernel: MicrobenchmarkKernel
+    ground_truth: TransitionRecord | None
+    throttle_reasons: ThrottleReasons
+
+    @property
+    def ground_truth_latency_s(self) -> float | None:
+        if self.ground_truth is None or self.ground_truth.superseded:
+            return None
+        # Ground truth measured from the same reference the methodology
+        # uses: the CPU timestamp taken just before the driver call.
+        t_req = self.ground_truth.t_request
+        return self.ground_truth.t_stable - t_req
+
+    @property
+    def ground_truth_outlier(self) -> bool:
+        return bool(self.ground_truth and self.ground_truth.sample.is_outlier)
+
+
+def build_benchmark_kernel(
+    bench: BenchContext,
+    base: MicrobenchmarkKernel,
+    init_mhz: float,
+    target_mhz: float,
+    window_iterations: int,
+) -> MicrobenchmarkKernel:
+    """Size the phase-2 kernel: delay + switch window + confirmation."""
+    cfg = bench.config
+    n = cfg.delay_iterations + window_iterations + cfg.confirm_iterations
+    return MicrobenchmarkKernel(
+        n_iterations=n,
+        cycles_per_iteration=base.cycles_per_iteration,
+        sm_count=bench.record_sm_count(),
+        label=f"switch-{init_mhz:g}-{target_mhz:g}",
+    )
+
+
+def settle_on_frequency(bench: BenchContext, freq_mhz: float) -> bool:
+    """See :meth:`BenchContext.settle_on` (kept here for API stability)."""
+    return bench.settle_on(freq_mhz)
+
+
+def run_switch_benchmark(
+    bench: BenchContext,
+    init_mhz: float,
+    target_mhz: float,
+    base_kernel: MicrobenchmarkKernel,
+    window_iterations: int,
+) -> RawSwitchData:
+    """One phase-2 execution for one frequency pair."""
+    from repro.errors import MeasurementError
+
+    cfg = bench.config
+
+    # (1) timer synchronization
+    sync = synchronize_timers(
+        bench.host, bench.device, rounds=cfg.ptp_rounds, link=cfg.ptp_link
+    )
+
+    # (2) settle on the initial frequency under sustained load
+    if not settle_on_frequency(bench, init_mhz):
+        raise MeasurementError(
+            f"SM clock did not settle on {init_mhz:g} MHz within "
+            f"{cfg.max_settle_s:g} s of load"
+        )
+
+    # (3) benchmark kernel: delay + window + confirmation iterations
+    kernel = build_benchmark_kernel(
+        bench, base_kernel, init_mhz, target_mhz, window_iterations
+    )
+    launched = bench.cuda.launch(kernel)
+
+    # (4) delay period on the initial frequency, then the change call
+    delay_s = cfg.delay_iterations * base_kernel.iteration_duration_s(init_mhz)
+    bench.host.sleep(delay_s)
+    ts_cpu = bench.host.clock_gettime()
+    record = bench.set_frequency(target_mhz)
+
+    # Throttle reasons are polled while the benchmark kernel is still
+    # running (the tool checks them *during* execution; a post-drain poll
+    # would only ever see GPU_IDLE).
+    reasons = bench.handle.current_clocks_throttle_reasons()
+
+    # (5) drain and read back
+    bench.cuda.synchronize()
+    view = bench.cuda.timestamps(launched)
+
+    return RawSwitchData(
+        init_mhz=init_mhz,
+        target_mhz=target_mhz,
+        sync=sync,
+        ts_cpu=ts_cpu,
+        ts_acc=sync.cpu_to_acc(ts_cpu),
+        timestamps=view,
+        window_iterations=window_iterations,
+        kernel=kernel,
+        ground_truth=record,
+        throttle_reasons=reasons,
+    )

@@ -1,0 +1,198 @@
+"""Phase 3: per-SM evaluation of the switching latency (Algorithm 2, 9-24).
+
+For every SM independently, scanning only iterations that started after the
+(converted) frequency-change timestamp ``t_s``:
+
+1. find the first iteration whose execution time falls inside the target
+   frequency's acceptance band — mean +/- two standard deviations from
+   phase 1 (Sec. V-A);
+2. recompute mean/std over the *remaining* iterations of that SM and test
+   them against the phase-1 target statistics (difference CI including
+   zero, or mean difference within tolerance) — this rejects detections
+   that landed inside the band while the clock was merely passing through
+   during the adaptation period;
+3. on success the SM's latency is ``t_e - t_s`` with ``t_e`` the end
+   timestamp of the detected iteration.
+
+The pair's switching latency is the **maximum** over all valid SMs; if no
+SM is viable, phases two and three are repeated by the campaign loop.
+
+The FTaLaT-style confidence-interval criterion is retained behind
+``detection_criterion="confidence-interval"`` for the Sec. V-A ablation:
+with millions of samples its band collapses below the device timer
+granularity and detection starves.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.config import LatestConfig
+from repro.core.phase2 import RawSwitchData
+from repro.errors import ConfigError
+from repro.stats.descriptive import SampleStats
+from repro.stats.intervals import difference_ci, two_sigma_band
+
+__all__ = ["SmStatus", "SwitchEvaluation", "evaluate_switch", "detection_band"]
+
+
+class SmStatus(enum.IntEnum):
+    """Per-SM evaluation outcome."""
+
+    OK = 0
+    NO_DETECTION = 1       # no post-switch iteration entered the band
+    SHORT_TAIL = 2         # detection too close to the kernel end
+    CONFIRMATION_FAILED = 3  # tail statistics do not match the target
+    NO_POST_SWITCH = 4     # kernel ended before the switch call
+
+
+@dataclass
+class SwitchEvaluation:
+    """Result of evaluating one phase-2 measurement."""
+
+    latency_s: float | None
+    te_acc: float | None
+    per_sm_latency_s: np.ndarray
+    sm_status: np.ndarray
+    detection_indices: np.ndarray
+    reason: str
+
+    @property
+    def ok(self) -> bool:
+        return self.latency_s is not None
+
+    @property
+    def n_valid_sm(self) -> int:
+        return int((self.sm_status == SmStatus.OK).sum())
+
+    @property
+    def window_too_short(self) -> bool:
+        """True when growing the switch window is the right remedy."""
+        bad = np.isin(
+            self.sm_status,
+            (SmStatus.NO_DETECTION, SmStatus.SHORT_TAIL, SmStatus.NO_POST_SWITCH),
+        )
+        return bool(bad.all())
+
+
+def detection_band(
+    target_stats: SampleStats, cfg: LatestConfig
+) -> tuple[float, float]:
+    """Acceptance band for "this iteration runs at the target frequency"."""
+    if cfg.detection_criterion == "two-sigma":
+        return two_sigma_band(target_stats, cfg.detection_sigmas)
+    if cfg.detection_criterion == "confidence-interval":
+        # FTaLaT's criterion: mean +/- 2 standard *errors*.  Shrinks to
+        # nothing as n grows — kept for the Sec. V-A ablation.
+        half = cfg.detection_sigmas * target_stats.stderr
+        return target_stats.mean - half, target_stats.mean + half
+    raise ConfigError(f"unknown detection criterion {cfg.detection_criterion!r}")
+
+
+def _suffix_stats(diffs: np.ndarray, cut: np.ndarray):
+    """Per-row mean/std/count of ``diffs[i, cut[i]:]`` without Python loops."""
+    n_sm, n_iter = diffs.shape
+    totals = diffs.sum(axis=1)
+    sq_totals = (diffs * diffs).sum(axis=1)
+    csum = np.cumsum(diffs, axis=1)
+    csq = np.cumsum(diffs * diffs, axis=1)
+
+    cut = np.clip(cut, 0, n_iter)
+    before = np.where(cut > 0, np.take_along_axis(
+        csum, np.maximum(cut - 1, 0)[:, None], axis=1
+    ).ravel(), 0.0)
+    before_sq = np.where(cut > 0, np.take_along_axis(
+        csq, np.maximum(cut - 1, 0)[:, None], axis=1
+    ).ravel(), 0.0)
+
+    n_tail = (n_iter - cut).astype(np.int64)
+    safe_n = np.maximum(n_tail, 1)
+    tail_sum = totals - before
+    tail_sq = sq_totals - before_sq
+    mean = tail_sum / safe_n
+    var = np.maximum(tail_sq - safe_n * mean * mean, 0.0) / np.maximum(
+        safe_n - 1, 1
+    )
+    return mean, np.sqrt(var), n_tail
+
+
+def evaluate_switch(
+    raw: RawSwitchData,
+    target_stats: SampleStats,
+    cfg: LatestConfig,
+) -> SwitchEvaluation:
+    """Run the phase-3 evaluation over all recorded SMs."""
+    starts = raw.timestamps.starts
+    ends = raw.timestamps.ends
+    diffs = ends - starts
+    n_sm, n_iter = diffs.shape
+    ts = raw.ts_acc
+
+    lo, hi = detection_band(target_stats, cfg)
+
+    after = starts > ts
+    candidate = after & (diffs >= lo) & (diffs <= hi)
+
+    status = np.full(n_sm, int(SmStatus.NO_DETECTION), dtype=np.int64)
+    has_post = after.any(axis=1)
+    status[~has_post] = int(SmStatus.NO_POST_SWITCH)
+
+    detected = candidate.any(axis=1)
+    first = np.where(detected, np.argmax(candidate, axis=1), n_iter)
+
+    # Tail statistics start after the detected iteration.
+    tail_mean, tail_std, n_tail = _suffix_stats(diffs, first + 1)
+
+    short = detected & (n_tail < cfg.min_confirm_tail)
+    status[detected] = int(SmStatus.CONFIRMATION_FAILED)
+    status[short] = int(SmStatus.SHORT_TAIL)
+
+    # Confirmation: difference CI of (tail - target) includes zero, or the
+    # mean difference is inside the relative tolerance (Algorithm 2 l. 20).
+    confirm_rows = np.flatnonzero(detected & ~short)
+    valid = np.zeros(n_sm, dtype=bool)
+    tol = cfg.tolerance_rel * target_stats.mean
+    for i in confirm_rows:
+        tail = SampleStats(
+            n=int(n_tail[i]),
+            mean=float(tail_mean[i]),
+            std=float(tail_std[i]),
+            minimum=0.0,
+            maximum=0.0,
+        )
+        lb, hb = difference_ci(tail, target_stats, cfg.confidence)
+        if (lb < 0.0 < hb) or abs(tail.mean - target_stats.mean) < tol:
+            valid[i] = True
+    status[valid] = int(SmStatus.OK)
+
+    per_sm = np.full(n_sm, np.nan)
+    rows = np.flatnonzero(valid)
+    if rows.size:
+        te = np.take_along_axis(ends, first[rows][:, None], axis=1).ravel()
+        per_sm[rows] = te - ts
+        latency = float(np.nanmax(per_sm))
+        te_overall = float(ts + latency)
+        reason = "ok"
+    else:
+        latency = None
+        te_overall = None
+        if not has_post.any():
+            reason = "no-post-switch-iterations"
+        elif not detected.any():
+            reason = "no-detection"
+        elif (detected & ~short).any():
+            reason = "confirmation-failed"
+        else:
+            reason = "short-tail"
+
+    return SwitchEvaluation(
+        latency_s=latency,
+        te_acc=te_overall,
+        per_sm_latency_s=per_sm,
+        sm_status=status,
+        detection_indices=np.where(first < n_iter, first, -1),
+        reason=reason,
+    )

@@ -1,0 +1,179 @@
+"""Result containers for switching-latency campaigns."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+import numpy as np
+
+from repro.clustering.adaptive import AdaptiveDbscanResult
+from repro.errors import MeasurementError
+from repro.stats.descriptive import SampleStats, summarize
+
+__all__ = ["PairKey", "SwitchingLatencyMeasurement", "PairResult", "CampaignResult"]
+
+#: (initial_mhz, target_mhz)
+PairKey = tuple[float, float]
+
+
+@dataclass(frozen=True)
+class SwitchingLatencyMeasurement:
+    """One accepted switching-latency measurement.
+
+    ``ground_truth_s`` is simulator introspection: the actual injected
+    latency for the transition (unavailable on physical hardware — used to
+    validate the methodology itself).  ``ground_truth_outlier`` marks
+    measurements whose transition draw included the driver-noise outlier
+    process.
+    """
+
+    latency_s: float
+    ts_acc: float
+    te_acc: float
+    n_valid_sm: int
+    window_iterations: int
+    ground_truth_s: float | None = None
+    ground_truth_outlier: bool = False
+
+
+@dataclass
+class PairResult:
+    """Everything measured for one (initial, target) frequency pair."""
+
+    init_mhz: float
+    target_mhz: float
+    measurements: list[SwitchingLatencyMeasurement] = field(default_factory=list)
+    outliers: AdaptiveDbscanResult | None = None
+    skipped: bool = False
+    skip_reason: str = ""
+    n_failed_attempts: int = 0
+    n_throttle_discards: int = 0
+    n_window_growths: int = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def key(self) -> PairKey:
+        return (self.init_mhz, self.target_mhz)
+
+    @property
+    def increasing(self) -> bool:
+        return self.target_mhz > self.init_mhz
+
+    @property
+    def n_measurements(self) -> int:
+        return len(self.measurements)
+
+    def latencies_s(self, without_outliers: bool = True) -> np.ndarray:
+        """Measured latencies, optionally with DBSCAN outliers removed."""
+        values = np.asarray([m.latency_s for m in self.measurements])
+        if without_outliers and self.outliers is not None:
+            return values[self.outliers.kept_mask]
+        return values
+
+    def ground_truths_s(self, without_outliers: bool = True) -> np.ndarray:
+        values = np.asarray(
+            [
+                m.ground_truth_s if m.ground_truth_s is not None else np.nan
+                for m in self.measurements
+            ]
+        )
+        if without_outliers and self.outliers is not None:
+            return values[self.outliers.kept_mask]
+        return values
+
+    def stats(self, without_outliers: bool = True) -> SampleStats:
+        values = self.latencies_s(without_outliers)
+        if values.size == 0:
+            raise MeasurementError(
+                f"pair {self.init_mhz:g}->{self.target_mhz:g} has no "
+                f"{'kept ' if without_outliers else ''}measurements"
+            )
+        return summarize(values)
+
+    def best_case_s(self, without_outliers: bool = True) -> float:
+        """Minimum observed switching latency for this pair."""
+        return self.stats(without_outliers).minimum
+
+    def worst_case_s(self, without_outliers: bool = True) -> float:
+        """Maximum observed switching latency for this pair."""
+        return self.stats(without_outliers).maximum
+
+    @property
+    def n_clusters(self) -> int:
+        return self.outliers.n_clusters if self.outliers is not None else 0
+
+
+@dataclass
+class CampaignResult:
+    """Output of a full switching-latency campaign on one GPU."""
+
+    gpu_name: str
+    architecture: str
+    hostname: str
+    device_index: int
+    frequencies: tuple[float, ...]
+    pairs: dict[PairKey, PairResult]
+    phase1: "Phase1Result | None" = None  # noqa: F821 - forward ref
+    wall_virtual_s: float = 0.0
+
+    # ------------------------------------------------------------------
+    def pair(self, init_mhz: float, target_mhz: float) -> PairResult:
+        try:
+            return self.pairs[(float(init_mhz), float(target_mhz))]
+        except KeyError:
+            raise MeasurementError(
+                f"pair {init_mhz:g}->{target_mhz:g} not in campaign"
+            ) from None
+
+    def iter_measured(self) -> Iterator[PairResult]:
+        """Pairs that produced at least one measurement."""
+        for p in self.pairs.values():
+            if not p.skipped and p.n_measurements > 0:
+                yield p
+
+    @property
+    def n_measured_pairs(self) -> int:
+        return sum(1 for _ in self.iter_measured())
+
+    @property
+    def skipped_pairs(self) -> list[PairResult]:
+        return [p for p in self.pairs.values() if p.skipped]
+
+    # ------------------------------------------------------------------
+    def latency_matrix(
+        self, statistic: str = "max", without_outliers: bool = True
+    ) -> np.ndarray:
+        """(init x target) latency grid in seconds; NaN where unmeasured.
+
+        ``statistic``: "max" (worst case), "min" (best case), "mean" or
+        "count".  Rows are initial frequencies, columns target frequencies,
+        both in the campaign's frequency order — matching the orientation
+        of the paper's Fig. 3 heatmaps.
+        """
+        freqs = list(self.frequencies)
+        grid = np.full((len(freqs), len(freqs)), np.nan)
+        for p in self.iter_measured():
+            i = freqs.index(p.init_mhz)
+            j = freqs.index(p.target_mhz)
+            values = p.latencies_s(without_outliers)
+            if values.size == 0:
+                continue
+            if statistic == "max":
+                grid[i, j] = values.max()
+            elif statistic == "min":
+                grid[i, j] = values.min()
+            elif statistic == "mean":
+                grid[i, j] = values.mean()
+            elif statistic == "count":
+                grid[i, j] = values.size
+            else:
+                raise MeasurementError(f"unknown statistic {statistic!r}")
+        return grid
+
+    def all_latencies_s(self, without_outliers: bool = True) -> np.ndarray:
+        """Every kept measurement across all pairs, concatenated."""
+        chunks = [p.latencies_s(without_outliers) for p in self.iter_measured()]
+        if not chunks:
+            return np.empty(0)
+        return np.concatenate(chunks)

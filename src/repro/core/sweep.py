@@ -1,0 +1,67 @@
+"""Multi-device campaign sweeps.
+
+The paper's Sec. VII-C benchmarks four A100 units of one Karolina node
+with the same configuration.  This module runs a campaign per device and
+feeds the variability analysis, plus a convenience for sweeping several
+GPU *models* with per-model frequency subsets (how the paper's Table II
+was produced).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.core.campaign import run_campaign
+from repro.core.config import LatestConfig
+from repro.core.results import CampaignResult
+from repro.errors import ConfigError
+from repro.machine import Machine, make_machine
+
+__all__ = ["sweep_devices", "sweep_models"]
+
+
+def sweep_devices(
+    machine: Machine,
+    config: LatestConfig,
+    device_indices: list[int] | None = None,
+) -> list[CampaignResult]:
+    """Run the same campaign on several GPUs of one machine.
+
+    Each device gets a config copy with its own ``device_index`` (and its
+    own output directory suffix when CSV output is enabled); results come
+    back in index order, ready for
+    :func:`repro.analysis.variability.variability_report`.
+    """
+    if device_indices is None:
+        device_indices = list(range(len(machine.devices)))
+    if not device_indices:
+        raise ConfigError("device sweep needs at least one index")
+    results = []
+    for index in device_indices:
+        machine.device(index)  # validates the index early
+        cfg = replace(config, device_index=index)
+        results.append(run_campaign(machine, cfg))
+    return results
+
+
+def sweep_models(
+    model_configs: dict[str, LatestConfig],
+    seed: int = 0,
+    hostname: str = "simnode01",
+) -> dict[str, CampaignResult]:
+    """Run one campaign per GPU model (e.g. the paper's three devices).
+
+    ``model_configs`` maps model names (``"A100"``, ``"GH200"``,
+    ``"RTX6000"``) to their frequency-subset configurations.  Each model
+    gets its own machine derived from ``seed`` so results are independent
+    and reproducible.
+    """
+    if not model_configs:
+        raise ConfigError("model sweep needs at least one model")
+    results: dict[str, CampaignResult] = {}
+    for offset, (model, config) in enumerate(sorted(model_configs.items())):
+        machine = make_machine(
+            model, seed=seed + 1000 * offset, hostname=hostname
+        )
+        results[model] = run_campaign(machine, config)
+    return results

@@ -1,0 +1,106 @@
+"""Wake-up latency estimation (paper Sec. V, first bullet).
+
+"The wake-up can be estimated using an artificial workload split into
+several kernels. ... By looping through the iterations of the first
+kernel, their execution time can be compared to the average iteration
+execution time of the last kernel.  This helps determine when the
+accelerator stabilized at the imposed frequency settings."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cuda.kernel import MicrobenchmarkKernel
+from repro.errors import MeasurementError
+from repro.machine import Machine
+from repro.stats.descriptive import SampleStats, summarize
+from repro.stats.intervals import two_sigma_band
+
+__all__ = ["WakeupEstimate", "estimate_wakeup_latency"]
+
+
+@dataclass(frozen=True)
+class WakeupEstimate:
+    """Result of one wake-up estimation run."""
+
+    wakeup_s: float
+    freq_mhz: float
+    stabilization_iteration: int
+    first_kernel_stats: SampleStats
+    last_kernel_stats: SampleStats
+
+    @property
+    def slowdown_factor(self) -> float:
+        """How much slower the first iterations ran vs. steady state."""
+        return self.first_kernel_stats.maximum / self.last_kernel_stats.mean
+
+
+def estimate_wakeup_latency(
+    machine: Machine,
+    freq_mhz: float | None = None,
+    device_index: int = 0,
+    idle_wait_s: float = 0.5,
+    n_kernels: int = 4,
+    kernel_duration_s: float = 0.4,
+    iteration_duration_s: float = 60e-6,
+    sm_count: int = 4,
+    sigmas: float = 2.0,
+) -> WakeupEstimate:
+    """Measure how long the device takes to reach a locked clock from idle.
+
+    Lets the device go idle, locks ``freq_mhz`` (default: nominal clock),
+    runs ``n_kernels`` back-to-back kernels, and finds the first iteration
+    of the first kernel whose execution time falls within the two-sigma
+    band of the last kernel's statistics.
+    """
+    device = machine.device(device_index)
+    ctx = machine.cuda_context(device_index)
+    nvml = machine.nvml()
+    handle = nvml.device_get_handle_by_index(device_index)
+
+    if freq_mhz is None:
+        freq_mhz = device.spec.nominal_sm_frequency_mhz
+
+    # Ensure the device is asleep, then lock the clock while idle.
+    machine.host.sleep(idle_wait_s)
+    handle.set_gpu_locked_clocks(freq_mhz, freq_mhz)
+
+    kernel = MicrobenchmarkKernel.sized_for(
+        device.spec,
+        iteration_duration_s=iteration_duration_s,
+        total_duration_s=kernel_duration_s,
+        sm_count=sm_count,
+        label="wakeup-probe",
+    )
+    views = [ctx.run(kernel) for _ in range(n_kernels)]
+
+    last_stats = summarize(views[-1].diffs)
+    lo, hi = two_sigma_band(last_stats, sigmas)
+
+    first = views[0]
+    diffs = first.diffs
+    in_band = (diffs >= lo) & (diffs <= hi)
+    if not in_band.any(axis=1).all():
+        raise MeasurementError(
+            "device never stabilized within the first kernel; increase "
+            "kernel_duration_s"
+        )
+    # Per SM: first stable iteration; the wake-up is over when the *last*
+    # SM stabilizes.
+    first_idx = np.argmax(in_band, axis=1)
+    kernel_start = float(first.starts.min())
+    stable_ends = np.take_along_axis(
+        first.ends, first_idx[:, None], axis=1
+    ).ravel()
+    wakeup_s = float(stable_ends.max() - kernel_start)
+
+    return WakeupEstimate(
+        wakeup_s=wakeup_s,
+        freq_mhz=float(freq_mhz),
+        stabilization_iteration=int(first_idx.max()),
+        first_kernel_stats=summarize(diffs),
+        last_kernel_stats=last_stats,
+    )

@@ -1,0 +1,12 @@
+"""CUDA-like runtime layer over the simulated GPU.
+
+Mirrors the subset of the CUDA driver/runtime surface the LATEST tool uses:
+kernel launches of the iterative arithmetic microbenchmark, device
+synchronization, and reading back per-iteration ``%globaltimer`` timestamp
+buffers.
+"""
+
+from repro.cuda.kernel import MicrobenchmarkKernel
+from repro.cuda.runtime import CudaContext, LaunchedKernel
+
+__all__ = ["CudaContext", "LaunchedKernel", "MicrobenchmarkKernel"]

@@ -1,0 +1,81 @@
+"""CUDA-runtime-like context: launches, synchronization, timestamp readback.
+
+Host-side costs are modelled because they are physically real parts of the
+measured pipeline: a kernel launch burns ~8 us of CPU time before the
+command reaches the device queue, and a synchronize costs a driver round
+trip after the device drains.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cuda.kernel import MicrobenchmarkKernel
+from repro.errors import CudaError
+from repro.gpusim.device import GpuDevice, KernelHandle
+from repro.gpusim.sm import DeviceTimestamps
+from repro.simtime.host import HostCpu
+
+__all__ = ["CudaContext", "LaunchedKernel"]
+
+_LAUNCH_CPU_COST_S = 8e-6
+_SYNC_CPU_COST_S = 4e-6
+
+
+@dataclass
+class LaunchedKernel:
+    """Host-side handle for an in-flight or completed kernel."""
+
+    kernel: MicrobenchmarkKernel
+    handle: KernelHandle
+
+    @property
+    def finalized(self) -> bool:
+        return self.handle.finalized
+
+
+class CudaContext:
+    """A host thread's view of one GPU."""
+
+    def __init__(self, host: HostCpu, device: GpuDevice) -> None:
+        self.host = host
+        self.device = device
+
+    # ------------------------------------------------------------------
+    def launch(self, kernel: MicrobenchmarkKernel) -> LaunchedKernel:
+        """Asynchronously launch the microbenchmark kernel."""
+        self.host.busy(_LAUNCH_CPU_COST_S)
+        handle = self.device.launch_kernel(kernel.launch_spec())
+        return LaunchedKernel(kernel=kernel, handle=handle)
+
+    def synchronize(self) -> float:
+        """Block until the device drains; returns host true time after."""
+        t = self.device.synchronize()
+        self.host.busy(_SYNC_CPU_COST_S)
+        return t
+
+    def run(self, kernel: MicrobenchmarkKernel) -> DeviceTimestamps:
+        """Launch, synchronize, and read back timestamps in one call."""
+        launched = self.launch(kernel)
+        self.synchronize()
+        return self.timestamps(launched)
+
+    def timestamps(self, launched: LaunchedKernel) -> DeviceTimestamps:
+        """Read the per-iteration timestamp buffers (requires prior sync)."""
+        if not launched.finalized:
+            raise CudaError("timestamps read before synchronize()")
+        return self.device.read_timestamps(launched.handle)
+
+    # ------------------------------------------------------------------
+    def global_timer(self) -> float:
+        """Read the device ``%globaltimer`` from a probe kernel.
+
+        Used by the timer-synchronization handshake; costs one driver round
+        trip on the host plus the device-side read.
+        """
+        self.host.busy(2e-6)
+        return self.device.gpu_clock.read()
+
+    @property
+    def sm_count(self) -> int:
+        return self.device.spec.sm_count

@@ -1,0 +1,35 @@
+"""FTaLaT: the CPU frequency transition latency baseline (paper Sec. IV).
+
+Reproduces the CPU-side methodology the paper adapts (Mazouz et al.,
+implemented in the FTaLaT tool): an iterative compute-bound workload on a
+single core, per-frequency characterization with confidence intervals, and
+transition detection via the confidence-interval criterion — which is
+sound on a CPU because a single core produces few enough samples that the
+interval stays wider than the timer resolution.
+
+Used for the paper's headline comparison: "CPUs complete the frequency
+transitions in microseconds, or units of milliseconds at most, while GPUs
+require ... tens to hundreds of milliseconds."
+"""
+
+from repro.ftalat.cpusim import CpuCore, CpuSpec, CpuTransitionModel
+from repro.ftalat.ftalat import (
+    CpuTransitionMeasurement,
+    FtalatConfig,
+    FtalatResult,
+    characterize_cpu_frequency,
+    measure_cpu_transition,
+    run_ftalat,
+)
+
+__all__ = [
+    "CpuSpec",
+    "CpuCore",
+    "CpuTransitionModel",
+    "FtalatConfig",
+    "FtalatResult",
+    "CpuTransitionMeasurement",
+    "characterize_cpu_frequency",
+    "measure_cpu_transition",
+    "run_ftalat",
+]

@@ -1,0 +1,180 @@
+"""Simulated CPU core with microsecond-scale DVFS transitions.
+
+The CPU differs from the accelerator in exactly the ways the paper builds
+its argument on:
+
+* the frequency-change request originates and lands on the *same* device,
+  so there is no bus traversal and no separate timer domain,
+* transitions complete in tens of microseconds (Intel/AMD measurements in
+  the papers the authors cite: Skylake-SP, Alder Lake, Zen 2), not tens of
+  milliseconds,
+* the workload runs on one core, so sample counts stay small and the
+  confidence-interval detection criterion remains usable.
+
+The iteration engine reuses the exact piecewise-trajectory integration of
+the GPU SM engine with a single "SM".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.gpusim.sm import integrate_iterations, sample_iteration_cycles
+from repro.gpusim.trajectory import FrequencyTrajectory
+from repro.simtime.clock import VirtualClock
+from repro.simtime.host import HostCpu
+
+__all__ = ["CpuSpec", "CpuTransitionModel", "CpuCore"]
+
+
+@dataclass(frozen=True)
+class CpuSpec:
+    """A simplified server-CPU core description."""
+
+    name: str = "SimXeon 6330"
+    min_frequency_mhz: float = 1000.0
+    max_frequency_mhz: float = 3100.0
+    step_mhz: float = 100.0
+    iteration_noise_rel: float = 0.004
+    #: rdtsc ticks at the base clock: sub-nanosecond resolution.  This is
+    #: what keeps FTaLaT's confidence-interval criterion usable on CPUs —
+    #: a coarser timer would starve it exactly as paper Sec. V-A describes
+    #: for the 1 us GPU timer (covered by an ablation benchmark).
+    timer_granularity_s: float = 4e-10
+
+    @property
+    def supported_clocks_mhz(self) -> tuple[float, ...]:
+        ladder = np.arange(
+            self.min_frequency_mhz,
+            self.max_frequency_mhz + self.step_mhz / 2,
+            self.step_mhz,
+        )
+        return tuple(float(f) for f in ladder)
+
+    def validate(self, freq_mhz: float) -> float:
+        clocks = np.asarray(self.supported_clocks_mhz)
+        nearest = float(clocks[np.argmin(np.abs(clocks - freq_mhz))])
+        if abs(nearest - freq_mhz) > 0.5:
+            raise ConfigError(
+                f"{freq_mhz} MHz is not a supported CPU frequency"
+            )
+        return nearest
+
+
+@dataclass(frozen=True)
+class CpuTransitionModel:
+    """Stochastic CPU transition latency: lognormal tens of microseconds.
+
+    Matches the order of magnitude of published Intel/AMD measurements
+    (roughly 20-500 us depending on generation and direction); a small
+    per-100 MHz term models multi-step voltage ramps.
+    """
+
+    base_median_s: float = 42e-6
+    sigma_log: float = 0.35
+    per_step_s: float = 1.2e-6
+    outlier_prob: float = 0.01
+    outlier_scale_s: float = 400e-6
+
+    def sample(
+        self, rng: np.random.Generator, init_mhz: float, target_mhz: float
+    ) -> float:
+        steps = abs(target_mhz - init_mhz) / 100.0
+        latency = (self.base_median_s + self.per_step_s * steps) * float(
+            np.exp(self.sigma_log * rng.standard_normal())
+        )
+        if rng.random() < self.outlier_prob:
+            latency += float(rng.exponential(self.outlier_scale_s))
+        return latency
+
+
+class CpuCore:
+    """One core executing the FTaLaT workload on the shared timeline."""
+
+    def __init__(
+        self,
+        host: HostCpu,
+        spec: CpuSpec | None = None,
+        transition_model: CpuTransitionModel | None = None,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        self.host = host
+        self.clock: VirtualClock = host.clock
+        self.spec = spec or CpuSpec()
+        self.transition_model = transition_model or CpuTransitionModel()
+        self.rng = rng if rng is not None else np.random.default_rng(0xF7A1A7)
+        self._freq_events: list[tuple[float, float]] = [
+            (self.clock.now, self.spec.min_frequency_mhz)
+        ]
+        self.last_transition_latency_s: float | None = None
+
+    # ------------------------------------------------------------------
+    @property
+    def current_frequency_mhz(self) -> float:
+        now = self.clock.now
+        freq = self._freq_events[0][1]
+        for t, f in self._freq_events:
+            if t <= now:
+                freq = f
+            else:
+                break
+        return freq
+
+    def set_frequency(self, freq_mhz: float) -> float:
+        """Request a frequency (sysfs/MSR write); returns injected latency.
+
+        The write itself costs ~2 us of core time; the transition completes
+        after the sampled latency, during which the workload keeps running
+        at the previous frequency (plus a short ramp).
+        """
+        freq_mhz = self.spec.validate(freq_mhz)
+        self.host.busy(2e-6)
+        t = self.clock.now
+        init = self.current_frequency_mhz
+        self._freq_events = [(ts, f) for ts, f in self._freq_events if ts <= t]
+        if abs(init - freq_mhz) < 1e-9:
+            self.last_transition_latency_s = 0.0
+            return 0.0
+        latency = self.transition_model.sample(self.rng, init, freq_mhz)
+        # Short adaptation step midway through the transition.
+        mid_f = self.spec.validate(
+            self.spec.min_frequency_mhz
+            + self.spec.step_mhz
+            * round(
+                ((init + freq_mhz) / 2 - self.spec.min_frequency_mhz)
+                / self.spec.step_mhz
+            )
+        )
+        self._freq_events.append((t + 0.7 * latency, mid_f))
+        self._freq_events.append((t + latency, freq_mhz))
+        self.last_transition_latency_s = latency
+        return latency
+
+    # ------------------------------------------------------------------
+    def run_iterations(
+        self, n: int, cycles_per_iteration: float
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Execute ``n`` workload iterations now; returns (starts, ends).
+
+        Timestamps come from the core's own timer (``clock_gettime`` after
+        every iteration, as FTaLaT does); the virtual clock advances to the
+        end of the last iteration.
+        """
+        if n <= 0:
+            raise ConfigError("need at least one iteration")
+        t0 = self.clock.now
+        trajectory = FrequencyTrajectory.from_events(
+            t0, self._freq_events[0][1], self._freq_events
+        )
+        cycles = sample_iteration_cycles(
+            self.rng, 1, n, cycles_per_iteration, self.spec.iteration_noise_rel
+        )
+        ts = integrate_iterations(trajectory, np.asarray([t0]), cycles)
+        self.clock.advance_to(float(ts.ends_true[0, -1]))
+        g = self.spec.timer_granularity_s
+        starts = np.floor(ts.starts_true[0] / g) * g
+        ends = np.floor(ts.ends_true[0] / g) * g
+        return starts, ends

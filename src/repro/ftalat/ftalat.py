@@ -1,0 +1,197 @@
+"""The FTaLaT measurement procedure (paper Sec. IV).
+
+Two phases:
+
+1. Per-frequency characterization: the artificial workload runs at each
+   frequency; the mean iteration time and its confidence interval are
+   computed.  Pairs whose difference CI includes zero are skipped (or the
+   workload grows).
+2. Transition measurement: the workload loops at the initial frequency;
+   the frequency change is issued and timestamped; the first iteration
+   whose execution time falls inside the *confidence interval* of the
+   target mean marks the candidate transition end.  One hundred further
+   iterations are taken; if their mean is statistically indistinguishable
+   from the target's phase-1 mean, the transition latency is
+   ``t_e - t_s``, otherwise the measurement is discarded (the core was
+   merely adapting through the target's neighbourhood).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import MeasurementError
+from repro.ftalat.cpusim import CpuCore
+from repro.stats.descriptive import SampleStats, summarize
+from repro.stats.intervals import difference_ci
+
+__all__ = [
+    "FtalatConfig",
+    "FtalatResult",
+    "CpuTransitionMeasurement",
+    "characterize_cpu_frequency",
+    "measure_cpu_transition",
+    "run_ftalat",
+]
+
+
+@dataclass(frozen=True)
+class FtalatConfig:
+    """Workload and statistics knobs of the CPU methodology."""
+
+    cycles_per_iteration: float = 12_000.0  # ~5 us at 2.5 GHz
+    warmup_iterations: int = 2_000
+    #: kept moderate on purpose: the CI detection band scales with
+    #: 1/sqrt(n), and an over-characterized target starves detection (the
+    #: effect paper Sec. V-A generalizes to accelerators)
+    characterize_iterations: int = 1_500
+    delay_iterations: int = 200
+    window_iterations: int = 3_000
+    confirm_iterations: int = 100  # FTaLaT's "additional hundred"
+    confidence: float = 0.95
+    band_stderr_multiplier: float = 2.0
+    max_attempts: int = 20
+    repeats: int = 15
+
+
+@dataclass(frozen=True)
+class CpuTransitionMeasurement:
+    """One accepted CPU transition latency."""
+
+    init_mhz: float
+    target_mhz: float
+    latency_s: float
+    ts: float
+    te: float
+    attempts: int
+    ground_truth_s: float
+
+
+def characterize_cpu_frequency(
+    core: CpuCore, freq_mhz: float, cfg: FtalatConfig
+) -> SampleStats:
+    """Phase-1 statistics of the iteration time at one frequency."""
+    core.set_frequency(freq_mhz)
+    core.run_iterations(cfg.warmup_iterations, cfg.cycles_per_iteration)
+    starts, ends = core.run_iterations(
+        cfg.characterize_iterations, cfg.cycles_per_iteration
+    )
+    return summarize(ends - starts)
+
+
+def measure_cpu_transition(
+    core: CpuCore,
+    init_mhz: float,
+    target_mhz: float,
+    init_stats: SampleStats,
+    target_stats: SampleStats,
+    cfg: FtalatConfig,
+) -> CpuTransitionMeasurement:
+    """One phase-2 measurement, retried until the confirmation accepts."""
+    # FTaLaT's detection band: the confidence interval of the target mean
+    # (mean +/- 2 standard errors) — workable on a CPU where n is small.
+    half = cfg.band_stderr_multiplier * target_stats.stderr
+    lo, hi = target_stats.mean - half, target_stats.mean + half
+
+    for attempt in range(1, cfg.max_attempts + 1):
+        core.set_frequency(init_mhz)
+        core.run_iterations(cfg.warmup_iterations, cfg.cycles_per_iteration)
+        core.run_iterations(cfg.delay_iterations, cfg.cycles_per_iteration)
+
+        ts = core.host.clock_gettime()
+        ground_truth = core.set_frequency(target_mhz)
+
+        starts, ends = core.run_iterations(
+            cfg.window_iterations, cfg.cycles_per_iteration
+        )
+        diffs = ends - starts
+        in_band = (diffs >= lo) & (diffs <= hi)
+        if not in_band.any():
+            continue
+        first = int(np.argmax(in_band))
+        te = float(ends[first])
+
+        # Confirmation: one hundred further iterations must match the
+        # target mean (difference CI including zero).
+        c_starts, c_ends = core.run_iterations(
+            cfg.confirm_iterations, cfg.cycles_per_iteration
+        )
+        confirm = summarize(c_ends - c_starts)
+        lb, hb = difference_ci(confirm, target_stats, cfg.confidence)
+        if lb < 0.0 < hb:
+            return CpuTransitionMeasurement(
+                init_mhz=init_mhz,
+                target_mhz=target_mhz,
+                latency_s=te - ts,
+                ts=ts,
+                te=te,
+                attempts=attempt,
+                ground_truth_s=ground_truth,
+            )
+    raise MeasurementError(
+        f"CPU transition {init_mhz:g}->{target_mhz:g} MHz: no accepted "
+        f"measurement in {cfg.max_attempts} attempts"
+    )
+
+
+@dataclass
+class FtalatResult:
+    """All measurements of one CPU campaign."""
+
+    frequencies_mhz: tuple[float, ...]
+    characterizations: dict[float, SampleStats]
+    measurements: dict[tuple[float, float], list[CpuTransitionMeasurement]] = field(
+        default_factory=dict
+    )
+    skipped_pairs: list[tuple[float, float]] = field(default_factory=list)
+
+    def latencies_s(self, init_mhz: float, target_mhz: float) -> np.ndarray:
+        return np.asarray(
+            [m.latency_s for m in self.measurements[(init_mhz, target_mhz)]]
+        )
+
+    def all_latencies_s(self) -> np.ndarray:
+        chunks = [
+            [m.latency_s for m in ms] for ms in self.measurements.values()
+        ]
+        return np.concatenate([np.asarray(c) for c in chunks if c])
+
+
+def run_ftalat(
+    core: CpuCore,
+    frequencies: tuple[float, ...],
+    cfg: FtalatConfig | None = None,
+) -> FtalatResult:
+    """Full CPU campaign over all ordered frequency pairs."""
+    cfg = cfg or FtalatConfig()
+    chars = {
+        float(f): characterize_cpu_frequency(core, f, cfg) for f in frequencies
+    }
+    result = FtalatResult(
+        frequencies_mhz=tuple(float(f) for f in frequencies),
+        characterizations=chars,
+    )
+    for init in frequencies:
+        for target in frequencies:
+            if init == target:
+                continue
+            a, b = chars[float(init)], chars[float(target)]
+            lb, hb = difference_ci(a, b, cfg.confidence)
+            if lb < 0.0 < hb:
+                result.skipped_pairs.append((float(init), float(target)))
+                continue
+            pair_measurements = []
+            for _ in range(cfg.repeats):
+                try:
+                    pair_measurements.append(
+                        measure_cpu_transition(core, init, target, a, b, cfg)
+                    )
+                except MeasurementError:
+                    continue
+            if not pair_measurements:
+                result.skipped_pairs.append((float(init), float(target)))
+                continue
+            result.measurements[(float(init), float(target))] = pair_measurements
+    return result

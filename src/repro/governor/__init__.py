@@ -1,0 +1,46 @@
+"""Latency-aware DVFS governor — the paper's motivating use case (Sec. VIII).
+
+"This knowledge can help in the development of energy efficiency runtime
+systems in two ways.  Firstly, the frequency changes can be performed with
+better timing.  Secondly, the runtime system may avoid some frequency
+transitions, which show overhead higher than other frequency pairs."
+
+This package simulates a phase-changing GPU application and compares DVFS
+policies: a naive governor that always chases the phase-optimal frequency,
+against a latency-aware governor that consults a measured switching-latency
+table to (a) skip transitions whose overhead would eat the phase, and
+(b) reroute around pathological frequency pairs.
+"""
+
+from repro.governor.app_model import ApplicationPhase, PhasedApplication, make_phased_application
+from repro.governor.policies import (
+    GovernorDecision,
+    LatencyAwareGovernor,
+    LatencyTable,
+    NaiveGovernor,
+    OracleGovernor,
+    StaticGovernor,
+)
+from repro.governor.simulate import GovernorRunResult, simulate_governor
+from repro.governor.static_sweep import (
+    StaticPoint,
+    StaticSweepResult,
+    static_frequency_sweep,
+)
+
+__all__ = [
+    "ApplicationPhase",
+    "PhasedApplication",
+    "make_phased_application",
+    "LatencyTable",
+    "GovernorDecision",
+    "NaiveGovernor",
+    "LatencyAwareGovernor",
+    "OracleGovernor",
+    "StaticGovernor",
+    "simulate_governor",
+    "GovernorRunResult",
+    "StaticPoint",
+    "StaticSweepResult",
+    "static_frequency_sweep",
+]

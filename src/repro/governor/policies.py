@@ -1,0 +1,228 @@
+"""DVFS governor policies over a measured switching-latency table."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.results import CampaignResult
+from repro.errors import ConfigError
+from repro.governor.app_model import ApplicationPhase
+
+__all__ = [
+    "LatencyTable",
+    "GovernorDecision",
+    "NaiveGovernor",
+    "LatencyAwareGovernor",
+    "OracleGovernor",
+    "StaticGovernor",
+]
+
+
+@dataclass
+class LatencyTable:
+    """Per-pair switching latencies as a governor consumes them.
+
+    Built from a campaign (worst case by default — the paper argues the
+    worst case is "the most valuable information" for runtime design) or
+    from an explicit dict for tests.
+    """
+
+    frequencies_mhz: tuple[float, ...]
+    latency_s: dict[tuple[float, float], float]
+    default_s: float
+
+    @classmethod
+    def from_campaign(
+        cls, result: CampaignResult, statistic: str = "max"
+    ) -> "LatencyTable":
+        table: dict[tuple[float, float], float] = {}
+        values = []
+        for p in result.iter_measured():
+            v = p.latencies_s(without_outliers=True)
+            if v.size == 0:
+                continue
+            lat = {"max": v.max(), "mean": v.mean(), "min": v.min()}[statistic]
+            table[p.key] = float(lat)
+            values.append(float(lat))
+        if not table:
+            raise ConfigError("campaign has no measured pairs")
+        return cls(
+            frequencies_mhz=tuple(float(f) for f in result.frequencies),
+            latency_s=table,
+            default_s=float(np.median(values)),
+        )
+
+    def lookup(self, init_mhz: float, target_mhz: float) -> float:
+        if init_mhz == target_mhz:
+            return 0.0
+        return self.latency_s.get((init_mhz, target_mhz), self.default_s)
+
+
+@dataclass(frozen=True)
+class GovernorDecision:
+    """What the governor chose at a phase boundary."""
+
+    target_mhz: float
+    switched: bool
+    predicted_latency_s: float
+    rationale: str
+
+
+class NaiveGovernor:
+    """Always switch to the phase-optimal frequency (latency-oblivious)."""
+
+    name = "naive"
+
+    def __init__(self, table: LatencyTable) -> None:
+        self.table = table
+
+    def decide(
+        self, phase: ApplicationPhase, current_mhz: float
+    ) -> GovernorDecision:
+        target = self._nearest(phase.optimal_freq_mhz)
+        if target == current_mhz:
+            return GovernorDecision(current_mhz, False, 0.0, "already-there")
+        return GovernorDecision(
+            target_mhz=target,
+            switched=True,
+            predicted_latency_s=self.table.lookup(current_mhz, target),
+            rationale="chase-optimal",
+        )
+
+    def _nearest(self, freq_mhz: float) -> float:
+        freqs = np.asarray(self.table.frequencies_mhz)
+        return float(freqs[np.argmin(np.abs(freqs - freq_mhz))])
+
+
+class StaticGovernor:
+    """Never switch: static tuning at a fixed frequency (paper Sec. III)."""
+
+    name = "static"
+
+    def __init__(self, freq_mhz: float) -> None:
+        self.freq_mhz = freq_mhz
+
+    def decide(
+        self, phase: ApplicationPhase, current_mhz: float
+    ) -> GovernorDecision:
+        return GovernorDecision(self.freq_mhz, False, 0.0, "static")
+
+
+class OracleGovernor:
+    """Reference line: knows every phase's true duration in advance.
+
+    Greedily minimizes the per-phase *energy-delay product*, accounting
+    exactly for the stale span (the measured switching latency spent at
+    the old clock) — the decision a clairvoyant latency-aware runtime
+    would make.  Heuristic governors with the same latency table should
+    approach but not beat its aggregate EDP.
+    """
+
+    name = "oracle"
+
+    def __init__(self, table: LatencyTable) -> None:
+        self.table = table
+
+    def decide(
+        self, phase: ApplicationPhase, current_mhz: float
+    ) -> GovernorDecision:
+        best_target, best_cost = current_mhz, self._phase_edp(
+            phase, current_mhz, current_mhz, 0.0
+        )
+        for f in self.table.frequencies_mhz:
+            if f == current_mhz:
+                continue
+            latency = self.table.lookup(current_mhz, float(f))
+            cost = self._phase_edp(phase, current_mhz, float(f), latency)
+            if cost < best_cost - 1e-12:
+                best_target, best_cost = float(f), cost
+        if best_target == current_mhz:
+            return GovernorDecision(current_mhz, False, 0.0, "oracle-stay")
+        return GovernorDecision(
+            best_target,
+            True,
+            self.table.lookup(current_mhz, best_target),
+            "oracle-switch",
+        )
+
+    def _phase_edp(
+        self,
+        phase: ApplicationPhase,
+        current_mhz: float,
+        target_mhz: float,
+        latency_s: float,
+    ) -> float:
+        """Exact per-phase energy x duration for one candidate target.
+
+        The power proxy includes the board's static floor (~15 % of TDP);
+        without it a convex f^2.4 dynamic term makes EDP monotonically
+        favour the lowest clock, which no real board does.
+        """
+        f_max = max(self.table.frequencies_mhz)
+
+        def power(f: float) -> float:
+            return 0.15 + 0.85 * (f / f_max) ** 2.4
+
+        stale = min(latency_s, phase.duration_at(current_mhz))
+        done = stale / phase.duration_at(current_mhz)
+        rest = max(0.0, 1.0 - done) * phase.duration_at(target_mhz)
+        energy = stale * power(current_mhz) + rest * power(target_mhz)
+        return energy * (stale + rest)
+
+
+class LatencyAwareGovernor:
+    """Switch only when the measured latency table says it pays off.
+
+    Two rules from the paper's conclusions:
+
+    * **better timing** — skip a transition when the phase is shorter than
+      ``min_residency_factor`` times the predicted switching latency (the
+      change would complete after the phase already ended);
+    * **avoid expensive pairs** — when the direct transition is
+      pathologically slow, consider neighbouring target frequencies whose
+      transition is cheap and whose frequency is close enough to keep most
+      of the benefit.
+    """
+
+    name = "latency-aware"
+
+    def __init__(
+        self,
+        table: LatencyTable,
+        min_residency_factor: float = 3.0,
+        detour_tolerance_mhz: float = 120.0,
+    ) -> None:
+        if min_residency_factor <= 0:
+            raise ConfigError("min_residency_factor must be positive")
+        self.table = table
+        self.min_residency_factor = min_residency_factor
+        self.detour_tolerance_mhz = detour_tolerance_mhz
+
+    def decide(
+        self, phase: ApplicationPhase, current_mhz: float
+    ) -> GovernorDecision:
+        freqs = np.asarray(self.table.frequencies_mhz)
+        ideal = float(freqs[np.argmin(np.abs(freqs - phase.optimal_freq_mhz))])
+        if ideal == current_mhz:
+            return GovernorDecision(current_mhz, False, 0.0, "already-there")
+
+        # Candidate targets near the ideal frequency, ranked by predicted
+        # transition cost.
+        candidates = [
+            float(f)
+            for f in freqs
+            if abs(f - ideal) <= self.detour_tolerance_mhz and f != current_mhz
+        ] or [ideal]
+        best = min(
+            candidates, key=lambda f: self.table.lookup(current_mhz, f)
+        )
+        latency = self.table.lookup(current_mhz, best)
+
+        if phase.work_s < self.min_residency_factor * latency:
+            return GovernorDecision(
+                current_mhz, False, latency, "phase-too-short"
+            )
+        rationale = "chase-optimal" if best == ideal else "avoid-expensive-pair"
+        return GovernorDecision(best, True, latency, rationale)

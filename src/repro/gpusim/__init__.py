@@ -1,0 +1,51 @@
+"""Simulated CUDA GPU substrate.
+
+This package replaces the physical GPUs of the paper (RTX Quadro 6000,
+A100-SXM4, GH200) with a virtual-time device model that preserves every
+behaviour the measurement methodology interacts with:
+
+* an SM array executing an iterative arithmetic microbenchmark whose
+  per-iteration execution time is ``cycles / f(t)`` plus multiplicative
+  noise, timestamped by a ~1 us-granularity device timer;
+* a DVFS clock domain whose frequency-change requests complete after a
+  stochastic *switching latency* drawn from per-architecture profiles
+  calibrated to the paper's published results (the ground truth the
+  methodology must recover);
+* wake-up ramps from the idle clock, thermal and power throttling with
+  NVML-style throttle reasons, and driver-noise outliers.
+"""
+
+from repro.gpusim.device import GpuDevice, KernelHandle, KernelLaunchSpec
+from repro.gpusim.dvfs import DvfsClockDomain, TransitionRecord
+from repro.gpusim.latency_model import LatencySample, SwitchingLatencyModel
+from repro.gpusim.spec import (
+    A100_SXM4,
+    GH200,
+    GPU_MODELS,
+    RTX_QUADRO_6000,
+    GpuSpec,
+    lookup_spec,
+)
+from repro.gpusim.thermal import ThermalModel, ThermalState, ThrottleReasons
+from repro.gpusim.trajectory import FrequencyTrajectory, Segment
+
+__all__ = [
+    "GpuSpec",
+    "GPU_MODELS",
+    "A100_SXM4",
+    "GH200",
+    "RTX_QUADRO_6000",
+    "lookup_spec",
+    "FrequencyTrajectory",
+    "Segment",
+    "SwitchingLatencyModel",
+    "LatencySample",
+    "DvfsClockDomain",
+    "TransitionRecord",
+    "ThermalModel",
+    "ThermalState",
+    "ThrottleReasons",
+    "GpuDevice",
+    "KernelHandle",
+    "KernelLaunchSpec",
+]

@@ -1,0 +1,399 @@
+"""The simulated GPU device.
+
+Ties together the hardware clock (quantized ``%globaltimer`` domain), the
+DVFS clock domain with its ground-truth latency model, the thermal/power
+model, and the vectorized SM execution engine.
+
+Execution model
+---------------
+Kernels launch asynchronously (the host keeps running) and are *finalized*
+lazily: the per-iteration timestamps of a kernel can only be materialized
+once every host action that might affect the SM frequency during its run is
+known.  ``synchronize()`` — which the methodology always calls before
+reading timestamps — finalizes all pending kernels and blocks the host
+until the device drains.  This mirrors CUDA semantics: reading a device
+buffer without synchronizing is an error here too.
+
+Mid-kernel NVML traffic (frequency changes, throttle-reason polls) is
+explicitly supported; it is the heart of the paper's phase two.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import CudaError, SimulationError
+from repro.gpusim.arch_profiles import profile_for
+from repro.gpusim.dvfs import DvfsClockDomain, TransitionRecord
+from repro.gpusim.energy import EnergyMeter
+from repro.gpusim.latency_model import SwitchingLatencyModel
+from repro.gpusim.sm import (
+    DeviceTimestamps,
+    KernelTimestamps,
+    integrate_iterations,
+    sample_iteration_cycles,
+)
+from repro.gpusim.spec import GpuSpec
+from repro.gpusim.thermal import ThermalModel, ThermalState, ThrottleReasons
+from repro.simtime.clock import HardwareClock, VirtualClock
+from repro.trace import NULL_TRACER, Tracer
+
+__all__ = ["KernelLaunchSpec", "KernelHandle", "GpuDevice"]
+
+#: device-side delay between command submission and kernel start
+_LAUNCH_QUEUE_DELAY_S = 3e-6
+#: device-side epilogue after the last iteration retires
+_KERNEL_EPILOGUE_S = 2e-6
+
+
+@dataclass(frozen=True)
+class KernelLaunchSpec:
+    """Launch configuration of a microbenchmark kernel.
+
+    ``sm_count`` limits how many SMs are simulated/recorded; ``None`` uses
+    every SM of the device (the paper's tool records all cores; campaigns
+    may subsample for speed without changing the methodology).
+    """
+
+    n_iterations: int
+    cycles_per_iteration: float
+    sm_count: int | None = None
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.n_iterations <= 0:
+            raise CudaError(f"invalid iteration count {self.n_iterations}")
+        if self.cycles_per_iteration <= 0:
+            raise CudaError("cycles_per_iteration must be positive")
+
+
+@dataclass
+class KernelHandle:
+    """Tracks one launched kernel through its lifecycle."""
+
+    spec: KernelLaunchSpec
+    t_submit: float
+    seq: int
+    t_start: float | None = None
+    t_complete: float | None = None
+    start_notified: bool = False
+    timestamps: KernelTimestamps | None = field(default=None, repr=False)
+
+    @property
+    def finalized(self) -> bool:
+        return self.t_complete is not None
+
+
+class GpuDevice:
+    """One simulated GPU bound to a machine's true timeline."""
+
+    def __init__(
+        self,
+        spec: GpuSpec,
+        clock: VirtualClock,
+        rng: np.random.Generator,
+        index: int = 0,
+        unit_seed: int = 0,
+        thermal: ThermalModel | None = None,
+        profile=None,
+        sm_start_stagger_s: float = 4e-6,
+        idle_timeout_s: float = 0.050,
+        tracer: Tracer = NULL_TRACER,
+    ) -> None:
+        self.spec = spec
+        self.clock = clock
+        self.rng = rng
+        self.index = index
+        self.unit_seed = unit_seed
+        self.sm_start_stagger_s = sm_start_stagger_s
+        self.tracer = tracer
+
+        # The GPU timer domain: arbitrary power-on offset, ppm-scale drift,
+        # ~1 us register refresh (paper footnote 1).
+        self.gpu_clock = HardwareClock(
+            clock,
+            offset=float(rng.uniform(0.0, 1000.0)),
+            drift=float(rng.normal(0.0, 2e-6)),
+            granularity=spec.timer_granularity_s,
+            name=f"gpu{index}-globaltimer",
+        )
+
+        self.profile = profile if profile is not None else profile_for(spec.architecture)
+        self.latency_model = SwitchingLatencyModel(
+            self.profile, unit_seed=unit_seed, rng=rng
+        )
+        self.dvfs = DvfsClockDomain(
+            spec,
+            self.latency_model,
+            rng,
+            idle_timeout_s=idle_timeout_s,
+            start_time=clock.now,
+        )
+        self.thermal = thermal if thermal is not None else ThermalModel(spec)
+        self.thermal_state: ThermalState = self.thermal.initial_state(clock.now)
+        # Thermal and power caps are tracked separately: a cool die must
+        # not release a cap that exists because the locked clock exceeds
+        # the board power budget.
+        self._thermal_cap_mhz: float | None = None
+        self._power_cap_mhz: float | None = None
+        self._cap_applied_mhz: float | None = None
+
+        self.energy = EnergyMeter(
+            thermal=self.thermal, dvfs=self.dvfs, start_time=clock.now
+        )
+
+        self._pending: list[KernelHandle] = []
+        self._seq = 0
+        self._busy_until = clock.now
+
+    # ------------------------------------------------------------------
+    # kernel lifecycle
+    # ------------------------------------------------------------------
+    def launch_kernel(self, spec: KernelLaunchSpec) -> KernelHandle:
+        """Submit a kernel at the current host time (asynchronous)."""
+        now = self.clock.now
+        self._drain_completed(now)
+        handle = KernelHandle(spec=spec, t_submit=now, seq=self._seq)
+        self._seq += 1
+        if not self._pending:
+            # The start time is already determined (nothing queued ahead),
+            # so the clock domain learns about the load immediately — a
+            # mid-kernel DVFS request must see a busy device.
+            handle.t_start = max(now + _LAUNCH_QUEUE_DELAY_S, self._busy_until)
+            self.dvfs.notify_kernel_start(handle.t_start)
+            handle.start_notified = True
+        self._pending.append(handle)
+        self.tracer.emit(
+            now, "device", "kernel-launch",
+            gpu=self.index, seq=handle.seq,
+            n_iter=spec.n_iterations, label=spec.label,
+        )
+        return handle
+
+    def synchronize(self) -> float:
+        """Finalize all pending kernels; block the host until the device drains.
+
+        Returns the true time at which the host resumes.
+        """
+        completion = self._finalize_pending()
+        self.clock.advance_to(completion)
+        return self.clock.now
+
+    def _finalize_pending(self) -> float:
+        now = self.clock.now
+        for handle in self._pending:
+            self._finalize(handle)
+        self._pending.clear()
+        return max(self._busy_until, now)
+
+    def _finalize(self, handle: KernelHandle) -> None:
+        if handle.finalized:
+            return
+        if handle.start_notified:
+            assert handle.t_start is not None
+            t_start = handle.t_start
+        else:
+            t_start = max(handle.t_submit + _LAUNCH_QUEUE_DELAY_S, self._busy_until)
+            handle.t_start = t_start
+            self.dvfs.notify_kernel_start(t_start)
+        self._maybe_power_cap(t_start)
+
+        n_sm = handle.spec.sm_count or self.spec.sm_count
+        n_sm = min(n_sm, self.spec.sm_count)
+        stagger = self.rng.uniform(0.0, self.sm_start_stagger_s, size=n_sm)
+        cycles = sample_iteration_cycles(
+            self.rng,
+            n_sm,
+            handle.spec.n_iterations,
+            handle.spec.cycles_per_iteration,
+            self.spec.iteration_noise_rel,
+        )
+        trajectory = self.dvfs.trajectory(t_start)
+        ts = integrate_iterations(trajectory, t_start + stagger, cycles)
+        handle.timestamps = ts
+        completion = ts.completion_true + _KERNEL_EPILOGUE_S
+        handle.t_complete = completion
+        self.dvfs.notify_kernel_end(completion)
+        self.energy.record_busy(t_start, completion)
+        self._busy_until = completion
+        self._advance_thermal(completion, load=1.0)
+        self.tracer.emit(
+            completion, "device", "kernel-complete",
+            gpu=self.index, seq=handle.seq,
+            duration_ms=round((completion - t_start) * 1e3, 3),
+        )
+
+    def read_timestamps(self, handle: KernelHandle) -> DeviceTimestamps:
+        """Read the kernel's iteration timestamp buffers (GPU-clock view).
+
+        Requires prior synchronization, exactly like a ``cudaMemcpy`` of a
+        device buffer.
+        """
+        if not handle.finalized or handle.timestamps is None:
+            raise CudaError(
+                "kernel results read before synchronization "
+                f"(kernel seq={handle.seq} {handle.spec.label!r})"
+            )
+        return handle.timestamps.as_device_view(self.gpu_clock)
+
+    # ------------------------------------------------------------------
+    # management-plane operations (driven by the NVML layer)
+    # ------------------------------------------------------------------
+    def set_locked_clocks(self, freq_mhz: float) -> TransitionRecord | None:
+        """Lock the SM clock at ``freq_mhz`` (NVML locked-clocks semantics)."""
+        t = self.clock.now
+        self._drain_completed(t)
+        record = self.dvfs.request_locked_clocks(freq_mhz, t)
+        self._maybe_power_cap(t)
+        self.tracer.emit(
+            t, "dvfs", "locked-clocks",
+            gpu=self.index, target_mhz=freq_mhz,
+            init_mhz=record.init_mhz if record else None,
+            latency_ms=(
+                round(record.ground_truth_latency_s * 1e3, 3)
+                if record
+                else None
+            ),
+        )
+        return record
+
+    def reset_locked_clocks(self) -> None:
+        t = self.clock.now
+        self._drain_completed(t)
+        self.dvfs.reset_locked_clocks(t)
+
+    def current_sm_clock_mhz(self) -> float:
+        return self.dvfs.effective_freq_at(self.clock.now)
+
+    def throttle_reasons(self) -> ThrottleReasons:
+        t = self.clock.now
+        busy = self._busy_at(t)
+        self._advance_thermal(t, load=1.0 if busy else 0.0)
+        reasons = self.thermal_state.reasons
+        if not busy:
+            reasons |= ThrottleReasons.GPU_IDLE
+        if self.dvfs.locked_mhz is not None:
+            reasons |= ThrottleReasons.APPLICATIONS_CLOCKS_SETTING
+            # The locked clock cannot be honoured within the power budget:
+            # report the cap whether or not a kernel is running right now —
+            # the setting itself is unservable.
+            if (
+                self._power_cap_mhz is not None
+                and self._power_cap_mhz < self.dvfs.locked_mhz
+            ):
+                reasons |= ThrottleReasons.SW_POWER_CAP
+        return reasons
+
+    def temperature_c(self) -> float:
+        t = self.clock.now
+        self._advance_thermal(t, load=1.0 if self._busy_at(t) else 0.0)
+        return self.thermal_state.temperature_c
+
+    def power_usage_w(self) -> float:
+        t = self.clock.now
+        load = 1.0 if self._busy_at(t) else 0.0
+        return self.thermal.power_watts(self.dvfs.effective_freq_at(t), load)
+
+    def total_energy_j(self) -> float:
+        """Board energy since device creation (NVML total-energy counter).
+
+        With kernels still pending, integration stops at the last
+        finalized work (their busy windows are not committed yet);
+        otherwise it runs to the present, charging idle power for
+        unloaded spans.
+        """
+        horizon = (
+            min(self.clock.now, self._busy_until)
+            if self._pending
+            else self.clock.now
+        )
+        return self.energy.total_energy_j(horizon)
+
+    def last_transition(self) -> TransitionRecord | None:
+        return self.dvfs.last_transition()
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _busy_at(self, t: float) -> bool:
+        return bool(self._pending) or t < self._busy_until
+
+    def _drain_completed(self, t: float) -> None:
+        """Finalize queued kernels that must already have completed by ``t``.
+
+        A kernel whose deterministic completion bound lies before ``t``
+        cannot be affected by events at or after ``t``, so finalizing it now
+        is sound.  Kernels still running at ``t`` stay pending (their
+        trajectory may still change — that is the phase-two scenario).
+        """
+        while self._pending:
+            handle = self._pending[0]
+            t_start = max(handle.t_submit + _LAUNCH_QUEUE_DELAY_S, self._busy_until)
+            bound = self._completion_bound(handle, t_start)
+            if bound >= t:
+                break
+            self._finalize(handle)
+            self._pending.pop(0)
+
+    def _completion_bound(self, handle: KernelHandle, t_start: float) -> float:
+        """Conservative upper bound on the kernel's completion time."""
+        n = handle.spec.n_iterations
+        total_cycles = (
+            handle.spec.cycles_per_iteration
+            * n
+            * (1.0 + 6.0 * self.spec.iteration_noise_rel / max(np.sqrt(n), 1.0))
+        )
+        # Pessimistic rate: the lowest frequency the trajectory can reach.
+        f_min_hz = self.spec.idle_sm_frequency_mhz * 1e6
+        worst = t_start + total_cycles / f_min_hz + self.sm_start_stagger_s
+        return worst + _KERNEL_EPILOGUE_S
+
+    def _advance_thermal(self, t: float, load: float) -> None:
+        if t < self.thermal_state.last_update:
+            return
+        freq = self.dvfs.effective_freq_at(self.thermal_state.last_update)
+        self.thermal.advance(self.thermal_state, t, freq, load)
+        self._update_thermal_cap(t)
+
+    def _update_thermal_cap(self, t: float) -> None:
+        if not self.thermal.enabled:
+            return
+        cap = self.thermal.thermal_cap_mhz(self.thermal_state)
+        if cap is not None:
+            self._thermal_cap_mhz = cap
+        elif self._thermal_cap_mhz is not None:
+            # Release with hysteresis: two degrees below slowdown.
+            if self.thermal_state.temperature_c < self.spec.slowdown_temp_c - 2.0:
+                self._thermal_cap_mhz = None
+        self._sync_caps(t)
+
+    def _maybe_power_cap(self, t: float) -> None:
+        if not self.thermal.enabled:
+            return
+        locked = self.dvfs.locked_mhz
+        if locked is None:
+            self._power_cap_mhz = None
+        else:
+            cap = self.thermal.power_cap_mhz(locked, 1.0)
+            self._power_cap_mhz = cap if (cap is not None and cap < locked) else None
+        self._sync_caps(t)
+
+    def _sync_caps(self, t: float) -> None:
+        """Apply the tighter of the thermal and power caps to the clocks."""
+        caps = [c for c in (self._thermal_cap_mhz, self._power_cap_mhz) if c]
+        effective = min(caps) if caps else None
+        if effective == self._cap_applied_mhz:
+            return
+        if effective is None:
+            self.dvfs.release_cap(t)
+        else:
+            self.dvfs.apply_cap(t, effective)
+        self._cap_applied_mhz = effective
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"GpuDevice({self.spec.name!r}, index={self.index}, "
+            f"sm={self.spec.sm_count}, now={self.clock.now:.6f})"
+        )

@@ -1,0 +1,294 @@
+"""DVFS clock-domain state machine.
+
+The domain turns locked-clock requests into a planned frequency timeline by
+sampling ground-truth switching latencies from the architecture's
+:class:`~repro.gpusim.latency_model.SwitchingLatencyModel`.  Each request
+produces a :class:`TransitionRecord` carrying the injected latency so that
+experiments can compare what the methodology *measured* against what the
+simulator *did* — the validation axis the paper's physical setup lacks.
+
+Timeline semantics:
+
+* A request issued at ``t`` takes effect at ``t + bus_delay + device_latency``;
+  the last ~10-20 % of that span is realized as a staircase of intermediate
+  frequencies (the *adaptation period* of paper Sec. IV, during which
+  iteration times may correspond to any frequency).
+* A request arriving while a previous transition is still pending supersedes
+  it (the "undefined frequency" hazard the COUNTDOWN paper warns about).
+* Without load the clocks fall to the idle frequency after ``idle_timeout``;
+  the first kernel afterwards pays a *wake-up latency* before the locked
+  clock is restored (paper Sec. V, "Wake-up latency").
+* Thermal/power caps clip the planned frequency from above.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.gpusim.latency_model import LatencySample, SwitchingLatencyModel
+from repro.gpusim.spec import GpuSpec
+from repro.gpusim.trajectory import FrequencyTrajectory
+
+__all__ = ["TransitionRecord", "DvfsClockDomain"]
+
+
+@dataclass
+class TransitionRecord:
+    """Ground truth for one frequency-change request."""
+
+    t_request: float
+    init_mhz: float
+    target_mhz: float
+    bus_delay_s: float
+    sample: LatencySample
+    adaptation_s: float
+    t_stable: float
+    kind: str = "locked-clock"
+    superseded: bool = False
+
+    @property
+    def ground_truth_latency_s(self) -> float:
+        """Injected switching latency: request issue to stable target clock."""
+        return self.t_stable - self.t_request
+
+
+class DvfsClockDomain:
+    """Frequency state machine for one GPU's SM clock domain."""
+
+    def __init__(
+        self,
+        spec: GpuSpec,
+        latency_model: SwitchingLatencyModel,
+        rng: np.random.Generator,
+        idle_timeout_s: float = 0.050,
+        start_time: float = 0.0,
+    ) -> None:
+        self.spec = spec
+        self.latency_model = latency_model
+        self.rng = rng
+        self.idle_timeout_s = idle_timeout_s
+
+        self.locked_mhz: float | None = None
+        self.records: list[TransitionRecord] = []
+        self._active_kernels = 0
+        self._last_kernel_end: float | None = None
+        self._ever_active = False
+
+        # Planned frequency events: sorted (time, freq_mhz).  The device
+        # starts idle.
+        self._event_times: list[float] = [start_time]
+        self._event_freqs: list[float] = [spec.idle_sm_frequency_mhz]
+
+        # Cap events: sorted (time, cap_mhz or +inf when released).
+        self._cap_times: list[float] = [start_time]
+        self._cap_values: list[float] = [float("inf")]
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def planned_freq_at(self, t: float) -> float:
+        """Planned SM frequency (before caps) at true time ``t``."""
+        i = bisect.bisect_right(self._event_times, t) - 1
+        if i < 0:
+            raise SimulationError(f"time {t} precedes clock-domain start")
+        return self._event_freqs[i]
+
+    def cap_at(self, t: float) -> float:
+        i = bisect.bisect_right(self._cap_times, t) - 1
+        if i < 0:
+            return float("inf")
+        return self._cap_values[i]
+
+    def effective_freq_at(self, t: float) -> float:
+        return min(self.planned_freq_at(t), self.cap_at(t))
+
+    @property
+    def is_powered(self) -> bool:
+        return self._active_kernels > 0
+
+    def idle_since(self, t: float) -> bool:
+        """True if the device has been unloaded long enough to drop clocks."""
+        if self._active_kernels > 0:
+            return False
+        if not self._ever_active:
+            return True
+        assert self._last_kernel_end is not None
+        return (t - self._last_kernel_end) > self.idle_timeout_s
+
+    # ------------------------------------------------------------------
+    # event plumbing
+    # ------------------------------------------------------------------
+    def _insert_event(self, t: float, freq_mhz: float) -> None:
+        i = bisect.bisect_right(self._event_times, t)
+        self._event_times.insert(i, t)
+        self._event_freqs.insert(i, freq_mhz)
+
+    def _drop_events_after(self, t: float) -> None:
+        i = bisect.bisect_right(self._event_times, t)
+        del self._event_times[i:]
+        del self._event_freqs[i:]
+
+    # ------------------------------------------------------------------
+    # host-visible operations
+    # ------------------------------------------------------------------
+    def request_locked_clocks(self, target_mhz: float, t: float) -> TransitionRecord | None:
+        """Handle an NVML locked-clocks request issued at true time ``t``.
+
+        Returns the ground-truth :class:`TransitionRecord`, or ``None`` when
+        the device is idle (the setting is stored but no physical transition
+        happens until wake-up).
+        """
+        target_mhz = self.spec.validate_clock(target_mhz)
+        self.locked_mhz = target_mhz
+
+        if self.idle_since(t):
+            return None
+
+        init_mhz = self.effective_freq_at(t)
+        # Supersede any still-pending transition: its future events vanish.
+        for rec in self.records:
+            if not rec.superseded and rec.t_stable > t:
+                rec.superseded = True
+        self._drop_events_after(t)
+
+        if abs(init_mhz - target_mhz) < 1e-9:
+            # Same-frequency request: driver round trip, no transition.
+            bus = self.latency_model.sample_bus_delay()
+            rec = TransitionRecord(
+                t_request=t,
+                init_mhz=init_mhz,
+                target_mhz=target_mhz,
+                bus_delay_s=bus,
+                sample=LatencySample(total_s=0.0, mode_index=0, is_outlier=False),
+                adaptation_s=0.0,
+                t_stable=t + bus,
+            )
+            self.records.append(rec)
+            return rec
+
+        init_supported = self.spec.nearest_supported_clock(init_mhz)
+        bus = self.latency_model.sample_bus_delay()
+        sample = self.latency_model.sample_transition(init_supported, target_mhz)
+        adaptation = sample.adaptation_s(self.rng)
+        t_stable = t + bus + sample.total_s
+        self._schedule_ramp(init_mhz, target_mhz, t_stable, adaptation)
+
+        rec = TransitionRecord(
+            t_request=t,
+            init_mhz=init_supported,
+            target_mhz=target_mhz,
+            bus_delay_s=bus,
+            sample=sample,
+            adaptation_s=adaptation,
+            t_stable=t_stable,
+        )
+        self.records.append(rec)
+        return rec
+
+    def reset_locked_clocks(self, t: float) -> None:
+        """Clear the locked-clock setting (autoboost to nominal under load)."""
+        self.locked_mhz = None
+        if not self.idle_since(t):
+            self.request_locked_clocks(self.spec.nominal_sm_frequency_mhz, t)
+            self.locked_mhz = None
+
+    def _schedule_ramp(
+        self,
+        init_mhz: float,
+        target_mhz: float,
+        t_stable: float,
+        adaptation_s: float,
+    ) -> None:
+        """Insert the adaptation staircase ending exactly at ``t_stable``."""
+        n_steps = int(self.rng.integers(2, 6))
+        if adaptation_s > 0.0 and n_steps > 0:
+            fracs = np.sort(self.rng.uniform(0.15, 0.9, size=n_steps))
+            times = t_stable - adaptation_s * (1.0 - np.linspace(0, 1, n_steps + 2)[1:-1])
+            for frac, ts in zip(fracs, times):
+                f = init_mhz + (target_mhz - init_mhz) * float(frac)
+                self._insert_event(float(ts), self.spec.nearest_supported_clock(f))
+        self._insert_event(t_stable, target_mhz)
+
+    # ------------------------------------------------------------------
+    # load notifications (from the device)
+    # ------------------------------------------------------------------
+    def notify_kernel_start(self, t: float) -> TransitionRecord | None:
+        """A kernel starts executing at ``t``; wake the clocks if idle."""
+        was_idle = self.idle_since(t)
+        self._active_kernels += 1
+        self._ever_active = True
+        if not was_idle:
+            return None
+
+        if self._last_kernel_end is not None:
+            drop_t = self._last_kernel_end + self.idle_timeout_s
+            self._drop_events_after(drop_t)
+            self._insert_event(drop_t, self.spec.idle_sm_frequency_mhz)
+
+        resume_mhz = (
+            self.locked_mhz
+            if self.locked_mhz is not None
+            else self.spec.nominal_sm_frequency_mhz
+        )
+        wake = self.latency_model.sample_wakeup()
+        t_stable = t + wake
+        adaptation = min(0.25 * wake, 0.03)
+        self._schedule_ramp(
+            self.spec.idle_sm_frequency_mhz, resume_mhz, t_stable, adaptation
+        )
+        rec = TransitionRecord(
+            t_request=t,
+            init_mhz=self.spec.idle_sm_frequency_mhz,
+            target_mhz=resume_mhz,
+            bus_delay_s=0.0,
+            sample=LatencySample(total_s=wake, mode_index=0, is_outlier=False),
+            adaptation_s=adaptation,
+            t_stable=t_stable,
+            kind="wakeup",
+        )
+        self.records.append(rec)
+        return rec
+
+    def notify_kernel_end(self, t: float) -> None:
+        if self._active_kernels <= 0:
+            raise SimulationError("kernel end without matching start")
+        self._active_kernels -= 1
+        if self._active_kernels == 0:
+            self._last_kernel_end = t
+
+    # ------------------------------------------------------------------
+    # caps (thermal / power)
+    # ------------------------------------------------------------------
+    def apply_cap(self, t: float, cap_mhz: float) -> None:
+        self._cap_times.append(t)
+        self._cap_values.append(cap_mhz)
+
+    def release_cap(self, t: float) -> None:
+        self._cap_times.append(t)
+        self._cap_values.append(float("inf"))
+
+    # ------------------------------------------------------------------
+    # trajectory compilation
+    # ------------------------------------------------------------------
+    def trajectory(self, t0: float) -> FrequencyTrajectory:
+        """Effective frequency trajectory from ``t0`` onward (caps applied)."""
+        boundaries = sorted(
+            {t for t in self._event_times if t > t0}
+            | {t for t in self._cap_times if t > t0}
+        )
+        events: list[tuple[float, float]] = []
+        f0 = min(self.planned_freq_at(t0), self.cap_at(t0))
+        for t in boundaries:
+            events.append((t, min(self.planned_freq_at(t), self.cap_at(t))))
+        return FrequencyTrajectory.from_events(t0, f0, events)
+
+    def last_transition(self) -> TransitionRecord | None:
+        """Most recent locked-clock transition (ignoring wake-ups)."""
+        for rec in reversed(self.records):
+            if rec.kind == "locked-clock":
+                return rec
+        return None

@@ -1,0 +1,194 @@
+"""GPU hardware specifications (paper Table I).
+
+A :class:`GpuSpec` carries everything the simulator and the NVML layer need:
+the SM count, the supported SM clock ladder for the default memory clock,
+the idle clock the device falls back to without load, and the device timer
+granularity.
+
+The three concrete specs reproduce Table I of the paper:
+
+=====================  ============  ==========  ==========
+Model                  RTX Quadro    A100 SXM4   GH200
+=====================  ============  ==========  ==========
+Architecture           Turing        Ampere      Hopper
+SM count               72            108         132
+Memory clock [MHz]     7001          1215        2619
+Max SM clock [MHz]     2100          1410        1980
+Nominal SM clock       1440          1095        1980
+Min SM clock [MHz]     300           210         345
+SM clock steps         120           81          110
+=====================  ============  ==========  ==========
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+__all__ = [
+    "GpuSpec",
+    "RTX_QUADRO_6000",
+    "A100_SXM4",
+    "GH200",
+    "GPU_MODELS",
+    "lookup_spec",
+]
+
+
+@dataclass(frozen=True)
+class GpuSpec:
+    """Static description of a GPU model.
+
+    Frequencies are in MHz to match NVML conventions; durations in seconds.
+    """
+
+    name: str
+    architecture: str
+    sm_count: int
+    driver_version: str
+    memory_frequency_mhz: float
+    min_sm_frequency_mhz: float
+    max_sm_frequency_mhz: float
+    nominal_sm_frequency_mhz: float
+    #: step count as reported in paper Table I (the generated ladder can
+    #: differ by one entry: NVIDIA ladders are 15 MHz-stepped, and e.g. the
+    #: RTX Quadro 6000's 300..2100 MHz span holds 121 steps while the paper
+    #: reports 120)
+    sm_frequency_steps: int
+    idle_sm_frequency_mhz: float
+    sm_frequency_step_mhz: float = 15.0
+    timer_granularity_s: float = 1e-6
+    # Thermal envelope
+    tdp_watts: float = 300.0
+    idle_power_watts: float = 45.0
+    slowdown_temp_c: float = 86.0
+    shutdown_temp_c: float = 95.0
+    # Per-SM execution noise (fractional std-dev of per-iteration cycles)
+    iteration_noise_rel: float = 0.002
+
+    def __post_init__(self) -> None:
+        if self.sm_count <= 0:
+            raise ConfigError(f"{self.name}: sm_count must be positive")
+        if not (
+            self.min_sm_frequency_mhz
+            <= self.nominal_sm_frequency_mhz
+            <= self.max_sm_frequency_mhz
+        ):
+            raise ConfigError(f"{self.name}: inconsistent SM frequency range")
+        if self.sm_frequency_steps < 2:
+            raise ConfigError(f"{self.name}: need at least two frequency steps")
+
+    @property
+    def supported_clocks_mhz(self) -> tuple[float, ...]:
+        """The SM clock ladder, descending (NVML ordering).
+
+        NVIDIA SM ladders step by 15 MHz; the ladder spans
+        [min, max] inclusive, which reproduces every frequency appearing in
+        the paper's heatmaps.
+        """
+        ladder = np.arange(
+            self.min_sm_frequency_mhz,
+            self.max_sm_frequency_mhz + self.sm_frequency_step_mhz / 2,
+            self.sm_frequency_step_mhz,
+        )
+        return tuple(float(f) for f in ladder[::-1])
+
+    def nearest_supported_clock(self, freq_mhz: float) -> float:
+        """Snap ``freq_mhz`` to the closest ladder entry."""
+        clocks = np.asarray(self.supported_clocks_mhz)
+        return float(clocks[np.argmin(np.abs(clocks - freq_mhz))])
+
+    def validate_clock(self, freq_mhz: float, tolerance_mhz: float = 0.5) -> float:
+        """Return the ladder entry matching ``freq_mhz`` or raise.
+
+        NVML rejects locked-clock requests outside the supported list; the
+        simulated driver does the same so that methodology code cannot
+        silently request impossible configurations.
+        """
+        nearest = self.nearest_supported_clock(freq_mhz)
+        if abs(nearest - freq_mhz) > tolerance_mhz:
+            raise ConfigError(
+                f"{self.name}: {freq_mhz} MHz is not a supported SM clock "
+                f"(nearest: {nearest} MHz)"
+            )
+        return nearest
+
+    def frequency_subset(self, count: int) -> tuple[float, ...]:
+        """An evenly spaced subset of the ladder, ascending.
+
+        The paper evaluates "a specific subset of the full set of frequency
+        pairs" per GPU; this helper picks ``count`` representative clocks.
+        """
+        if count < 2:
+            raise ConfigError("subset needs at least two frequencies")
+        clocks = np.asarray(self.supported_clocks_mhz)[::-1]  # ascending
+        idx = np.linspace(0, len(clocks) - 1, count).round().astype(int)
+        return tuple(float(c) for c in clocks[np.unique(idx)])
+
+
+RTX_QUADRO_6000 = GpuSpec(
+    name="RTX Quadro 6000",
+    architecture="Turing",
+    sm_count=72,
+    driver_version="530.41.03",
+    memory_frequency_mhz=7001.0,
+    min_sm_frequency_mhz=300.0,
+    max_sm_frequency_mhz=2100.0,
+    nominal_sm_frequency_mhz=1440.0,
+    sm_frequency_steps=120,
+    idle_sm_frequency_mhz=300.0,
+    tdp_watts=260.0,
+    idle_power_watts=30.0,
+)
+
+A100_SXM4 = GpuSpec(
+    name="A100 SXM-4",
+    architecture="Ampere",
+    sm_count=108,
+    driver_version="550.54.15",
+    memory_frequency_mhz=1215.0,
+    min_sm_frequency_mhz=210.0,
+    max_sm_frequency_mhz=1410.0,
+    nominal_sm_frequency_mhz=1095.0,
+    sm_frequency_steps=81,
+    idle_sm_frequency_mhz=210.0,
+    tdp_watts=400.0,
+    idle_power_watts=55.0,
+)
+
+GH200 = GpuSpec(
+    name="GH200",
+    architecture="Hopper",
+    sm_count=132,
+    driver_version="545.23.08",
+    memory_frequency_mhz=2619.0,
+    min_sm_frequency_mhz=345.0,
+    max_sm_frequency_mhz=1980.0,
+    nominal_sm_frequency_mhz=1980.0,
+    sm_frequency_steps=110,
+    idle_sm_frequency_mhz=345.0,
+    tdp_watts=700.0,
+    idle_power_watts=75.0,
+)
+
+GPU_MODELS: dict[str, GpuSpec] = {
+    "rtx6000": RTX_QUADRO_6000,
+    "rtx_quadro_6000": RTX_QUADRO_6000,
+    "a100": A100_SXM4,
+    "a100_sxm4": A100_SXM4,
+    "gh200": GH200,
+}
+
+
+def lookup_spec(model: str) -> GpuSpec:
+    """Resolve a user-facing model name to a :class:`GpuSpec`."""
+    key = model.strip().lower().replace("-", "_").replace(" ", "_")
+    try:
+        return GPU_MODELS[key]
+    except KeyError:
+        raise ConfigError(
+            f"unknown GPU model {model!r}; known: {sorted(set(GPU_MODELS))}"
+        ) from None

@@ -1,0 +1,137 @@
+"""Simulated machine: one host CPU plus one or more GPUs on a shared timeline.
+
+This is the top-level factory most users start from::
+
+    from repro.machine import make_machine
+
+    machine = make_machine("A100", seed=42)
+    ctx = machine.cuda_context()          # CUDA-like runtime
+    nvml = machine.nvml()                 # NVML-like management session
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.gpusim.device import GpuDevice
+from repro.gpusim.spec import GpuSpec, lookup_spec
+from repro.gpusim.thermal import ThermalModel
+from repro.simtime.clock import VirtualClock
+from repro.simtime.host import HostCpu, SleepModel
+from repro.trace import NULL_TRACER, Tracer
+
+__all__ = ["Machine", "make_machine"]
+
+
+@dataclass
+class Machine:
+    """A simulated node: true timeline, host CPU, and GPU devices."""
+
+    clock: VirtualClock
+    host: HostCpu
+    devices: list[GpuDevice]
+    hostname: str = "simnode01"
+    rng: np.random.Generator = field(default_factory=np.random.default_rng)
+    tracer: Tracer = field(default_factory=lambda: NULL_TRACER)
+
+    def device(self, index: int = 0) -> GpuDevice:
+        try:
+            return self.devices[index]
+        except IndexError:
+            raise ConfigError(
+                f"device index {index} out of range (machine has "
+                f"{len(self.devices)} GPUs)"
+            ) from None
+
+    def cuda_context(self, device_index: int = 0):
+        from repro.cuda.runtime import CudaContext
+
+        return CudaContext(self.host, self.device(device_index))
+
+    def nvml(self):
+        from repro.nvml.api import NvmlSession
+
+        return NvmlSession(self)
+
+
+def make_machine(
+    gpu_model: str | GpuSpec = "A100",
+    n_gpus: int = 1,
+    seed: int | None = 0,
+    hostname: str = "simnode01",
+    thermal_enabled: bool = False,
+    ambient_c: float = 30.0,
+    power_limit_w: float | None = None,
+    sleep_model: SleepModel | None = None,
+    unit_seeds: list[int] | None = None,
+    start_time: float = 0.0,
+    tracer: Tracer | None = None,
+) -> Machine:
+    """Build a simulated machine.
+
+    Parameters
+    ----------
+    gpu_model:
+        Model name (``"A100"``, ``"GH200"``, ``"RTX6000"``) or an explicit
+        :class:`GpuSpec`.
+    n_gpus:
+        Number of identical GPUs (multi-GPU nodes, paper Sec. VII-C).
+    seed:
+        Master seed; every stochastic component derives from it.
+    thermal_enabled / ambient_c / power_limit_w:
+        Thermal-model controls.  Disabled by default (the paper's
+        front-row, thermally unconstrained configuration).
+    unit_seeds:
+        Per-device manufacturing serials.  Defaults to ``100 + index`` so
+        each GPU on a node exhibits distinct unit-level variability.
+    tracer:
+        Event tracer shared by all components; None disables tracing.
+    """
+    if n_gpus < 1:
+        raise ConfigError("machine needs at least one GPU")
+    spec = gpu_model if isinstance(gpu_model, GpuSpec) else lookup_spec(gpu_model)
+    master = np.random.SeedSequence(seed)
+    host_ss, *gpu_ss = master.spawn(1 + n_gpus)
+
+    clock = VirtualClock(start=start_time)
+    host = HostCpu(
+        clock,
+        rng=np.random.default_rng(host_ss),
+        sleep_model=sleep_model,
+    )
+    if unit_seeds is None:
+        unit_seeds = [100 + i for i in range(n_gpus)]
+    if len(unit_seeds) != n_gpus:
+        raise ConfigError("unit_seeds length must match n_gpus")
+
+    trace = tracer if tracer is not None else NULL_TRACER
+    devices = []
+    for i in range(n_gpus):
+        thermal = ThermalModel(
+            spec,
+            ambient_c=ambient_c,
+            power_limit_w=power_limit_w,
+            enabled=thermal_enabled,
+        )
+        devices.append(
+            GpuDevice(
+                spec,
+                clock,
+                rng=np.random.default_rng(gpu_ss[i]),
+                index=i,
+                unit_seed=unit_seeds[i],
+                thermal=thermal,
+                tracer=trace,
+            )
+        )
+    return Machine(
+        clock=clock,
+        host=host,
+        devices=devices,
+        hostname=hostname,
+        rng=np.random.default_rng(master.spawn(1)[0]),
+        tracer=trace,
+    )

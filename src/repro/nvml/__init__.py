@@ -1,0 +1,13 @@
+"""NVML-like management API over the simulated GPUs.
+
+Mirrors the NVML entry points the LATEST tool uses (paper Sec. I, VI):
+device handles, supported graphics clocks, GPU locked clocks, throttle
+reasons, temperature and power queries.  Every call consumes realistic
+CPU-side driver time — which matters, because the switching latency as
+defined by the paper *includes* the driver call issued from the CPU.
+"""
+
+from repro.nvml.api import NvmlDeviceHandle, NvmlSession
+from repro.gpusim.thermal import ThrottleReasons
+
+__all__ = ["NvmlSession", "NvmlDeviceHandle", "ThrottleReasons"]

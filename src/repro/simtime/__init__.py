@@ -1,0 +1,19 @@
+"""Virtual-time infrastructure.
+
+Everything in the simulated machine — the host CPU, the GPU device, the
+driver stack — advances a single :class:`VirtualClock` that represents *true*
+physical time.  Components never read true time directly; they observe it
+through a :class:`HardwareClock`, which applies an offset, a rate drift and a
+quantization step, exactly like the distinct oscillator domains of a CPU TSC
+and a GPU ``%globaltimer``.
+
+The separation is what makes the paper's IEEE-1588 synchronization step
+(:mod:`repro.timesync`) meaningful: the CPU-side timestamp of the frequency
+change request must be converted into the accelerator's timebase before it
+can be compared against device-side iteration timestamps.
+"""
+
+from repro.simtime.clock import HardwareClock, VirtualClock
+from repro.simtime.host import HostCpu, SleepModel
+
+__all__ = ["VirtualClock", "HardwareClock", "HostCpu", "SleepModel"]

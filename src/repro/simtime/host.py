@@ -1,0 +1,120 @@
+"""Simulated host CPU.
+
+The host is the originator of every driver call in the methodology: it sets
+frequencies through NVML, launches kernels, sleeps through the delay period,
+and reads its own OS clock for the ``t_s`` timestamp of Algorithm 2.  Its
+time costs matter because the switching latency *includes* the CPU-side
+driver call and bus traversal (paper, Fig. 2).
+
+``usleep`` never undersleeps and typically oversleeps by a scheduling
+quantum, mirroring POSIX semantics; HPC monitoring daemons occasionally
+steal the core for much longer, which is one of the outlier sources the
+paper's DBSCAN pass (Sec. V-C) exists to remove.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ClockError
+from repro.simtime.clock import HardwareClock, VirtualClock
+
+__all__ = ["SleepModel", "HostCpu"]
+
+
+@dataclass(frozen=True)
+class SleepModel:
+    """Stochastic model of ``usleep`` overshoot and CPU-side interruptions.
+
+    Attributes
+    ----------
+    base_overshoot:
+        Deterministic scheduling overhead added to every sleep (seconds).
+    jitter_scale:
+        Scale of the exponential oversleep jitter (seconds).
+    interruption_prob:
+        Per-sleep probability that a system-noise event (monitoring daemon,
+        interrupt storm) extends the sleep substantially.
+    interruption_scale:
+        Scale of the exponential interruption duration (seconds).
+    """
+
+    base_overshoot: float = 5e-6
+    jitter_scale: float = 15e-6
+    interruption_prob: float = 0.0
+    interruption_scale: float = 2e-3
+
+    def sample_overshoot(self, rng: np.random.Generator) -> float:
+        extra = self.base_overshoot + rng.exponential(self.jitter_scale)
+        if self.interruption_prob > 0.0 and rng.random() < self.interruption_prob:
+            extra += rng.exponential(self.interruption_scale)
+        return extra
+
+
+class HostCpu:
+    """The CPU side of the simulated machine.
+
+    Parameters
+    ----------
+    clock:
+        The machine's true timeline.
+    os_clock:
+        The clock behind ``clock_gettime``.  Defaults to a nanosecond-
+        granularity timer with zero offset (the host timebase is the
+        reference domain).
+    rng:
+        Generator used for sleep jitter and interruption noise.
+    sleep_model:
+        Stochastic sleep behaviour; see :class:`SleepModel`.
+    """
+
+    def __init__(
+        self,
+        clock: VirtualClock,
+        rng: np.random.Generator,
+        os_clock: HardwareClock | None = None,
+        sleep_model: SleepModel | None = None,
+    ) -> None:
+        self.clock = clock
+        self.rng = rng
+        self.os_clock = os_clock or HardwareClock(
+            clock, granularity=1e-9, name="cpu-os-clock"
+        )
+        self.sleep_model = sleep_model or SleepModel()
+
+    # ------------------------------------------------------------------
+    # time queries
+    # ------------------------------------------------------------------
+    def clock_gettime(self) -> float:
+        """Read the OS monotonic clock (the CPU timebase of Algorithm 2)."""
+        return self.os_clock.read()
+
+    @property
+    def true_now(self) -> float:
+        return self.clock.now
+
+    # ------------------------------------------------------------------
+    # time consumption
+    # ------------------------------------------------------------------
+    def sleep(self, seconds: float) -> float:
+        """Sleep at least ``seconds``; returns the actual slept duration."""
+        if seconds < 0.0:
+            raise ClockError(f"negative sleep: {seconds!r}")
+        actual = seconds + self.sleep_model.sample_overshoot(self.rng)
+        self.clock.advance(actual)
+        return actual
+
+    def usleep(self, microseconds: float) -> float:
+        """POSIX-style microsecond sleep (paper Algorithm 2, line 5)."""
+        return self.sleep(microseconds * 1e-6)
+
+    def busy(self, seconds: float) -> None:
+        """Consume exactly ``seconds`` of CPU time (deterministic work)."""
+        if seconds < 0.0:
+            raise ClockError(f"negative busy time: {seconds!r}")
+        self.clock.advance(seconds)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"HostCpu(now={self.clock.now:.6f})"

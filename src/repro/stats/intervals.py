@@ -1,0 +1,87 @@
+"""Confidence intervals and the two-standard-deviation acceptance band.
+
+The contrast between :func:`mean_ci` (shrinks with 1/sqrt(n)) and
+:func:`two_sigma_band` (does not) is the statistical core of the paper:
+with thousands of concurrent GPU threads, the confidence interval of the
+mean collapses below the device timer granularity, so almost no individual
+iteration can land inside it — FTaLaT's detection criterion degenerates.
+The 2-sigma band instead reflects where individual execution times live
+(~95 % of them for near-normal noise), which is the right question when
+deciding "does this iteration already run at the target frequency?".
+"""
+
+from __future__ import annotations
+
+import math
+
+from scipy import stats as sps
+
+from repro.errors import ConfigError
+from repro.stats.descriptive import SampleStats
+
+__all__ = ["mean_ci", "difference_ci", "two_sigma_band"]
+
+
+def _z_or_t(confidence: float, dof: float | None) -> float:
+    if not 0.0 < confidence < 1.0:
+        raise ConfigError(f"confidence must be in (0, 1), got {confidence}")
+    tail = 0.5 + confidence / 2.0
+    if dof is None or dof > 200:
+        return float(sps.norm.ppf(tail))
+    return float(sps.t.ppf(tail, dof))
+
+
+def mean_ci(
+    stats: SampleStats, confidence: float = 0.95, use_t: bool = True
+) -> tuple[float, float]:
+    """Confidence interval of the sample mean."""
+    if stats.n < 2:
+        raise ConfigError("confidence interval needs n >= 2")
+    crit = _z_or_t(confidence, stats.n - 1 if use_t else None)
+    half = crit * stats.stderr
+    return stats.mean - half, stats.mean + half
+
+
+def _welch_dof(a: SampleStats, b: SampleStats) -> float:
+    va, vb = a.variance / a.n, b.variance / b.n
+    denom = 0.0
+    if a.n > 1:
+        denom += va * va / (a.n - 1)
+    if b.n > 1:
+        denom += vb * vb / (b.n - 1)
+    if denom == 0.0:
+        return float("inf")
+    return (va + vb) ** 2 / denom
+
+
+def difference_ci(
+    a: SampleStats, b: SampleStats, confidence: float = 0.95
+) -> tuple[float, float]:
+    """Welch confidence interval for ``mean(a) - mean(b)``.
+
+    Algorithm 1 validates a frequency pair by requiring this interval to
+    exclude zero; Algorithm 2 (line 19-20) accepts the post-transition tail
+    when the interval against the phase-1 target statistics *includes*
+    zero.
+    """
+    if a.n < 2 or b.n < 2:
+        raise ConfigError("difference CI needs n >= 2 on both sides")
+    se = math.sqrt(a.variance / a.n + b.variance / b.n)
+    crit = _z_or_t(confidence, _welch_dof(a, b))
+    diff = a.mean - b.mean
+    return diff - crit * se, diff + crit * se
+
+
+def two_sigma_band(
+    stats: SampleStats, width_sigmas: float = 2.0
+) -> tuple[float, float]:
+    """The paper's acceptance band: mean +/- ``width_sigmas`` * std.
+
+    Unlike a confidence interval this band covers individual observations
+    (~95 % of them at 2 sigma under near-normality) regardless of how many
+    samples contributed to the estimate — Sec. V-A.
+    """
+    if width_sigmas <= 0:
+        raise ConfigError("band width must be positive")
+    half = width_sigmas * stats.std
+    return stats.mean - half, stats.mean + half

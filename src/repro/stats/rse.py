@@ -1,0 +1,73 @@
+"""Relative-standard-error stopping rule (paper Sec. VI).
+
+LATEST repeats each frequency-pair measurement "until the RSE of the
+switching latency falls below a predefined threshold" (default 5 %),
+honouring a minimum measurement count before checking and a hard maximum.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.stats.descriptive import summarize
+
+__all__ = ["relative_standard_error", "RseStoppingRule"]
+
+
+def relative_standard_error(values) -> float:
+    """stderr / |mean| of a sample; inf for a zero mean or n < 2."""
+    x = np.asarray(values, dtype=np.float64).ravel()
+    if x.size < 2:
+        return math.inf
+    s = summarize(x)
+    if s.mean == 0.0:
+        return math.inf
+    return s.stderr / abs(s.mean)
+
+
+@dataclass(frozen=True)
+class RseStoppingRule:
+    """The campaign termination policy for one frequency pair.
+
+    Attributes
+    ----------
+    threshold:
+        Stop once RSE drops below this (default 5 %, the tool's default).
+    min_measurements:
+        Skip RSE checks until this many measurements exist ("ensuring that
+        a sufficient data set is collected before evaluating precision").
+    max_measurements:
+        Hard stop even if the RSE threshold was never met.
+    check_every:
+        Measurements between RSE evaluations (the tool checks every 25).
+    """
+
+    threshold: float = 0.05
+    min_measurements: int = 25
+    max_measurements: int = 400
+    check_every: int = 25
+
+    def __post_init__(self) -> None:
+        if self.threshold <= 0:
+            raise ConfigError("RSE threshold must be positive")
+        if self.min_measurements < 2:
+            raise ConfigError("need at least two measurements")
+        if self.max_measurements < self.min_measurements:
+            raise ConfigError("max_measurements below min_measurements")
+        if self.check_every < 1:
+            raise ConfigError("check_every must be >= 1")
+
+    def should_stop(self, values) -> bool:
+        """Evaluate the rule for the measurements collected so far."""
+        n = len(values)
+        if n >= self.max_measurements:
+            return True
+        if n < self.min_measurements:
+            return False
+        if n % self.check_every != 0:
+            return False
+        return relative_standard_error(values) < self.threshold

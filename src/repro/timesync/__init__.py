@@ -1,0 +1,10 @@
+"""CPU <-> accelerator timer synchronization (IEEE 1588 style).
+
+Paper Sec. V-B: "the CPU and ACC timers are first synchronized using the
+IEEE 1588 standard.  This synchronization ensures that we can accurately
+determine the ACC timestamp of the frequency change command."
+"""
+
+from repro.timesync.ptp import PtpLink, SyncResult, synchronize_timers
+
+__all__ = ["PtpLink", "SyncResult", "synchronize_timers"]

@@ -1,0 +1,119 @@
+"""Structured event tracing across the simulated stack.
+
+A campaign touches many layers — timer sync, driver calls, kernel
+launches, frequency transitions, throttle events — and debugging a
+measurement anomaly means reconstructing that interleaving.  The tracer
+collects timestamped events from any component that is handed a
+:class:`Tracer` and supports filtered queries and compact timeline
+rendering.
+
+Tracing is opt-in and zero-cost when disabled (the default
+:data:`NULL_TRACER` drops everything).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+__all__ = ["TraceEvent", "Tracer", "NULL_TRACER"]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One timestamped event."""
+
+    t: float
+    category: str
+    name: str
+    data: dict[str, Any] = field(default_factory=dict)
+
+    def format(self) -> str:
+        payload = " ".join(f"{k}={v}" for k, v in self.data.items())
+        return f"[{self.t:14.6f}] {self.category:<12} {self.name:<28} {payload}"
+
+
+class Tracer:
+    """Event collector with bounded memory.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum retained events; the oldest are dropped beyond it (a
+        campaign can emit hundreds of thousands).
+    enabled:
+        Master switch; a disabled tracer drops events at ~zero cost.
+    """
+
+    def __init__(self, capacity: int = 100_000, enabled: bool = True) -> None:
+        self.capacity = capacity
+        self.enabled = enabled
+        self._events: list[TraceEvent] = []
+        self._dropped = 0
+
+    # ------------------------------------------------------------------
+    def emit(
+        self, t: float, category: str, name: str, **data: Any
+    ) -> None:
+        """Record one event (no-op when disabled)."""
+        if not self.enabled:
+            return
+        if len(self._events) >= self.capacity:
+            # Drop the oldest half to amortize list surgery.
+            drop = self.capacity // 2
+            del self._events[:drop]
+            self._dropped += drop
+        self._events.append(TraceEvent(t=t, category=category, name=name, data=data))
+
+    # ------------------------------------------------------------------
+    @property
+    def n_events(self) -> int:
+        return len(self._events)
+
+    @property
+    def n_dropped(self) -> int:
+        return self._dropped
+
+    def events(
+        self,
+        category: str | None = None,
+        name: str | None = None,
+        t_min: float | None = None,
+        t_max: float | None = None,
+    ) -> Iterator[TraceEvent]:
+        """Filtered event iteration in time order."""
+        for event in self._events:
+            if category is not None and event.category != category:
+                continue
+            if name is not None and event.name != name:
+                continue
+            if t_min is not None and event.t < t_min:
+                continue
+            if t_max is not None and event.t > t_max:
+                continue
+            yield event
+
+    def last(self, category: str | None = None) -> TraceEvent | None:
+        for event in reversed(self._events):
+            if category is None or event.category == category:
+                return event
+        return None
+
+    def categories(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for event in self._events:
+            counts[event.category] = counts.get(event.category, 0) + 1
+        return counts
+
+    def render(self, limit: int = 50, **filters: Any) -> str:
+        """Compact text timeline of the (filtered) newest events."""
+        selected = list(self.events(**filters))[-limit:]
+        return "\n".join(event.format() for event in selected)
+
+    def clear(self) -> None:
+        self._events.clear()
+        self._dropped = 0
+
+
+#: A permanently disabled tracer — the default wiring everywhere.
+NULL_TRACER = Tracer(capacity=1, enabled=False)

@@ -1,0 +1,86 @@
+"""Shared fixtures: small simulated machines and fast campaign configs.
+
+Campaign-running fixtures are session-scoped — a single small campaign
+feeds many analysis tests, keeping the suite fast while still exercising
+the full pipeline.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import LatestConfig, make_machine, run_campaign
+from repro.simtime.clock import VirtualClock
+from repro.simtime.host import HostCpu
+
+
+@pytest.fixture
+def clock() -> VirtualClock:
+    return VirtualClock()
+
+
+@pytest.fixture
+def host(clock: VirtualClock) -> HostCpu:
+    return HostCpu(clock, rng=np.random.default_rng(1))
+
+
+@pytest.fixture
+def a100_machine():
+    return make_machine("A100", seed=123)
+
+
+@pytest.fixture
+def gh200_machine():
+    return make_machine("GH200", seed=321)
+
+
+@pytest.fixture
+def rtx_machine():
+    return make_machine("RTX6000", seed=7)
+
+
+def fast_config(frequencies, **overrides) -> LatestConfig:
+    """A LatestConfig tuned for test speed (few SMs, few measurements)."""
+    defaults = dict(
+        frequencies=tuple(float(f) for f in frequencies),
+        record_sm_count=4,
+        min_measurements=4,
+        max_measurements=8,
+        rse_check_every=2,
+        warmup_kernels=1,
+        warmup_kernel_duration_s=0.05,
+        measure_kernel_duration_s=0.08,
+        delay_iterations=150,
+        confirm_iterations=150,
+        probe_window_s=0.4,
+        settle_chunk_s=0.08,
+    )
+    defaults.update(overrides)
+    return LatestConfig(**defaults)
+
+
+@pytest.fixture(scope="session")
+def small_a100_campaign():
+    """One reusable three-frequency A100 campaign (session scope)."""
+    machine = make_machine("A100", seed=2718)
+    config = fast_config(
+        (705.0, 1095.0, 1410.0),
+        min_measurements=14,
+        max_measurements=20,
+        rse_check_every=7,
+    )
+    return run_campaign(machine, config)
+
+
+@pytest.fixture(scope="session")
+def small_gh200_campaign():
+    """GH200 campaign including a pathological target band (1875 MHz)."""
+    machine = make_machine("GH200", seed=1618)
+    config = fast_config(
+        (705.0, 1410.0, 1875.0),
+        min_measurements=14,
+        max_measurements=20,
+        rse_check_every=7,
+    )
+    return run_campaign(machine, config)

@@ -1,0 +1,82 @@
+"""Tests for campaign-to-campaign comparison."""
+
+import pytest
+
+from repro import make_machine, run_campaign
+from repro.analysis.compare import compare_campaigns
+from repro.errors import MeasurementError
+from tests.conftest import fast_config
+
+
+@pytest.fixture(scope="module")
+def repeated_campaigns():
+    """Two campaigns on the SAME simulated unit, different noise."""
+    results = []
+    for seed in (41, 42):
+        machine = make_machine("A100", seed=seed, unit_seeds=[777])
+        config = fast_config(
+            (705.0, 1410.0),
+            min_measurements=15,
+            max_measurements=25,
+            rse_check_every=5,
+        )
+        results.append(run_campaign(machine, config))
+    return results
+
+
+@pytest.fixture(scope="module")
+def different_unit_campaign():
+    machine = make_machine("A100", seed=43, unit_seeds=[999])
+    config = fast_config(
+        (705.0, 1410.0),
+        min_measurements=15,
+        max_measurements=25,
+        rse_check_every=5,
+    )
+    return run_campaign(machine, config)
+
+
+class TestCompareCampaigns:
+    def test_same_unit_agrees(self, repeated_campaigns):
+        cmp = compare_campaigns(*repeated_campaigns)
+        assert cmp.n_pairs == 2
+        assert cmp.agreement_share() == 1.0
+        assert cmp.verdict() == "stable"
+        assert cmp.median_relative_shift < 0.35
+
+    def test_pair_metrics_populated(self, repeated_campaigns):
+        cmp = compare_campaigns(*repeated_campaigns)
+        for pair in cmp.pairs:
+            assert pair.mean_a_s > 0 and pair.mean_b_s > 0
+            assert 0.0 <= pair.pvalue <= 1.0
+
+    def test_cross_unit_comparison_runs(
+        self, repeated_campaigns, different_unit_campaign
+    ):
+        """Different units: the comparison still works; agreement may or
+        may not hold (unit perturbations are small on A100)."""
+        cmp = compare_campaigns(repeated_campaigns[0], different_unit_campaign)
+        assert cmp.n_pairs == 2
+        assert cmp.verdict() in ("stable", "drifted")
+
+    def test_mismatched_frequencies_rejected(
+        self, repeated_campaigns, small_a100_campaign
+    ):
+        with pytest.raises(MeasurementError):
+            compare_campaigns(repeated_campaigns[0], small_a100_campaign)
+
+    def test_drift_detected_on_artificial_shift(self, repeated_campaigns):
+        """Scaling one campaign's measurements must flip the verdict."""
+        import copy
+        import dataclasses
+
+        a, b = repeated_campaigns
+        shifted = copy.deepcopy(b)
+        for pair in shifted.pairs.values():
+            pair.measurements = [
+                dataclasses.replace(m, latency_s=m.latency_s * 4.0)
+                for m in pair.measurements
+            ]
+        cmp = compare_campaigns(a, shifted)
+        assert cmp.verdict() == "drifted"
+        assert len(cmp.drifted_pairs()) == cmp.n_pairs

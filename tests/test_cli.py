@@ -1,0 +1,94 @@
+"""Tests for the latest-bench CLI."""
+
+import pytest
+
+from repro.cli import build_parser, main, parse_frequencies
+
+
+class TestArgumentParsing:
+    def test_frequencies_parsed(self):
+        assert parse_frequencies("705,1095,1410") == (705.0, 1095.0, 1410.0)
+
+    def test_whitespace_tolerated(self):
+        assert parse_frequencies("705, 1095") == (705.0, 1095.0)
+
+    def test_invalid_frequency_exits(self):
+        with pytest.raises(SystemExit):
+            parse_frequencies("705,abc")
+
+    def test_single_frequency_exits(self):
+        with pytest.raises(SystemExit):
+            parse_frequencies("705")
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["705,1410"])
+        assert args.rse == 0.05
+        assert args.device == 0
+        assert args.gpu_model == "A100"
+        assert args.min_measurements == 25
+        assert args.max_measurements == 200
+
+
+class TestMain:
+    def test_small_run_exit_zero(self, capsys):
+        code = main(
+            [
+                "705,1410",
+                "--sm-count", "4",
+                "--min-measurements", "4",
+                "--max-measurements", "6",
+                "--seed", "3",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "worst-case latencies" in out
+        assert "705" in out
+
+    def test_heatmap_flag(self, capsys):
+        code = main(
+            [
+                "705,1410",
+                "--sm-count", "4",
+                "--min-measurements", "4",
+                "--max-measurements", "6",
+                "--seed", "3",
+                "--heatmaps",
+                "--quiet",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "min switching latencies" in out
+        assert "max switching latencies" in out
+
+    def test_output_dir_written(self, tmp_path, capsys):
+        out_dir = tmp_path / "csv"
+        code = main(
+            [
+                "705,1410",
+                "--sm-count", "4",
+                "--min-measurements", "4",
+                "--max-measurements", "6",
+                "--seed", "3",
+                "--quiet",
+                "--output-dir", str(out_dir),
+            ]
+        )
+        assert code == 0
+        assert list(out_dir.glob("swlat_*.csv"))
+
+    def test_gpu_model_selection(self, capsys):
+        code = main(
+            [
+                "750,1650",
+                "--gpu-model", "RTX6000",
+                "--sm-count", "4",
+                "--min-measurements", "4",
+                "--max-measurements", "6",
+                "--seed", "3",
+                "--quiet",
+            ]
+        )
+        assert code == 0
+        assert "RTX Quadro 6000" in capsys.readouterr().out

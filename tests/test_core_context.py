@@ -1,0 +1,64 @@
+"""Tests for the shared bench context (settle loop, filler workloads)."""
+
+import pytest
+
+from repro.core.context import BenchContext
+from repro.gpusim.spec import A100_SXM4
+from tests.conftest import fast_config
+
+
+@pytest.fixture
+def bench(a100_machine):
+    return BenchContext(a100_machine, fast_config((705.0, 1410.0)))
+
+
+class TestBenchContext:
+    def test_handles_wired_to_device(self, bench, a100_machine):
+        assert bench.device is a100_machine.device()
+        assert bench.cuda.device is bench.device
+        assert bench.handle.device is bench.device
+
+    def test_base_kernel_sizing(self, bench):
+        kernel = bench.base_kernel()
+        cfg = bench.config
+        assert kernel.iteration_duration_s(
+            A100_SXM4.max_sm_frequency_mhz
+        ) == pytest.approx(cfg.iteration_duration_s)
+        assert kernel.sm_count == cfg.record_sm_count
+
+    def test_record_sm_count_default_all(self, a100_machine):
+        cfg = fast_config((705.0, 1410.0), record_sm_count=None)
+        bench = BenchContext(a100_machine, cfg)
+        assert bench.record_sm_count() == A100_SXM4.sm_count
+
+    def test_record_sm_count_capped(self, a100_machine):
+        cfg = fast_config((705.0, 1410.0), record_sm_count=10_000)
+        bench = BenchContext(a100_machine, cfg)
+        assert bench.record_sm_count() == A100_SXM4.sm_count
+
+    def test_filler_advances_time(self, bench, a100_machine):
+        t0 = a100_machine.clock.now
+        bench.run_filler(0.05, 1410.0)
+        # Filler duration is approximate (iteration-quantized, wake-up):
+        assert a100_machine.clock.now - t0 >= 0.04
+
+    def test_settle_on_reaches_clock(self, bench):
+        assert bench.settle_on(705.0)
+        assert bench.handle.clock_info_sm_mhz() == 705.0
+        assert bench.settle_on(1410.0)
+        assert bench.handle.clock_info_sm_mhz() == 1410.0
+
+    def test_settle_records_ground_truth(self, bench):
+        bench.settle_on(705.0)
+        bench.settle_on(1410.0)
+        record = bench.device.last_transition()
+        assert record is not None
+        assert record.target_mhz == 1410.0
+
+    def test_set_frequency_returns_record_when_busy(self, bench):
+        bench.settle_on(705.0)
+        record = bench.set_frequency(1410.0)
+        # Device idle after settle's last filler ran out: record may be
+        # None (idle) or a transition — both legal; the locked value must
+        # stick either way.
+        assert bench.device.dvfs.locked_mhz == 1410.0

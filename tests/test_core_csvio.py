@@ -1,0 +1,84 @@
+"""Tests for CSV persistence and the LATEST naming convention."""
+
+import numpy as np
+import pytest
+
+from repro.core.csvio import (
+    pair_csv_name,
+    read_pair_csv,
+    write_campaign_csvs,
+    write_pair_csv,
+)
+from repro.errors import MeasurementError
+
+
+class TestNaming:
+    def test_convention_fields(self):
+        name = pair_csv_name(705.0, 1410.0, "karolina23", 2)
+        assert name == "swlat_705_1410_karolina23_gpu2.csv"
+
+    def test_fractional_frequencies(self):
+        assert "swlat_1417.5_" in pair_csv_name(1417.5, 705.0, "h", 0)
+
+
+class TestRoundTrip:
+    def test_pair_roundtrip(self, small_a100_campaign, tmp_path):
+        pair = next(small_a100_campaign.iter_measured())
+        path = write_pair_csv(
+            tmp_path, pair, small_a100_campaign.hostname, 0
+        )
+        assert path.exists()
+        loaded = read_pair_csv(path)
+        assert loaded.init_mhz == pair.init_mhz
+        assert loaded.target_mhz == pair.target_mhz
+        assert loaded.n_measurements == pair.n_measurements
+        np.testing.assert_allclose(
+            loaded.latencies_s(without_outliers=False),
+            pair.latencies_s(without_outliers=False),
+            rtol=1e-6,
+        )
+
+    def test_ground_truth_roundtrip(self, small_a100_campaign, tmp_path):
+        pair = next(small_a100_campaign.iter_measured())
+        path = write_pair_csv(tmp_path, pair, "h", 0)
+        loaded = read_pair_csv(path)
+        orig = pair.ground_truths_s(without_outliers=False)
+        back = loaded.ground_truths_s(without_outliers=False)
+        np.testing.assert_allclose(back, orig, rtol=1e-5)
+
+    def test_bad_filename_rejected(self, tmp_path):
+        bad = tmp_path / "whatever.csv"
+        bad.write_text("latency_ms\n1.0\n")
+        with pytest.raises(MeasurementError):
+            read_pair_csv(bad)
+
+
+class TestCampaignOutput:
+    def test_all_pairs_written(self, small_a100_campaign, tmp_path):
+        paths = write_campaign_csvs(tmp_path, small_a100_campaign)
+        pair_files = [p for p in paths if p.name.startswith("swlat_")]
+        assert len(pair_files) == small_a100_campaign.n_measured_pairs
+        summary = [p for p in paths if p.name.startswith("summary_")]
+        assert len(summary) == 1
+
+    def test_summary_contents(self, small_a100_campaign, tmp_path):
+        write_campaign_csvs(tmp_path, small_a100_campaign)
+        summary = tmp_path / "summary_simnode01_gpu0.csv"
+        lines = summary.read_text().strip().splitlines()
+        assert lines[0].startswith("init_mhz,target_mhz,status")
+        assert len(lines) == 1 + len(small_a100_campaign.pairs)
+
+    def test_output_dir_config_writes(self, tmp_path):
+        from repro import make_machine, run_campaign
+        from tests.conftest import fast_config
+
+        machine = make_machine("A100", seed=31)
+        config = fast_config(
+            (705.0, 1410.0),
+            min_measurements=4,
+            max_measurements=6,
+            output_dir=str(tmp_path / "out"),
+        )
+        run_campaign(machine, config)
+        files = list((tmp_path / "out").glob("*.csv"))
+        assert len(files) >= 3  # two pairs + summary

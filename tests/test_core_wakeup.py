@@ -1,0 +1,40 @@
+"""Tests for wake-up latency estimation."""
+
+import pytest
+
+from repro.core.wakeup import estimate_wakeup_latency
+from repro.machine import make_machine
+
+
+class TestWakeupEstimation:
+    def test_estimate_positive_and_bounded(self):
+        machine = make_machine("A100", seed=61)
+        est = estimate_wakeup_latency(machine, freq_mhz=1095.0)
+        # A100 wake-up: lognormal around 120 ms.
+        assert 0.02 < est.wakeup_s < 1.0
+
+    def test_first_kernel_slower_than_last(self):
+        machine = make_machine("A100", seed=62)
+        est = estimate_wakeup_latency(machine, freq_mhz=1095.0)
+        assert est.slowdown_factor > 1.5
+
+    def test_default_frequency_is_nominal(self):
+        machine = make_machine("GH200", seed=63)
+        est = estimate_wakeup_latency(machine)
+        assert est.freq_mhz == 1980.0
+
+    def test_stabilization_iteration_consistent(self):
+        machine = make_machine("A100", seed=64)
+        est = estimate_wakeup_latency(machine, freq_mhz=1095.0)
+        assert est.stabilization_iteration >= 0
+
+    def test_estimate_close_to_injected_wakeup(self):
+        """The estimate must track the device's actual wake-up record."""
+        machine = make_machine("A100", seed=65)
+        est = estimate_wakeup_latency(machine, freq_mhz=1095.0)
+        wake_records = [
+            r for r in machine.device().dvfs.records if r.kind == "wakeup"
+        ]
+        # The probe's own wake-up is the first record after the idle wait.
+        injected = wake_records[0].ground_truth_latency_s
+        assert est.wakeup_s == pytest.approx(injected, rel=0.25)

@@ -1,0 +1,110 @@
+"""Tests for the CUDA-like runtime layer and microbenchmark kernel."""
+
+import pytest
+
+from repro.cuda.kernel import MicrobenchmarkKernel
+from repro.cuda.runtime import CudaContext
+from repro.errors import ConfigError, CudaError
+from repro.gpusim.spec import A100_SXM4
+
+
+class TestMicrobenchmarkKernel:
+    def test_sized_for_iteration_duration(self):
+        k = MicrobenchmarkKernel.sized_for(
+            A100_SXM4, iteration_duration_s=50e-6, total_duration_s=0.1
+        )
+        assert k.iteration_duration_s(A100_SXM4.max_sm_frequency_mhz) == (
+            pytest.approx(50e-6)
+        )
+        assert k.n_iterations == 2000
+
+    def test_duration_scales_inverse_frequency(self):
+        k = MicrobenchmarkKernel(n_iterations=10, cycles_per_iteration=1e5)
+        assert k.iteration_duration_s(500.0) == pytest.approx(
+            2 * k.iteration_duration_s(1000.0)
+        )
+
+    def test_total_duration(self):
+        k = MicrobenchmarkKernel(n_iterations=100, cycles_per_iteration=1e6)
+        assert k.duration_s(1000.0) == pytest.approx(0.1)
+
+    def test_scaled_grows_iteration_work(self):
+        k = MicrobenchmarkKernel(n_iterations=100, cycles_per_iteration=1e5)
+        grown = k.scaled(iteration_factor=2.0)
+        assert grown.cycles_per_iteration == 2e5
+        assert grown.n_iterations == 100
+
+    def test_scaled_grows_length(self):
+        k = MicrobenchmarkKernel(n_iterations=100, cycles_per_iteration=1e5)
+        grown = k.scaled(length_factor=10.0)
+        assert grown.n_iterations == 1000
+
+    def test_rejects_tiny_iterations(self):
+        with pytest.raises(ConfigError):
+            MicrobenchmarkKernel(n_iterations=10, cycles_per_iteration=10.0)
+
+    def test_rejects_zero_iterations(self):
+        with pytest.raises(ConfigError):
+            MicrobenchmarkKernel(n_iterations=0, cycles_per_iteration=1e5)
+
+    def test_launch_spec_mirrors_fields(self):
+        k = MicrobenchmarkKernel(
+            n_iterations=10, cycles_per_iteration=1e5, sm_count=3, label="x"
+        )
+        spec = k.launch_spec()
+        assert spec.n_iterations == 10
+        assert spec.sm_count == 3
+        assert spec.label == "x"
+
+
+class TestCudaContext:
+    @pytest.fixture
+    def ctx(self, a100_machine) -> CudaContext:
+        return a100_machine.cuda_context()
+
+    def test_run_roundtrip(self, ctx):
+        k = MicrobenchmarkKernel(
+            n_iterations=100, cycles_per_iteration=1e5, sm_count=2
+        )
+        view = ctx.run(k)
+        assert view.n_sm == 2
+        assert view.n_iterations == 100
+
+    def test_launch_costs_host_time(self, ctx, a100_machine):
+        t0 = a100_machine.clock.now
+        ctx.launch(
+            MicrobenchmarkKernel(
+                n_iterations=10, cycles_per_iteration=1e5, sm_count=1
+            )
+        )
+        assert a100_machine.clock.now > t0
+
+    def test_timestamps_before_sync_raises(self, ctx):
+        launched = ctx.launch(
+            MicrobenchmarkKernel(
+                n_iterations=10, cycles_per_iteration=1e5, sm_count=1
+            )
+        )
+        with pytest.raises(CudaError):
+            ctx.timestamps(launched)
+
+    def test_global_timer_monotonic(self, ctx):
+        a = ctx.global_timer()
+        b = ctx.global_timer()
+        assert b >= a
+
+    def test_global_timer_in_gpu_domain(self, ctx, a100_machine):
+        device = a100_machine.device()
+        value = ctx.global_timer()
+        # GPU clock has a large power-on offset vs. host time.
+        assert abs(value - a100_machine.clock.now) > 1.0 or device.gpu_clock.offset < 1.0
+
+    def test_sm_count_property(self, ctx):
+        assert ctx.sm_count == A100_SXM4.sm_count
+
+    def test_diffs_positive(self, ctx):
+        k = MicrobenchmarkKernel(
+            n_iterations=200, cycles_per_iteration=1e5, sm_count=2
+        )
+        view = ctx.run(k)
+        assert (view.diffs > 0).all()

@@ -1,0 +1,118 @@
+"""Tests for the CPU baseline (simulated core + FTaLaT methodology)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.ftalat import (
+    CpuCore,
+    CpuSpec,
+    CpuTransitionModel,
+    FtalatConfig,
+    characterize_cpu_frequency,
+    measure_cpu_transition,
+    run_ftalat,
+)
+
+
+@pytest.fixture
+def core(host):
+    return CpuCore(host, rng=np.random.default_rng(11))
+
+
+class TestCpuSpec:
+    def test_ladder(self):
+        spec = CpuSpec()
+        clocks = spec.supported_clocks_mhz
+        assert clocks[0] == 1000.0
+        assert clocks[-1] == 3100.0
+        assert np.allclose(np.diff(clocks), 100.0)
+
+    def test_validate(self):
+        assert CpuSpec().validate(2000.0) == 2000.0
+        with pytest.raises(ConfigError):
+            CpuSpec().validate(2050.0)
+
+
+class TestTransitionModel:
+    def test_microsecond_scale(self):
+        rng = np.random.default_rng(0)
+        model = CpuTransitionModel(outlier_prob=0.0)
+        samples = [model.sample(rng, 1200.0, 3100.0) for _ in range(300)]
+        assert 10e-6 < np.median(samples) < 300e-6
+
+    def test_larger_steps_slower(self):
+        rng = np.random.default_rng(0)
+        model = CpuTransitionModel(sigma_log=0.0, outlier_prob=0.0)
+        small = model.sample(rng, 2000.0, 2100.0)
+        large = model.sample(rng, 1000.0, 3100.0)
+        assert large > small
+
+
+class TestCpuCore:
+    def test_starts_at_min_frequency(self, core):
+        assert core.current_frequency_mhz == 1000.0
+
+    def test_set_frequency_applies_after_latency(self, core):
+        latency = core.set_frequency(3100.0)
+        assert core.current_frequency_mhz == 1000.0  # not yet
+        core.host.busy(latency + 1e-6)
+        assert core.current_frequency_mhz == 3100.0
+
+    def test_same_frequency_zero_latency(self, core):
+        core.set_frequency(1000.0)
+        assert core.last_transition_latency_s == 0.0
+
+    def test_iterations_advance_clock(self, core):
+        t0 = core.clock.now
+        starts, ends = core.run_iterations(100, 10_000.0)
+        assert core.clock.now > t0
+        assert len(starts) == 100
+        assert (ends > starts).all()
+
+    def test_iteration_duration_tracks_frequency(self, core):
+        core.set_frequency(2000.0)
+        core.host.busy(1e-3)
+        starts, ends = core.run_iterations(500, 20_000.0)
+        mean = (ends - starts)[100:].mean()
+        assert mean == pytest.approx(20_000.0 / 2.0e9, rel=0.02)
+
+    def test_zero_iterations_rejected(self, core):
+        with pytest.raises(ConfigError):
+            core.run_iterations(0, 1000.0)
+
+
+class TestFtalatMethodology:
+    def test_characterization_mean(self, core):
+        cfg = FtalatConfig()
+        stats = characterize_cpu_frequency(core, 2000.0, cfg)
+        assert stats.mean == pytest.approx(
+            cfg.cycles_per_iteration / 2.0e9, rel=0.02
+        )
+
+    def test_transition_measurement(self, core):
+        cfg = FtalatConfig()
+        a = characterize_cpu_frequency(core, 1200.0, cfg)
+        b = characterize_cpu_frequency(core, 3100.0, cfg)
+        m = measure_cpu_transition(core, 1200.0, 3100.0, a, b, cfg)
+        assert m.latency_s > 0
+        # Detection overshoot bounded: < 1 ms total ("units of ms at most").
+        assert m.latency_s < 5e-3
+        assert m.latency_s >= m.ground_truth_s - 1e-5
+
+    def test_full_campaign(self, core):
+        cfg = FtalatConfig(repeats=3)
+        result = run_ftalat(core, (1200.0, 3100.0), cfg)
+        assert (1200.0, 3100.0) in result.measurements
+        assert (3100.0, 1200.0) in result.measurements
+        lats = result.all_latencies_s()
+        assert (lats > 0).all()
+        assert (lats < 5e-3).all()
+
+    def test_cpu_much_faster_than_gpu(self, core, small_a100_campaign):
+        """The paper's headline comparison, as a hard invariant."""
+        cfg = FtalatConfig(repeats=3)
+        cpu = run_ftalat(core, (1200.0, 3100.0), cfg)
+        cpu_median = np.median(cpu.all_latencies_s())
+        gpu_median = np.median(small_a100_campaign.all_latencies_s())
+        assert gpu_median > 5 * cpu_median

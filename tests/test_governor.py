@@ -1,0 +1,160 @@
+"""Tests for the latency-aware governor extension."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.governor import (
+    LatencyAwareGovernor,
+    LatencyTable,
+    NaiveGovernor,
+    StaticGovernor,
+    make_phased_application,
+    simulate_governor,
+)
+from repro.governor.app_model import ApplicationPhase
+from repro.gpusim.spec import A100_SXM4
+
+
+def table(freqs=(705.0, 1095.0, 1410.0), default=10e-3, overrides=None):
+    overrides = overrides or {}
+    latencies = {
+        (a, b): overrides.get((a, b), default)
+        for a in freqs
+        for b in freqs
+        if a != b
+    }
+    return LatencyTable(
+        frequencies_mhz=freqs, latency_s=latencies, default_s=default
+    )
+
+
+class TestApplicationModel:
+    def test_duration_at_optimal(self):
+        phase = ApplicationPhase(1.0, 1410.0, sensitivity=1.0)
+        assert phase.duration_at(1410.0) == 1.0
+
+    def test_compute_bound_stretches(self):
+        phase = ApplicationPhase(1.0, 1410.0, sensitivity=1.0)
+        assert phase.duration_at(705.0) == pytest.approx(2.0)
+
+    def test_memory_bound_barely_stretches(self):
+        phase = ApplicationPhase(1.0, 1410.0, sensitivity=0.1)
+        assert phase.duration_at(705.0) == pytest.approx(1.1)
+
+    def test_above_optimal_no_speedup(self):
+        phase = ApplicationPhase(1.0, 705.0, sensitivity=1.0)
+        assert phase.duration_at(1410.0) == 1.0
+
+    def test_generator_reproducible(self):
+        a = make_phased_application(A100_SXM4, n_phases=10, seed=5)
+        b = make_phased_application(A100_SXM4, n_phases=10, seed=5)
+        assert [p.work_s for p in a.phases] == [p.work_s for p in b.phases]
+
+    def test_generator_mixes_kinds(self):
+        app = make_phased_application(A100_SXM4, n_phases=100, seed=1)
+        kinds = app.kinds()
+        assert kinds.get("memory", 0) > 10
+        assert kinds.get("compute", 0) > 10
+
+
+class TestLatencyTable:
+    def test_from_campaign(self, small_a100_campaign):
+        t = LatencyTable.from_campaign(small_a100_campaign)
+        assert len(t.latency_s) == 6
+        assert all(v > 0 for v in t.latency_s.values())
+
+    def test_lookup_same_freq_zero(self):
+        assert table().lookup(705.0, 705.0) == 0.0
+
+    def test_lookup_unknown_uses_default(self):
+        assert table().lookup(705.0, 840.0) == 10e-3
+
+
+class TestPolicies:
+    def test_naive_always_chases(self):
+        gov = NaiveGovernor(table())
+        phase = ApplicationPhase(0.001, 705.0, 1.0)
+        decision = gov.decide(phase, 1410.0)
+        assert decision.switched
+        assert decision.target_mhz == 705.0
+
+    def test_naive_stays_when_there(self):
+        gov = NaiveGovernor(table())
+        phase = ApplicationPhase(1.0, 705.0, 1.0)
+        assert not gov.decide(phase, 705.0).switched
+
+    def test_static_never_switches(self):
+        gov = StaticGovernor(1410.0)
+        phase = ApplicationPhase(1.0, 705.0, 1.0)
+        assert not gov.decide(phase, 1410.0).switched
+
+    def test_aware_skips_short_phase(self):
+        gov = LatencyAwareGovernor(table(default=50e-3), min_residency_factor=3.0)
+        short = ApplicationPhase(0.01, 705.0, 1.0)  # 10 ms vs 150 ms needed
+        decision = gov.decide(short, 1410.0)
+        assert not decision.switched
+        assert decision.rationale == "phase-too-short"
+
+    def test_aware_switches_long_phase(self):
+        gov = LatencyAwareGovernor(table(default=5e-3))
+        long = ApplicationPhase(1.0, 705.0, 1.0)
+        assert gov.decide(long, 1410.0).switched
+
+    def test_aware_detours_around_expensive_pair(self):
+        freqs = (1095.0, 1110.0, 1410.0)
+        t = table(
+            freqs=freqs,
+            default=5e-3,
+            overrides={(1410.0, 1095.0): 300e-3, (1410.0, 1110.0): 5e-3},
+        )
+        gov = LatencyAwareGovernor(t, detour_tolerance_mhz=30.0)
+        phase = ApplicationPhase(0.5, 1095.0, 0.2)
+        decision = gov.decide(phase, 1410.0)
+        assert decision.switched
+        assert decision.target_mhz == 1110.0
+        assert decision.rationale == "avoid-expensive-pair"
+
+    def test_invalid_residency_factor(self):
+        with pytest.raises(ConfigError):
+            LatencyAwareGovernor(table(), min_residency_factor=0.0)
+
+
+class TestSimulation:
+    @pytest.fixture
+    def app(self):
+        return make_phased_application(A100_SXM4, n_phases=40, seed=9)
+
+    def test_static_max_is_fastest(self, app):
+        static = simulate_governor(app, StaticGovernor(1410.0))
+        # At the max clock every phase runs at its optimal-or-better speed.
+        assert static.total_time_s == pytest.approx(
+            app.total_work_s, rel=1e-6
+        )
+
+    def test_dvfs_saves_energy(self, app):
+        static = simulate_governor(app, StaticGovernor(1410.0))
+        aware = simulate_governor(app, LatencyAwareGovernor(table(default=5e-3)))
+        assert aware.energy_savings_vs(static) > 0.02
+
+    def test_aware_beats_naive_under_slow_transitions(self, app):
+        slow = table(default=120e-3)
+        naive = simulate_governor(app, NaiveGovernor(slow))
+        aware = simulate_governor(app, LatencyAwareGovernor(slow))
+        assert aware.n_switches < naive.n_switches
+        assert aware.stale_time_s < naive.stale_time_s
+        # Aware never loses on the time+energy product.
+        assert (
+            aware.total_energy_j * aware.total_time_s
+            <= naive.total_energy_j * naive.total_time_s * 1.02
+        )
+
+    def test_runtime_penalty_accounting(self, app):
+        static = simulate_governor(app, StaticGovernor(1410.0))
+        naive = simulate_governor(app, NaiveGovernor(table(default=200e-3)))
+        assert naive.runtime_penalty_vs(static) >= 0.0
+
+    def test_energy_conservation(self, app):
+        run = simulate_governor(app, StaticGovernor(1410.0))
+        total = sum(o.energy_j for o in run.outcomes)
+        assert run.total_energy_j == pytest.approx(total)

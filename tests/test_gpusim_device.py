@@ -1,0 +1,202 @@
+"""Tests for the GpuDevice facade: kernel lifecycle, lazy finalization,
+mid-kernel DVFS, throttling surface."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CudaError
+from repro.gpusim.device import GpuDevice, KernelLaunchSpec
+from repro.gpusim.spec import A100_SXM4
+from repro.gpusim.thermal import ThermalModel, ThrottleReasons
+from repro.machine import make_machine
+
+
+def small_kernel(n_iter=500, sm=4):
+    return KernelLaunchSpec(
+        n_iterations=n_iter, cycles_per_iteration=1e5, sm_count=sm
+    )
+
+
+class TestKernelLifecycle:
+    def test_launch_returns_handle(self, a100_machine):
+        device = a100_machine.device()
+        handle = device.launch_kernel(small_kernel())
+        assert not handle.finalized
+
+    def test_synchronize_finalizes(self, a100_machine):
+        device = a100_machine.device()
+        handle = device.launch_kernel(small_kernel())
+        device.synchronize()
+        assert handle.finalized
+        assert handle.t_complete > handle.t_start
+
+    def test_synchronize_advances_host_clock(self, a100_machine):
+        device = a100_machine.device()
+        t0 = a100_machine.clock.now
+        device.launch_kernel(small_kernel())
+        device.synchronize()
+        assert a100_machine.clock.now > t0
+
+    def test_read_before_sync_raises(self, a100_machine):
+        device = a100_machine.device()
+        handle = device.launch_kernel(small_kernel())
+        with pytest.raises(CudaError):
+            device.read_timestamps(handle)
+
+    def test_timestamps_shape(self, a100_machine):
+        device = a100_machine.device()
+        handle = device.launch_kernel(small_kernel(n_iter=64, sm=3))
+        device.synchronize()
+        view = device.read_timestamps(handle)
+        assert view.starts.shape == (3, 64)
+        assert view.ends.shape == (3, 64)
+
+    def test_sm_count_capped_at_spec(self, a100_machine):
+        device = a100_machine.device()
+        handle = device.launch_kernel(
+            KernelLaunchSpec(
+                n_iterations=16, cycles_per_iteration=1e5, sm_count=10_000
+            )
+        )
+        device.synchronize()
+        view = device.read_timestamps(handle)
+        assert view.n_sm == A100_SXM4.sm_count
+
+    def test_sequential_kernels_do_not_overlap(self, a100_machine):
+        device = a100_machine.device()
+        h1 = device.launch_kernel(small_kernel())
+        h2 = device.launch_kernel(small_kernel())
+        device.synchronize()
+        assert h2.t_start >= h1.t_complete
+
+    def test_invalid_kernel_spec_rejected(self):
+        with pytest.raises(CudaError):
+            KernelLaunchSpec(n_iterations=0, cycles_per_iteration=1e5)
+
+
+class TestWakeupBehaviour:
+    def test_first_kernel_pays_wakeup(self, a100_machine):
+        device = a100_machine.device()
+        device.set_locked_clocks(1095.0)
+        handle = device.launch_kernel(small_kernel(n_iter=4000, sm=2))
+        device.synchronize()
+        view = device.read_timestamps(handle)
+        d = view.diffs[0]
+        # Early iterations ran at the idle clock (210 MHz): much slower.
+        assert d[:5].mean() > 2.0 * d[-100:].mean()
+
+    def test_warm_device_runs_at_locked_clock(self, a100_machine):
+        device = a100_machine.device()
+        device.set_locked_clocks(1095.0)
+        device.launch_kernel(small_kernel(n_iter=4000, sm=1))
+        device.synchronize()
+        handle = device.launch_kernel(small_kernel(n_iter=200, sm=2))
+        device.synchronize()
+        view = device.read_timestamps(handle)
+        expected = 1e5 / (1095.0 * 1e6)
+        assert view.diffs.mean() == pytest.approx(expected, rel=0.02)
+
+
+class TestMidKernelDvfs:
+    def test_transition_visible_in_iteration_times(self, a100_machine):
+        device = a100_machine.device()
+        host = a100_machine.host
+        device.set_locked_clocks(1410.0)
+        device.launch_kernel(small_kernel(n_iter=3000, sm=1))
+        device.synchronize()
+
+        handle = device.launch_kernel(small_kernel(n_iter=3000, sm=2))
+        host.sleep(0.02)
+        record = device.set_locked_clocks(705.0)
+        device.synchronize()
+        view = device.read_timestamps(handle)
+
+        assert record is not None
+        assert record.init_mhz == 1410.0
+        d = view.diffs[0]
+        d_fast = 1e5 / (1410.0e6)
+        d_slow = 1e5 / (705.0e6)
+        assert d[:50].mean() == pytest.approx(d_fast, rel=0.05)
+        assert d[-50:].mean() == pytest.approx(d_slow, rel=0.05)
+
+    def test_ground_truth_latency_reasonable(self, a100_machine):
+        device = a100_machine.device()
+        host = a100_machine.host
+        device.set_locked_clocks(1410.0)
+        device.launch_kernel(small_kernel(n_iter=3000, sm=1))
+        device.synchronize()
+        device.launch_kernel(small_kernel(n_iter=3000, sm=1))
+        host.sleep(0.02)
+        record = device.set_locked_clocks(705.0)
+        device.synchronize()
+        # A100 decreasing transitions: a few ms to ~25 ms.
+        assert 2e-3 < record.ground_truth_latency_s < 0.12
+
+
+class TestManagementSurface:
+    def test_idle_reason_when_unloaded(self, a100_machine):
+        device = a100_machine.device()
+        a100_machine.host.sleep(1.0)
+        assert device.throttle_reasons() & ThrottleReasons.GPU_IDLE
+
+    def test_app_clocks_reason_when_locked(self, a100_machine):
+        device = a100_machine.device()
+        device.set_locked_clocks(1095.0)
+        assert (
+            device.throttle_reasons()
+            & ThrottleReasons.APPLICATIONS_CLOCKS_SETTING
+        )
+
+    def test_temperature_ambient_when_disabled(self, a100_machine):
+        device = a100_machine.device()
+        assert device.temperature_c() == pytest.approx(30.0)
+
+    def test_power_usage_tracks_load(self, a100_machine):
+        device = a100_machine.device()
+        idle_power = device.power_usage_w()
+        device.set_locked_clocks(1410.0)
+        device.launch_kernel(small_kernel(n_iter=50_000, sm=1))
+        busy_power = device.power_usage_w()
+        device.synchronize()
+        assert busy_power > idle_power
+
+    def test_current_sm_clock_after_settle(self, a100_machine):
+        device = a100_machine.device()
+        device.set_locked_clocks(840.0)
+        device.launch_kernel(small_kernel(n_iter=8000, sm=1))
+        device.synchronize()
+        assert device.current_sm_clock_mhz() == 840.0
+
+
+class TestThermalIntegration:
+    def test_hot_node_trips_thermal_throttle(self):
+        machine = make_machine(
+            "A100", seed=9, thermal_enabled=True, ambient_c=76.0
+        )
+        device = machine.device()
+        device.set_locked_clocks(1410.0)
+        # Long sustained load: ~15 s of full power against a 35 s thermal
+        # time constant and a hot inlet.
+        for _ in range(11):
+            device.launch_kernel(
+                KernelLaunchSpec(
+                    n_iterations=20_000, cycles_per_iteration=1e5, sm_count=1
+                )
+            )
+            device.synchronize()
+        assert device.throttle_reasons() & ThrottleReasons.SW_THERMAL
+
+    def test_power_limited_lock_reports_power_cap(self):
+        machine = make_machine(
+            "A100", seed=9, thermal_enabled=True, power_limit_w=150.0
+        )
+        device = machine.device()
+        device.set_locked_clocks(1410.0)
+        device.launch_kernel(
+            KernelLaunchSpec(
+                n_iterations=20_000, cycles_per_iteration=1e5, sm_count=1
+            )
+        )
+        reasons = device.throttle_reasons()
+        assert reasons & ThrottleReasons.SW_POWER_CAP
+        device.synchronize()

@@ -1,0 +1,114 @@
+"""Property and unit tests for the device energy meter."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SimulationError
+from repro.gpusim.arch_profiles import A100Profile
+from repro.gpusim.dvfs import DvfsClockDomain
+from repro.gpusim.energy import EnergyMeter
+from repro.gpusim.latency_model import SwitchingLatencyModel
+from repro.gpusim.spec import A100_SXM4
+from repro.gpusim.thermal import ThermalModel
+
+
+def make_meter(seed=0):
+    rng = np.random.default_rng(seed)
+    model = SwitchingLatencyModel(A100Profile(), unit_seed=0, rng=rng)
+    dvfs = DvfsClockDomain(A100_SXM4, model, rng)
+    thermal = ThermalModel(A100_SXM4, enabled=False)
+    return EnergyMeter(thermal=thermal, dvfs=dvfs, start_time=0.0), dvfs, thermal
+
+
+class TestEnergyMeterBasics:
+    def test_idle_power_integration(self):
+        meter, _, _ = make_meter()
+        energy = meter.integrate_to(100.0)
+        assert energy == pytest.approx(A100_SXM4.idle_power_watts * 100.0)
+
+    def test_busy_interval_charged_at_load_power(self):
+        meter, dvfs, thermal = make_meter()
+        meter.record_busy(10.0, 20.0)
+        energy = meter.integrate_to(30.0)
+        idle_f = A100_SXM4.idle_sm_frequency_mhz
+        expected = (
+            thermal.power_watts(idle_f, 0.0) * 20.0
+            + thermal.power_watts(idle_f, 1.0) * 10.0
+        )
+        assert energy == pytest.approx(expected)
+
+    def test_backwards_integration_rejected(self):
+        meter, _, _ = make_meter()
+        meter.integrate_to(10.0)
+        with pytest.raises(SimulationError):
+            meter.integrate_to(5.0)
+
+    def test_invalid_busy_interval_rejected(self):
+        meter, _, _ = make_meter()
+        with pytest.raises(SimulationError):
+            meter.record_busy(5.0, 3.0)
+
+    def test_overlapping_busy_clipped(self):
+        meter, _, _ = make_meter()
+        meter.record_busy(0.0, 10.0)
+        meter.record_busy(5.0, 12.0)  # overlap clipped to [10, 12]
+        energy = meter.integrate_to(12.0)
+        idle_f = A100_SXM4.idle_sm_frequency_mhz
+        thermal = ThermalModel(A100_SXM4, enabled=False)
+        expected = thermal.power_watts(idle_f, 1.0) * 12.0
+        assert energy == pytest.approx(expected)
+
+    def test_average_power(self):
+        meter, _, _ = make_meter()
+        meter.integrate_to(50.0)
+        assert meter.average_power_w(50.0) == pytest.approx(
+            A100_SXM4.idle_power_watts
+        )
+
+    def test_frequency_change_reflected(self):
+        meter, dvfs, thermal = make_meter()
+        # Power the domain and lock a high clock.
+        dvfs.request_locked_clocks(1410.0, 0.0)
+        rec = dvfs.notify_kernel_start(1.0)
+        meter.record_busy(1.0, 1000.0)
+        energy = meter.integrate_to(1000.0)
+        # Bulk of the window runs at 1410 MHz under load.
+        approx_expected = thermal.power_watts(1410.0, 1.0) * 999.0
+        assert energy == pytest.approx(approx_expected, rel=0.05)
+
+
+@given(
+    split=st.floats(1.0, 99.0),
+    horizon=st.floats(100.0, 400.0),
+)
+@settings(max_examples=40, deadline=None)
+def test_integration_additivity(split, horizon):
+    """E(0 -> horizon) == E(0 -> split) + E(split -> horizon)."""
+    meter_a, _, _ = make_meter(seed=3)
+    meter_a.record_busy(10.0, 60.0)
+    total = meter_a.integrate_to(horizon)
+
+    meter_b, _, _ = make_meter(seed=3)
+    meter_b.record_busy(10.0, 60.0)
+    part1 = meter_b.integrate_to(split)
+    part2 = meter_b.integrate_to(horizon)
+    assert part2 == pytest.approx(total, rel=1e-9)
+    assert part1 <= total + 1e-9
+
+
+@given(busy_spans=st.lists(
+    st.tuples(st.floats(0.0, 90.0), st.floats(0.1, 10.0)),
+    max_size=5,
+))
+@settings(max_examples=40, deadline=None)
+def test_energy_monotone_nondecreasing(busy_spans):
+    meter, _, _ = make_meter(seed=4)
+    for start, length in sorted(busy_spans):
+        meter.record_busy(start, start + length)
+    previous = 0.0
+    for t in (10.0, 30.0, 70.0, 120.0):
+        energy = meter.integrate_to(t)
+        assert energy >= previous - 1e-12
+        previous = energy

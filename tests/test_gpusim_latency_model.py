@@ -1,0 +1,195 @@
+"""Tests for the switching-latency mixture model and profiles."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.gpusim.arch_profiles import (
+    A100Profile,
+    GH200Profile,
+    RtxQuadro6000Profile,
+    profile_for,
+)
+from repro.gpusim.latency_model import (
+    ModeSpec,
+    PairLatencyModel,
+    SwitchingLatencyModel,
+    pair_rng,
+)
+
+
+class TestModeSpec:
+    def test_invalid_median_rejected(self):
+        with pytest.raises(ConfigError):
+            ModeSpec(median_s=-1.0, sigma_log=0.1, weight=1.0)
+
+    def test_invalid_weight_rejected(self):
+        with pytest.raises(ConfigError):
+            ModeSpec(median_s=1.0, sigma_log=0.1, weight=-0.5)
+
+
+class TestPairLatencyModel:
+    def test_needs_modes(self):
+        with pytest.raises(ConfigError):
+            PairLatencyModel(modes=())
+
+    def test_weights_normalized(self):
+        model = PairLatencyModel(
+            modes=(
+                ModeSpec(1e-3, 0.01, 3.0),
+                ModeSpec(2e-3, 0.01, 1.0),
+            )
+        )
+        np.testing.assert_allclose(model.weights, [0.75, 0.25])
+
+    def test_samples_positive(self):
+        rng = np.random.default_rng(0)
+        model = PairLatencyModel(
+            modes=(ModeSpec(5e-3, 0.05, 1.0),), tail_scale_s=1e-3
+        )
+        samples = [model.sample(rng) for _ in range(200)]
+        assert all(s.total_s > 0 for s in samples)
+
+    def test_primary_mode_gets_tail(self):
+        rng = np.random.default_rng(0)
+        with_tail = PairLatencyModel(
+            modes=(ModeSpec(5e-3, 0.0001, 1.0),), tail_scale_s=3e-3
+        )
+        without = PairLatencyModel(
+            modes=(ModeSpec(5e-3, 0.0001, 1.0),), tail_scale_s=0.0
+        )
+        a = np.mean([with_tail.sample(rng).total_s for _ in range(500)])
+        b = np.mean([without.sample(rng).total_s for _ in range(500)])
+        assert a > b + 2e-3
+
+    def test_outlier_flagged_and_large(self):
+        rng = np.random.default_rng(1)
+        model = PairLatencyModel(
+            modes=(ModeSpec(5e-3, 0.01, 1.0),),
+            outlier_prob=1.0,
+            outlier_floor_s=0.05,
+            outlier_scale_s=0.05,
+        )
+        s = model.sample(rng)
+        assert s.is_outlier
+        assert s.total_s > 0.05
+
+    def test_mixture_hits_all_modes(self):
+        rng = np.random.default_rng(2)
+        model = PairLatencyModel(
+            modes=(
+                ModeSpec(5e-3, 0.01, 0.5),
+                ModeSpec(50e-3, 0.01, 0.25),
+                ModeSpec(200e-3, 0.01, 0.25),
+            )
+        )
+        seen = {model.sample(rng).mode_index for _ in range(300)}
+        assert seen == {0, 1, 2}
+
+    def test_adaptation_bounded(self):
+        rng = np.random.default_rng(3)
+        model = PairLatencyModel(modes=(ModeSpec(0.4, 0.01, 1.0),))
+        s = model.sample(rng)
+        adaptation = s.adaptation_s(rng, cap_s=0.03)
+        assert 0.0 < adaptation <= 0.03
+        assert adaptation < s.total_s
+
+
+class TestPairRng:
+    def test_deterministic_across_calls(self):
+        a = pair_rng("X", 0, 705.0, 1410.0).random(4)
+        b = pair_rng("X", 0, 705.0, 1410.0).random(4)
+        np.testing.assert_array_equal(a, b)
+
+    def test_sensitive_to_pair(self):
+        a = pair_rng("X", 0, 705.0, 1410.0).random(4)
+        b = pair_rng("X", 0, 1410.0, 705.0).random(4)
+        assert not np.array_equal(a, b)
+
+    def test_sensitive_to_unit(self):
+        a = pair_rng("X", 0, 705.0, 1410.0).random(4)
+        b = pair_rng("X", 1, 705.0, 1410.0).random(4)
+        assert not np.array_equal(a, b)
+
+
+class TestProfiles:
+    @pytest.mark.parametrize(
+        "arch, cls",
+        [
+            ("Turing", RtxQuadro6000Profile),
+            ("Ampere", A100Profile),
+            ("Hopper", GH200Profile),
+        ],
+    )
+    def test_profile_for(self, arch, cls):
+        assert isinstance(profile_for(arch), cls)
+
+    def test_profile_for_unknown(self):
+        with pytest.raises(KeyError):
+            profile_for("Volta")
+
+    def test_pair_model_stable_per_unit(self):
+        profile = A100Profile()
+        a = profile.pair_model(705.0, 1410.0, unit_seed=0)
+        b = profile.pair_model(705.0, 1410.0, unit_seed=0)
+        assert a.modes[0].median_s == b.modes[0].median_s
+
+    def test_unit_seed_perturbs_base(self):
+        profile = A100Profile()
+        bases = {
+            profile.pair_model(705.0, 1410.0, unit_seed=u).modes[0].median_s
+            for u in range(6)
+        }
+        assert len(bases) > 1
+
+    def test_a100_base_in_expected_range(self):
+        profile = A100Profile()
+        for init, target in [(705.0, 1410.0), (1410.0, 705.0), (1095.0, 840.0)]:
+            base = profile.pair_model(init, target, 0).modes[0].median_s
+            assert 3.5e-3 < base < 6.5e-3
+
+    def test_gh200_special_target_has_slow_modes(self):
+        profile = GH200Profile()
+        slow_found = False
+        for init in (705.0, 975.0, 1095.0, 1350.0):
+            model = profile.pair_model(init, 1875.0, 0)
+            if any(m.median_s > 0.03 for m in model.modes[1:]):
+                slow_found = True
+        assert slow_found
+
+    def test_gh200_normal_target_single_mode(self):
+        profile = GH200Profile()
+        model = profile.pair_model(705.0, 1980.0, 0)
+        assert len(model.modes) == 1
+
+    def test_rtx_mid_band_plateau(self):
+        profile = RtxQuadro6000Profile()
+        model = profile.pair_model(750.0, 1350.0, 0)
+        assert model.modes[0].median_s == pytest.approx(0.136, abs=0.01)
+
+    def test_rtx_990_plateau(self):
+        profile = RtxQuadro6000Profile()
+        model = profile.pair_model(1350.0, 990.0, 0)
+        assert model.modes[0].median_s == pytest.approx(0.237, abs=0.01)
+
+    def test_rtx_fast_neighbour_pair(self):
+        profile = RtxQuadro6000Profile()
+        model = profile.pair_model(1650.0, 1560.0, 0)
+        assert model.modes[0].median_s < 0.01
+
+
+class TestSwitchingLatencyModel:
+    def test_pair_model_cached(self, a100_machine):
+        device = a100_machine.device()
+        m1 = device.latency_model.pair_model(705.0, 1410.0)
+        m2 = device.latency_model.pair_model(705.0, 1410.0)
+        assert m1 is m2
+
+    def test_bus_delay_positive(self, a100_machine):
+        model = a100_machine.device().latency_model
+        assert all(model.sample_bus_delay() > 0 for _ in range(50))
+
+    def test_wakeup_positive(self, a100_machine):
+        model = a100_machine.device().latency_model
+        samples = [model.sample_wakeup() for _ in range(50)]
+        assert all(s > 0.01 for s in samples)

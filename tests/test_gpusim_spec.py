@@ -1,0 +1,143 @@
+"""Tests for GPU specifications (paper Table I data)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.gpusim.spec import (
+    A100_SXM4,
+    GH200,
+    RTX_QUADRO_6000,
+    GpuSpec,
+    lookup_spec,
+)
+
+
+class TestTable1Data:
+    """The three specs must carry the paper's Table I values."""
+
+    @pytest.mark.parametrize(
+        "spec, arch, sm, mem, fmax, fnom, fmin, steps",
+        [
+            (RTX_QUADRO_6000, "Turing", 72, 7001, 2100, 1440, 300, 120),
+            (A100_SXM4, "Ampere", 108, 1215, 1410, 1095, 210, 81),
+            (GH200, "Hopper", 132, 2619, 1980, 1980, 345, 110),
+        ],
+    )
+    def test_table1_row(self, spec, arch, sm, mem, fmax, fnom, fmin, steps):
+        assert spec.architecture == arch
+        assert spec.sm_count == sm
+        assert spec.memory_frequency_mhz == mem
+        assert spec.max_sm_frequency_mhz == fmax
+        assert spec.nominal_sm_frequency_mhz == fnom
+        assert spec.min_sm_frequency_mhz == fmin
+        assert spec.sm_frequency_steps == steps
+
+    @pytest.mark.parametrize(
+        "spec, driver",
+        [
+            (RTX_QUADRO_6000, "530.41.03"),
+            (A100_SXM4, "550.54.15"),
+            (GH200, "545.23.08"),
+        ],
+    )
+    def test_driver_versions(self, spec, driver):
+        assert spec.driver_version == driver
+
+
+class TestClockLadder:
+    @pytest.mark.parametrize("spec", [RTX_QUADRO_6000, A100_SXM4, GH200])
+    def test_ladder_descending_and_bounded(self, spec):
+        clocks = spec.supported_clocks_mhz
+        assert clocks[0] == spec.max_sm_frequency_mhz
+        assert clocks[-1] == spec.min_sm_frequency_mhz
+        assert all(a > b for a, b in zip(clocks, clocks[1:]))
+
+    @pytest.mark.parametrize("spec", [RTX_QUADRO_6000, A100_SXM4, GH200])
+    def test_ladder_step_is_15mhz(self, spec):
+        clocks = np.asarray(spec.supported_clocks_mhz)
+        steps = np.diff(clocks)
+        assert np.allclose(steps, -15.0)
+
+    def test_a100_ladder_count_exact(self):
+        # (1410-210)/15 + 1 = 81, matching the paper exactly.
+        assert len(A100_SXM4.supported_clocks_mhz) == 81
+
+    def test_gh200_ladder_count_exact(self):
+        assert len(GH200.supported_clocks_mhz) == 110
+
+    def test_paper_heatmap_frequencies_supported(self):
+        # Every frequency in the paper's Fig. 3 GH200 axes is a ladder entry.
+        gh200_freqs = [705, 795, 885, 975, 1095, 1170, 1260, 1275, 1290,
+                       1350, 1410, 1500, 1665, 1770, 1830, 1875, 1920, 1980]
+        ladder = set(GH200.supported_clocks_mhz)
+        assert all(float(f) in ladder for f in gh200_freqs)
+
+    def test_nearest_supported_clock(self):
+        assert A100_SXM4.nearest_supported_clock(1100.0) == 1095.0
+
+    def test_validate_clock_accepts_ladder(self):
+        assert A100_SXM4.validate_clock(705.0) == 705.0
+
+    def test_validate_clock_rejects_off_ladder(self):
+        with pytest.raises(ConfigError):
+            A100_SXM4.validate_clock(1100.0)
+
+    def test_frequency_subset_endpoints(self):
+        sub = A100_SXM4.frequency_subset(5)
+        assert sub[0] == 210.0
+        assert sub[-1] == 1410.0
+        assert len(sub) == 5
+
+    def test_frequency_subset_needs_two(self):
+        with pytest.raises(ConfigError):
+            A100_SXM4.frequency_subset(1)
+
+
+class TestLookup:
+    @pytest.mark.parametrize(
+        "name, expected",
+        [
+            ("A100", A100_SXM4),
+            ("a100", A100_SXM4),
+            ("gh200", GH200),
+            ("RTX6000", RTX_QUADRO_6000),
+            ("rtx_quadro_6000", RTX_QUADRO_6000),
+        ],
+    )
+    def test_lookup_aliases(self, name, expected):
+        assert lookup_spec(name) is expected
+
+    def test_lookup_unknown_raises(self):
+        with pytest.raises(ConfigError):
+            lookup_spec("H100")
+
+    def test_invalid_spec_rejected(self):
+        with pytest.raises(ConfigError):
+            GpuSpec(
+                name="bad",
+                architecture="X",
+                sm_count=0,
+                driver_version="1",
+                memory_frequency_mhz=1,
+                min_sm_frequency_mhz=100,
+                max_sm_frequency_mhz=200,
+                nominal_sm_frequency_mhz=150,
+                sm_frequency_steps=5,
+                idle_sm_frequency_mhz=100,
+            )
+
+    def test_inconsistent_range_rejected(self):
+        with pytest.raises(ConfigError):
+            GpuSpec(
+                name="bad",
+                architecture="X",
+                sm_count=10,
+                driver_version="1",
+                memory_frequency_mhz=1,
+                min_sm_frequency_mhz=300,
+                max_sm_frequency_mhz=200,
+                nominal_sm_frequency_mhz=250,
+                sm_frequency_steps=5,
+                idle_sm_frequency_mhz=100,
+            )

@@ -1,0 +1,113 @@
+"""Tests for the thermal/power model and throttle reasons."""
+
+import pytest
+
+from repro.gpusim.spec import A100_SXM4
+from repro.gpusim.thermal import ThermalModel, ThrottleReasons
+
+
+@pytest.fixture
+def model():
+    return ThermalModel(A100_SXM4, enabled=True, ambient_c=30.0)
+
+
+class TestPowerModel:
+    def test_idle_power_floor(self, model):
+        assert model.power_watts(1410.0, 0.0) == A100_SXM4.idle_power_watts
+
+    def test_tdp_at_max_clock_full_load(self, model):
+        assert model.power_watts(1410.0, 1.0) == pytest.approx(
+            A100_SXM4.tdp_watts
+        )
+
+    def test_power_monotone_in_frequency(self, model):
+        freqs = [210.0, 705.0, 1095.0, 1410.0]
+        powers = [model.power_watts(f, 1.0) for f in freqs]
+        assert all(a < b for a, b in zip(powers, powers[1:]))
+
+    def test_power_convex(self, model):
+        # f^2.4 scaling: halving the clock saves far more than half the
+        # dynamic power.
+        full = model.power_watts(1410.0, 1.0) - A100_SXM4.idle_power_watts
+        half = model.power_watts(705.0, 1.0) - A100_SXM4.idle_power_watts
+        assert half < full / 4
+
+
+class TestThermalEvolution:
+    def test_disabled_stays_ambient(self):
+        m = ThermalModel(A100_SXM4, enabled=False, ambient_c=25.0)
+        state = m.initial_state(0.0)
+        m.advance(state, 1000.0, 1410.0, 1.0)
+        assert state.temperature_c == 25.0
+        assert state.reasons == ThrottleReasons.NONE
+
+    def test_heats_toward_steady_state(self, model):
+        state = model.initial_state(0.0)
+        model.advance(state, 10.0, 1410.0, 1.0)
+        t10 = state.temperature_c
+        model.advance(state, 200.0, 1410.0, 1.0)
+        t200 = state.temperature_c
+        steady = model.steady_temperature(model.power_watts(1410.0, 1.0))
+        assert 30.0 < t10 < t200 <= steady + 1e-9
+
+    def test_cools_when_idle(self, model):
+        state = model.initial_state(0.0)
+        model.advance(state, 200.0, 1410.0, 1.0)
+        hot = state.temperature_c
+        model.advance(state, 400.0, 210.0, 0.0)
+        assert state.temperature_c < hot
+
+    def test_time_cannot_reverse(self, model):
+        state = model.initial_state(10.0)
+        with pytest.raises(ValueError):
+            model.advance(state, 5.0, 1410.0, 1.0)
+
+    def test_thermal_throttle_reason_set(self):
+        # Hot inlet: steady state exceeds the slowdown threshold.
+        m = ThermalModel(A100_SXM4, enabled=True, ambient_c=70.0)
+        state = m.initial_state(0.0)
+        m.advance(state, 500.0, 1410.0, 1.0)
+        assert state.reasons & ThrottleReasons.SW_THERMAL
+
+    def test_power_cap_reason_set(self):
+        m = ThermalModel(A100_SXM4, enabled=True, power_limit_w=200.0)
+        state = m.initial_state(0.0)
+        m.advance(state, 1.0, 1410.0, 1.0)
+        assert state.reasons & ThrottleReasons.SW_POWER_CAP
+
+
+class TestCaps:
+    def test_thermal_cap_when_hot(self):
+        m = ThermalModel(A100_SXM4, enabled=True, ambient_c=70.0)
+        state = m.initial_state(0.0)
+        m.advance(state, 500.0, 1410.0, 1.0)
+        cap = m.thermal_cap_mhz(state)
+        assert cap is not None and cap < 1410.0
+
+    def test_no_cap_when_cool(self, model):
+        state = model.initial_state(0.0)
+        model.advance(state, 1.0, 210.0, 0.0)
+        assert model.thermal_cap_mhz(state) is None
+
+    def test_power_cap_frequency_sustainable(self):
+        m = ThermalModel(A100_SXM4, enabled=True, power_limit_w=250.0)
+        cap = m.power_cap_mhz(1410.0, 1.0)
+        assert cap is not None
+        assert m.power_watts(cap, 1.0) <= 250.0 + 1e-6
+
+    def test_no_power_cap_within_budget(self, model):
+        assert model.power_cap_mhz(705.0, 1.0) is None
+
+
+class TestThrottleReasonBits:
+    def test_bitmask_values_match_nvml(self):
+        assert ThrottleReasons.GPU_IDLE == 0x1
+        assert ThrottleReasons.APPLICATIONS_CLOCKS_SETTING == 0x2
+        assert ThrottleReasons.SW_POWER_CAP == 0x4
+        assert ThrottleReasons.SW_THERMAL == 0x20
+        assert ThrottleReasons.HW_THERMAL == 0x40
+
+    def test_flags_combine(self):
+        combined = ThrottleReasons.SW_THERMAL | ThrottleReasons.SW_POWER_CAP
+        assert combined & ThrottleReasons.SW_THERMAL
+        assert not combined & ThrottleReasons.GPU_IDLE

@@ -1,0 +1,62 @@
+"""Tests for heatmap grid CSV persistence."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.grid_io import read_grid_csv, write_grid_csv
+from repro.analysis.heatmap import HeatmapGrid, heatmap_from_campaign
+from repro.errors import MeasurementError
+
+
+class TestGridRoundTrip:
+    def test_campaign_grid_roundtrip(self, small_a100_campaign, tmp_path):
+        grid = heatmap_from_campaign(small_a100_campaign, "max")
+        path = write_grid_csv(grid, tmp_path / "grid.csv")
+        loaded = read_grid_csv(path)
+        assert loaded.frequencies_mhz == grid.frequencies_mhz
+        assert loaded.gpu_name == grid.gpu_name
+        assert loaded.statistic == grid.statistic
+        np.testing.assert_allclose(
+            loaded.values_ms, grid.values_ms, rtol=1e-5, equal_nan=True
+        )
+
+    def test_nan_cells_survive(self, tmp_path):
+        grid = HeatmapGrid(
+            frequencies_mhz=(705.0, 1410.0),
+            values_ms=np.array([[np.nan, 5.0], [7.0, np.nan]]),
+            statistic="min",
+            gpu_name="X",
+        )
+        loaded = read_grid_csv(write_grid_csv(grid, tmp_path / "g.csv"))
+        assert np.isnan(loaded.values_ms[0, 0])
+        assert loaded.values_ms[0, 1] == pytest.approx(5.0)
+
+    def test_garbage_file_rejected(self, tmp_path):
+        bad = tmp_path / "bad.csv"
+        bad.write_text("hello\n")
+        with pytest.raises(MeasurementError):
+            read_grid_csv(bad)
+
+    @given(
+        n=st.integers(2, 6),
+        seed=st.integers(0, 1000),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_random_grid_roundtrip(self, n, seed, tmp_path_factory):
+        rng = np.random.default_rng(seed)
+        freqs = tuple(float(300 + 15 * i) for i in range(n))
+        values = rng.uniform(0.5, 400.0, size=(n, n))
+        values[np.diag_indices(n)] = np.nan
+        grid = HeatmapGrid(
+            frequencies_mhz=freqs,
+            values_ms=values,
+            statistic="mean",
+            gpu_name="PropGPU",
+        )
+        tmp = tmp_path_factory.mktemp("grids") / f"g{seed}.csv"
+        loaded = read_grid_csv(write_grid_csv(grid, tmp))
+        np.testing.assert_allclose(
+            loaded.values_ms, values, rtol=1e-5, equal_nan=True
+        )

@@ -1,0 +1,68 @@
+"""Tests for the machine factory."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.gpusim.spec import A100_SXM4, GH200
+from repro.machine import make_machine
+
+
+class TestMakeMachine:
+    def test_default_single_gpu(self):
+        machine = make_machine("A100", seed=0)
+        assert len(machine.devices) == 1
+        assert machine.device().spec is A100_SXM4
+
+    def test_spec_instance_accepted(self):
+        machine = make_machine(GH200, seed=0)
+        assert machine.device().spec is GH200
+
+    def test_multi_gpu_distinct_serials(self):
+        machine = make_machine("A100", n_gpus=4, seed=0)
+        serials = {d.unit_seed for d in machine.devices}
+        assert len(serials) == 4
+
+    def test_custom_unit_seeds(self):
+        machine = make_machine("A100", n_gpus=2, seed=0, unit_seeds=[7, 8])
+        assert [d.unit_seed for d in machine.devices] == [7, 8]
+
+    def test_unit_seed_length_mismatch(self):
+        with pytest.raises(ConfigError):
+            make_machine("A100", n_gpus=2, unit_seeds=[1])
+
+    def test_zero_gpus_rejected(self):
+        with pytest.raises(ConfigError):
+            make_machine("A100", n_gpus=0)
+
+    def test_device_index_out_of_range(self):
+        machine = make_machine("A100", seed=0)
+        with pytest.raises(ConfigError):
+            machine.device(3)
+
+    def test_devices_share_clock(self):
+        machine = make_machine("A100", n_gpus=2, seed=0)
+        assert machine.devices[0].clock is machine.clock
+        assert machine.devices[1].clock is machine.clock
+
+    def test_gpu_clocks_have_distinct_offsets(self):
+        machine = make_machine("A100", n_gpus=2, seed=0)
+        assert (
+            machine.devices[0].gpu_clock.offset
+            != machine.devices[1].gpu_clock.offset
+        )
+
+    def test_seed_reproducibility(self):
+        m1 = make_machine("A100", seed=77)
+        m2 = make_machine("A100", seed=77)
+        assert m1.device().gpu_clock.offset == m2.device().gpu_clock.offset
+
+    def test_different_seeds_differ(self):
+        m1 = make_machine("A100", seed=77)
+        m2 = make_machine("A100", seed=78)
+        assert m1.device().gpu_clock.offset != m2.device().gpu_clock.offset
+
+    def test_helpers_build_contexts(self):
+        machine = make_machine("A100", seed=0)
+        assert machine.cuda_context().device is machine.device()
+        handle = machine.nvml().device_get_handle_by_index(0)
+        assert handle.device is machine.device()

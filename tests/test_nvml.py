@@ -1,0 +1,113 @@
+"""Tests for the NVML-like management API."""
+
+import pytest
+
+from repro.errors import NvmlError
+from repro.gpusim.spec import A100_SXM4
+from repro.gpusim.thermal import ThrottleReasons
+from repro.nvml.api import NvmlCallCosts, NvmlSession
+
+
+@pytest.fixture
+def session(a100_machine) -> NvmlSession:
+    return a100_machine.nvml()
+
+
+@pytest.fixture
+def handle(session):
+    return session.device_get_handle_by_index(0)
+
+
+class TestSession:
+    def test_device_count(self, session):
+        assert session.device_count() == 1
+
+    def test_handle_by_index(self, session):
+        handle = session.device_get_handle_by_index(0)
+        assert handle.name() == A100_SXM4.name
+
+    def test_bad_index_raises_invalid_argument(self, session):
+        with pytest.raises(NvmlError) as exc:
+            session.device_get_handle_by_index(5)
+        assert exc.value.code == "NVML_ERROR_INVALID_ARGUMENT"
+
+    def test_shutdown_blocks_calls(self, session):
+        session.shutdown()
+        with pytest.raises(NvmlError) as exc:
+            session.device_count()
+        assert exc.value.code == "NVML_ERROR_UNINITIALIZED"
+
+    def test_context_manager(self, a100_machine):
+        with a100_machine.nvml() as session:
+            assert session.device_count() == 1
+        with pytest.raises(NvmlError):
+            session.device_count()
+
+    def test_calls_consume_host_time(self, session, a100_machine):
+        t0 = a100_machine.clock.now
+        session.device_count()
+        assert a100_machine.clock.now > t0
+
+
+class TestDeviceHandle:
+    def test_driver_version(self, handle):
+        assert handle.driver_version() == A100_SXM4.driver_version
+
+    def test_supported_memory_clocks(self, handle):
+        assert handle.supported_memory_clocks() == (1215.0,)
+
+    def test_supported_graphics_clocks_descending(self, handle):
+        clocks = handle.supported_graphics_clocks()
+        assert clocks[0] == 1410.0
+        assert clocks[-1] == 210.0
+
+    def test_supported_graphics_clocks_validates_mem(self, handle):
+        with pytest.raises(NvmlError):
+            handle.supported_graphics_clocks(9999.0)
+
+    def test_set_locked_clocks_validates_range(self, handle):
+        with pytest.raises(NvmlError):
+            handle.set_gpu_locked_clocks(1410.0, 705.0)
+
+    def test_set_locked_clocks_off_ladder_rejected(self, handle):
+        from repro.errors import ConfigError
+
+        with pytest.raises(ConfigError):
+            handle.set_gpu_locked_clocks(1100.0, 1100.0)
+
+    def test_locked_clock_round_trip(self, handle, a100_machine):
+        handle.set_gpu_locked_clocks(1095.0, 1095.0)
+        assert a100_machine.device().dvfs.locked_mhz == 1095.0
+        handle.reset_gpu_locked_clocks()
+        assert a100_machine.device().dvfs.locked_mhz is None
+
+    def test_clock_info_idle(self, handle):
+        assert handle.clock_info_sm_mhz() == A100_SXM4.idle_sm_frequency_mhz
+
+    def test_throttle_reasons_idle(self, handle, a100_machine):
+        a100_machine.host.sleep(0.5)
+        assert handle.current_clocks_throttle_reasons() & ThrottleReasons.GPU_IDLE
+
+    def test_temperature_and_power_query(self, handle):
+        assert handle.temperature_c() == pytest.approx(30.0)
+        assert handle.power_usage_w() >= A100_SXM4.idle_power_watts
+
+
+class TestCallCosts:
+    def test_set_costlier_than_query(self):
+        import numpy as np
+
+        costs = NvmlCallCosts(hiccup_prob=0.0)
+        rng = np.random.default_rng(0)
+        queries = [costs.sample(rng, "query") for _ in range(200)]
+        sets = [costs.sample(rng, "set") for _ in range(200)]
+        assert sum(sets) / len(sets) > sum(queries) / len(queries)
+
+    def test_hiccup_extends_call(self):
+        import numpy as np
+
+        rng = np.random.default_rng(0)
+        costs = NvmlCallCosts(hiccup_prob=1.0, hiccup_scale_s=10e-3)
+        mean = np.mean([costs.sample(rng) for _ in range(200)])
+        # Exponential hiccups with a 10 ms scale dominate the ~25 us base.
+        assert mean > 5e-3

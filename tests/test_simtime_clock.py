@@ -1,0 +1,114 @@
+"""Tests for virtual and hardware clocks."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ClockError
+from repro.simtime.clock import HardwareClock, VirtualClock
+
+
+class TestVirtualClock:
+    def test_starts_at_zero(self):
+        assert VirtualClock().now == 0.0
+
+    def test_custom_start(self):
+        assert VirtualClock(5.0).now == 5.0
+
+    def test_advance_accumulates(self):
+        clock = VirtualClock()
+        clock.advance(1.5)
+        clock.advance(0.5)
+        assert clock.now == pytest.approx(2.0)
+
+    def test_advance_returns_new_time(self):
+        clock = VirtualClock(1.0)
+        assert clock.advance(2.0) == pytest.approx(3.0)
+
+    def test_negative_advance_rejected(self):
+        with pytest.raises(ClockError):
+            VirtualClock().advance(-1e-9)
+
+    def test_nan_advance_rejected(self):
+        with pytest.raises(ClockError):
+            VirtualClock().advance(float("nan"))
+
+    def test_advance_to_forward(self):
+        clock = VirtualClock()
+        clock.advance_to(4.0)
+        assert clock.now == 4.0
+
+    def test_advance_to_past_is_noop(self):
+        clock = VirtualClock(10.0)
+        clock.advance_to(4.0)
+        assert clock.now == 10.0
+
+
+class TestHardwareClock:
+    def test_identity_clock(self):
+        clock = VirtualClock(3.0)
+        hw = HardwareClock(clock)
+        assert hw.read() == pytest.approx(3.0)
+
+    def test_offset_applied(self):
+        clock = VirtualClock(1.0)
+        hw = HardwareClock(clock, offset=100.0)
+        assert hw.read() == pytest.approx(101.0)
+
+    def test_drift_applied(self):
+        clock = VirtualClock(1000.0)
+        hw = HardwareClock(clock, drift=1e-6)
+        assert hw.read() == pytest.approx(1000.001)
+
+    def test_quantization_floors(self):
+        clock = VirtualClock(1.0000015)
+        hw = HardwareClock(clock, granularity=1e-6)
+        assert hw.read() == pytest.approx(1.000001)
+
+    def test_monotonic_reads(self):
+        clock = VirtualClock()
+        hw = HardwareClock(clock, granularity=1e-6)
+        values = []
+        for _ in range(100):
+            clock.advance(3.7e-7)
+            values.append(hw.read())
+        assert all(b >= a for a, b in zip(values, values[1:]))
+
+    def test_convert_invert_roundtrip(self):
+        clock = VirtualClock()
+        hw = HardwareClock(clock, offset=42.0, drift=2e-6)
+        t = 123.456
+        assert hw.invert(hw.convert(t)) == pytest.approx(t, abs=1e-9)
+
+    def test_convert_array_matches_scalar(self):
+        clock = VirtualClock()
+        hw = HardwareClock(clock, offset=7.0, drift=1e-6, granularity=1e-6)
+        times = np.linspace(0.0, 2.0, 50)
+        vec = hw.convert_array(times)
+        scalars = np.array([hw.convert(t) for t in times])
+        np.testing.assert_allclose(vec, scalars, rtol=0, atol=0)
+
+    @given(
+        offset=st.floats(-1e3, 1e3),
+        drift=st.floats(-1e-5, 1e-5),
+        t=st.floats(0.0, 1e5),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_quantized_read_within_granularity(self, offset, drift, t):
+        clock = VirtualClock(t)
+        hw = HardwareClock(clock, offset=offset, drift=drift, granularity=1e-6)
+        raw = (t) * (1.0 + drift) + offset
+        value = hw.convert(t)
+        # Floor quantization: value in (raw - granularity, raw], with a
+        # small epsilon for float rounding at the interval edges.
+        assert raw - 1e-6 - 1e-9 <= value <= raw + 1e-9
+
+    @given(t=st.floats(0.0, 1e4), dt=st.floats(0.0, 1e3))
+    @settings(max_examples=60, deadline=None)
+    def test_convert_monotone(self, t, dt):
+        clock = VirtualClock()
+        hw = HardwareClock(clock, offset=5.0, drift=1e-6, granularity=1e-6)
+        assert hw.convert(t + dt) >= hw.convert(t)

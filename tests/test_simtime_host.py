@@ -1,0 +1,66 @@
+"""Tests for the simulated host CPU."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ClockError
+from repro.simtime.clock import VirtualClock
+from repro.simtime.host import HostCpu, SleepModel
+
+
+class TestSleepModel:
+    def test_overshoot_positive(self):
+        rng = np.random.default_rng(0)
+        model = SleepModel()
+        assert all(model.sample_overshoot(rng) > 0 for _ in range(100))
+
+    def test_base_overshoot_floor(self):
+        rng = np.random.default_rng(0)
+        model = SleepModel(base_overshoot=1e-4, jitter_scale=1e-9)
+        assert model.sample_overshoot(rng) >= 1e-4
+
+    def test_interruptions_extend_sleep(self):
+        rng = np.random.default_rng(0)
+        noisy = SleepModel(interruption_prob=1.0, interruption_scale=1e-2)
+        quiet = SleepModel(interruption_prob=0.0)
+        noisy_mean = np.mean([noisy.sample_overshoot(rng) for _ in range(200)])
+        quiet_mean = np.mean([quiet.sample_overshoot(rng) for _ in range(200)])
+        assert noisy_mean > quiet_mean * 10
+
+
+class TestHostCpu:
+    def test_sleep_never_undersleeps(self, host):
+        t0 = host.true_now
+        host.sleep(0.01)
+        assert host.true_now - t0 >= 0.01
+
+    def test_usleep_converts_units(self, host):
+        t0 = host.true_now
+        host.usleep(500)
+        elapsed = host.true_now - t0
+        assert 500e-6 <= elapsed < 500e-6 + 1e-3
+
+    def test_negative_sleep_rejected(self, host):
+        with pytest.raises(ClockError):
+            host.sleep(-1.0)
+
+    def test_busy_is_exact(self, host):
+        t0 = host.true_now
+        host.busy(0.123)
+        assert host.true_now - t0 == pytest.approx(0.123)
+
+    def test_negative_busy_rejected(self, host):
+        with pytest.raises(ClockError):
+            host.busy(-0.1)
+
+    def test_clock_gettime_tracks_true_time(self, host):
+        host.busy(1.0)
+        assert host.clock_gettime() == pytest.approx(1.0, abs=1e-8)
+
+    def test_clock_gettime_monotonic(self, host):
+        previous = host.clock_gettime()
+        for _ in range(50):
+            host.sleep(1e-4)
+            now = host.clock_gettime()
+            assert now > previous
+            previous = now

@@ -1,0 +1,79 @@
+"""Tests for the null-hypothesis tests on summary statistics."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.stats.descriptive import SampleStats, summarize
+from repro.stats.hypothesis_tests import TestResult, means_differ, welch_t_test, z_test
+
+
+def stats(n, mean, std):
+    return SampleStats(n=n, mean=mean, std=std, minimum=0.0, maximum=0.0)
+
+
+class TestWelch:
+    def test_equal_means_not_rejected(self):
+        rng = np.random.default_rng(0)
+        a = summarize(rng.normal(3.0, 1.0, 100))
+        b = summarize(rng.normal(3.0, 1.0, 100))
+        assert not welch_t_test(a, b).reject_null(0.01)
+
+    def test_distinct_means_rejected(self):
+        a = stats(200, 10.0, 1.0)
+        b = stats(200, 11.0, 1.0)
+        assert welch_t_test(a, b).reject_null(0.001)
+
+    def test_statistic_sign(self):
+        t = welch_t_test(stats(50, 12.0, 1.0), stats(50, 10.0, 1.0))
+        assert t.statistic > 0
+
+    def test_matches_scipy_on_raw_data(self):
+        from scipy import stats as sps
+
+        rng = np.random.default_rng(1)
+        x = rng.normal(0.0, 1.0, 60)
+        y = rng.normal(0.4, 2.0, 45)
+        ours = welch_t_test(summarize(x), summarize(y))
+        ref = sps.ttest_ind(x, y, equal_var=False)
+        assert ours.statistic == pytest.approx(ref.statistic, rel=1e-9)
+        assert ours.pvalue == pytest.approx(ref.pvalue, rel=1e-6)
+
+    def test_degenerate_identical_constants(self):
+        t = welch_t_test(stats(10, 5.0, 0.0), stats(10, 5.0, 0.0))
+        assert t.pvalue == 1.0
+
+    def test_degenerate_distinct_constants(self):
+        t = welch_t_test(stats(10, 5.0, 0.0), stats(10, 6.0, 0.0))
+        assert t.pvalue == 0.0
+
+    def test_needs_two_samples(self):
+        with pytest.raises(ConfigError):
+            welch_t_test(stats(1, 1.0, 0.1), stats(10, 1.0, 0.1))
+
+
+class TestZTest:
+    def test_matches_welch_for_large_n(self):
+        a = stats(100_000, 5.0, 1.0)
+        b = stats(100_000, 5.002, 1.0)
+        assert z_test(a, b).pvalue == pytest.approx(
+            welch_t_test(a, b).pvalue, rel=1e-3
+        )
+
+    def test_rejects_clear_difference(self):
+        assert z_test(stats(1000, 1.0, 0.1), stats(1000, 2.0, 0.1)).reject_null()
+
+
+class TestHelpers:
+    def test_means_differ_welch(self):
+        assert means_differ(stats(100, 1.0, 0.1), stats(100, 2.0, 0.1))
+
+    def test_means_differ_z(self):
+        assert means_differ(
+            stats(100, 1.0, 0.1), stats(100, 2.0, 0.1), method="z"
+        )
+
+    def test_alpha_validated(self):
+        result = TestResult(statistic=1.0, pvalue=0.5, dof=10, kind="welch-t")
+        with pytest.raises(ConfigError):
+            result.reject_null(alpha=2.0)

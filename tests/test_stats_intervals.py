@@ -1,0 +1,116 @@
+"""Tests for confidence intervals and the 2-sigma band — including the
+paper's Sec. V-A contrast between the two."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError
+from repro.stats.descriptive import SampleStats, summarize
+from repro.stats.intervals import difference_ci, mean_ci, two_sigma_band
+
+
+def stats(n, mean, std):
+    return SampleStats(n=n, mean=mean, std=std, minimum=0.0, maximum=0.0)
+
+
+class TestMeanCi:
+    def test_contains_mean(self):
+        s = summarize([1.0, 2.0, 3.0])
+        lo, hi = mean_ci(s)
+        assert lo < s.mean < hi
+
+    def test_shrinks_with_n(self):
+        lo1, hi1 = mean_ci(stats(10, 5.0, 1.0))
+        lo2, hi2 = mean_ci(stats(1000, 5.0, 1.0))
+        assert (hi2 - lo2) < (hi1 - lo1)
+
+    def test_needs_two_samples(self):
+        with pytest.raises(ConfigError):
+            mean_ci(stats(1, 5.0, 1.0))
+
+    def test_invalid_confidence(self):
+        with pytest.raises(ConfigError):
+            mean_ci(stats(10, 5.0, 1.0), confidence=1.5)
+
+    def test_coverage_simulation(self):
+        """~95 % of CIs contain the true mean."""
+        rng = np.random.default_rng(0)
+        hits = 0
+        trials = 400
+        for _ in range(trials):
+            sample = rng.normal(10.0, 2.0, size=30)
+            lo, hi = mean_ci(summarize(sample))
+            hits += lo <= 10.0 <= hi
+        assert 0.90 <= hits / trials <= 0.99
+
+
+class TestDifferenceCi:
+    def test_excludes_zero_for_distinct_means(self):
+        a = stats(100, 10.0, 1.0)
+        b = stats(100, 12.0, 1.0)
+        lo, hi = difference_ci(a, b)
+        assert hi < 0.0 or lo > 0.0
+
+    def test_includes_zero_for_equal_means(self):
+        rng = np.random.default_rng(1)
+        a = summarize(rng.normal(5.0, 1.0, 200))
+        b = summarize(rng.normal(5.0, 1.0, 200))
+        lo, hi = difference_ci(a, b)
+        assert lo < 0.0 < hi
+
+    def test_sign_orientation(self):
+        a = stats(100, 12.0, 1.0)
+        b = stats(100, 10.0, 1.0)
+        lo, hi = difference_ci(a, b)
+        assert lo > 0.0  # a - b positive
+
+    def test_needs_two_each(self):
+        with pytest.raises(ConfigError):
+            difference_ci(stats(1, 1.0, 0.1), stats(10, 1.0, 0.1))
+
+
+class TestTwoSigmaBand:
+    def test_width_independent_of_n(self):
+        """The paper's key point: the 2-sigma band does NOT shrink with n,
+        unlike the confidence interval."""
+        small = two_sigma_band(stats(10, 5.0, 1.0))
+        huge = two_sigma_band(stats(10_000_000, 5.0, 1.0))
+        assert small == huge
+
+    def test_ci_collapses_with_n_but_band_does_not(self):
+        s = stats(10_000_000, 5.0, 1.0)
+        ci_lo, ci_hi = mean_ci(s)
+        band_lo, band_hi = two_sigma_band(s)
+        assert (ci_hi - ci_lo) < (band_hi - band_lo) / 1000
+
+    def test_band_width(self):
+        lo, hi = two_sigma_band(stats(10, 5.0, 1.0), width_sigmas=2.0)
+        assert (lo, hi) == (3.0, 7.0)
+
+    def test_invalid_width(self):
+        with pytest.raises(ConfigError):
+            two_sigma_band(stats(10, 5.0, 1.0), width_sigmas=0.0)
+
+    def test_covers_95_percent_of_normal_samples(self):
+        rng = np.random.default_rng(2)
+        sample = rng.normal(0.0, 1.0, 20_000)
+        lo, hi = two_sigma_band(summarize(sample))
+        coverage = ((sample >= lo) & (sample <= hi)).mean()
+        assert 0.94 < coverage < 0.965
+
+
+@given(
+    n=st.integers(2, 10_000),
+    mean=st.floats(-100, 100),
+    std=st.floats(0.01, 10.0),
+)
+@settings(max_examples=60, deadline=None)
+def test_ci_nested_in_band_for_n_over_4(n, mean, std):
+    """For n > 4 the CI of the mean is strictly inside the 2-sigma band."""
+    s = stats(n, mean, std)
+    ci_lo, ci_hi = mean_ci(s)
+    band_lo, band_hi = two_sigma_band(s)
+    if n > 4:
+        assert band_lo < ci_lo < ci_hi < band_hi

@@ -1,0 +1,78 @@
+"""Tests for the RSE stopping rule (campaign termination policy)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.stats.rse import RseStoppingRule, relative_standard_error
+
+
+class TestRelativeStandardError:
+    def test_known_value(self):
+        x = [10.0, 10.0, 10.0, 10.0]
+        assert relative_standard_error(x) == 0.0
+
+    def test_matches_definition(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(100.0, 5.0, 50)
+        expected = (x.std(ddof=1) / np.sqrt(50)) / abs(x.mean())
+        assert relative_standard_error(x) == pytest.approx(expected)
+
+    def test_single_sample_inf(self):
+        assert math.isinf(relative_standard_error([1.0]))
+
+    def test_zero_mean_inf(self):
+        assert math.isinf(relative_standard_error([-1.0, 1.0]))
+
+    def test_decreases_with_n(self):
+        rng = np.random.default_rng(1)
+        x = rng.normal(10.0, 1.0, 1000)
+        assert relative_standard_error(x[:900]) < relative_standard_error(x[:20])
+
+
+class TestStoppingRule:
+    def test_defaults_match_tool(self):
+        rule = RseStoppingRule()
+        assert rule.threshold == 0.05
+        assert rule.check_every == 25
+
+    def test_never_stops_below_min(self):
+        rule = RseStoppingRule(threshold=0.5, min_measurements=10)
+        assert not rule.should_stop([5.0] * 9)
+
+    def test_stops_at_max(self):
+        rule = RseStoppingRule(max_measurements=50)
+        assert rule.should_stop(list(np.random.default_rng(0).normal(5, 5, 50)))
+
+    def test_stops_on_tight_data_at_checkpoint(self):
+        rule = RseStoppingRule(
+            threshold=0.05, min_measurements=25, check_every=25
+        )
+        assert rule.should_stop([5.0 + 1e-6 * i for i in range(25)])
+
+    def test_skips_between_checkpoints(self):
+        rule = RseStoppingRule(
+            threshold=0.5, min_measurements=25, check_every=25
+        )
+        # 30 is not a multiple of 25: no check, no stop.
+        assert not rule.should_stop([5.0] * 30)
+
+    def test_loose_data_keeps_going(self):
+        rng = np.random.default_rng(2)
+        rule = RseStoppingRule(threshold=0.001, min_measurements=25)
+        values = list(rng.normal(10.0, 8.0, 25))
+        assert not rule.should_stop(values)
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ConfigError):
+            RseStoppingRule(threshold=0.0)
+
+    def test_max_below_min_rejected(self):
+        with pytest.raises(ConfigError):
+            RseStoppingRule(min_measurements=50, max_measurements=10)
+
+    def test_min_too_small_rejected(self):
+        with pytest.raises(ConfigError):
+            RseStoppingRule(min_measurements=1)

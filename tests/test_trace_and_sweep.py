@@ -1,0 +1,173 @@
+"""Tests for the event tracer, the device/model sweeps, and the oracle
+governor."""
+
+import pytest
+
+from repro import LatestConfig, make_machine
+from repro.core.sweep import sweep_devices, sweep_models
+from repro.errors import ConfigError
+from repro.governor import (
+    LatencyAwareGovernor,
+    NaiveGovernor,
+    OracleGovernor,
+    make_phased_application,
+    simulate_governor,
+)
+from repro.trace import NULL_TRACER, TraceEvent, Tracer
+from tests.conftest import fast_config
+
+
+class TestTracer:
+    def test_emit_and_query(self):
+        tracer = Tracer()
+        tracer.emit(1.0, "device", "kernel-launch", seq=0)
+        tracer.emit(2.0, "dvfs", "locked-clocks", target_mhz=705.0)
+        assert tracer.n_events == 2
+        assert len(list(tracer.events(category="dvfs"))) == 1
+
+    def test_disabled_tracer_drops(self):
+        tracer = Tracer(enabled=False)
+        tracer.emit(1.0, "x", "y")
+        assert tracer.n_events == 0
+
+    def test_null_tracer_is_disabled(self):
+        NULL_TRACER.emit(1.0, "x", "y")
+        assert NULL_TRACER.n_events == 0
+
+    def test_capacity_bounded(self):
+        tracer = Tracer(capacity=10)
+        for i in range(25):
+            tracer.emit(float(i), "c", "n", i=i)
+        assert tracer.n_events <= 10
+        assert tracer.n_dropped > 0
+        # Newest events survive.
+        assert tracer.last().data["i"] == 24
+
+    def test_time_window_filter(self):
+        tracer = Tracer()
+        for i in range(10):
+            tracer.emit(float(i), "c", "n")
+        window = list(tracer.events(t_min=3.0, t_max=6.0))
+        assert len(window) == 4
+
+    def test_render_and_categories(self):
+        tracer = Tracer()
+        tracer.emit(1.5, "device", "kernel-launch", seq=3)
+        text = tracer.render()
+        assert "kernel-launch" in text and "seq=3" in text
+        assert tracer.categories() == {"device": 1}
+
+    def test_format_event(self):
+        event = TraceEvent(t=1.0, category="a", name="b", data={"k": 1})
+        assert "k=1" in event.format()
+
+    def test_clear(self):
+        tracer = Tracer()
+        tracer.emit(0.0, "a", "b")
+        tracer.clear()
+        assert tracer.n_events == 0
+
+
+class TestTracedCampaign:
+    def test_campaign_emits_events(self):
+        from repro import run_campaign
+
+        tracer = Tracer()
+        machine = make_machine("A100", seed=12, tracer=tracer)
+        config = fast_config(
+            (705.0, 1410.0), min_measurements=4, max_measurements=5
+        )
+        run_campaign(machine, config)
+        counts = tracer.categories()
+        assert counts.get("device", 0) > 10     # launches + completions
+        assert counts.get("dvfs", 0) > 4        # locked-clock requests
+        assert counts.get("campaign", 0) >= 8   # evaluations
+
+    def test_dvfs_events_carry_ground_truth(self):
+        tracer = Tracer()
+        machine = make_machine("A100", seed=13, tracer=tracer)
+        handle = machine.nvml().device_get_handle_by_index(0)
+        ctx = machine.cuda_context()
+        from repro.cuda.kernel import MicrobenchmarkKernel
+
+        handle.set_gpu_locked_clocks(1095.0, 1095.0)
+        kernel = MicrobenchmarkKernel.sized_for(
+            machine.device().spec, total_duration_s=0.3, sm_count=1
+        )
+        ctx.run(kernel)
+        handle.set_gpu_locked_clocks(705.0, 705.0)
+        events = list(tracer.events(category="dvfs"))
+        assert events[-1].data["target_mhz"] == 705.0
+        assert events[-1].data["latency_ms"] is not None
+
+
+class TestSweeps:
+    def test_device_sweep(self):
+        machine = make_machine("A100", n_gpus=2, seed=21)
+        config = fast_config(
+            (705.0, 1410.0), min_measurements=4, max_measurements=5
+        )
+        results = sweep_devices(machine, config)
+        assert len(results) == 2
+        assert results[0].device_index == 0
+        assert results[1].device_index == 1
+        # Distinct units: measurements differ.
+        a = results[0].pair(705.0, 1410.0).latencies_s(False)
+        b = results[1].pair(705.0, 1410.0).latencies_s(False)
+        assert not (a[: len(b)] == b[: len(a)]).all()
+
+    def test_device_sweep_validates_indices(self):
+        machine = make_machine("A100", seed=21)
+        config = fast_config((705.0, 1410.0))
+        with pytest.raises(ConfigError):
+            sweep_devices(machine, config, device_indices=[5])
+        with pytest.raises(ConfigError):
+            sweep_devices(machine, config, device_indices=[])
+
+    def test_model_sweep(self):
+        configs = {
+            "A100": fast_config(
+                (705.0, 1410.0), min_measurements=4, max_measurements=5
+            ),
+            "RTX6000": fast_config(
+                (750.0, 1650.0), min_measurements=4, max_measurements=5
+            ),
+        }
+        results = sweep_models(configs, seed=5)
+        assert set(results) == {"A100", "RTX6000"}
+        assert results["A100"].gpu_name == "A100 SXM-4"
+        assert results["RTX6000"].gpu_name == "RTX Quadro 6000"
+
+    def test_empty_model_sweep_rejected(self):
+        with pytest.raises(ConfigError):
+            sweep_models({})
+
+
+class TestOracleGovernor:
+    def test_oracle_never_worse_than_naive(self):
+        from repro.gpusim.spec import GH200
+        from tests.test_governor import table
+
+        app = make_phased_application(GH200, n_phases=60, seed=4)
+        slow = table(
+            freqs=(1260.0, 1305.0, 1980.0),
+            default=8e-3,
+            overrides={(1980.0, 1260.0): 200e-3, (1305.0, 1260.0): 200e-3},
+        )
+        naive = simulate_governor(app, NaiveGovernor(slow))
+        oracle = simulate_governor(app, OracleGovernor(slow))
+        assert oracle.total_energy_j <= naive.total_energy_j * 1.01
+
+    def test_oracle_bounds_latency_aware(self):
+        from repro.gpusim.spec import A100_SXM4
+        from tests.test_governor import table
+
+        app = make_phased_application(A100_SXM4, n_phases=60, seed=5)
+        t = table(default=50e-3)
+        aware = simulate_governor(app, LatencyAwareGovernor(t))
+        oracle = simulate_governor(app, OracleGovernor(t))
+        # The oracle is the reference line: no heuristic governor beats it
+        # on the energy-delay product by more than noise.
+        edp_oracle = oracle.total_energy_j * oracle.total_time_s
+        edp_aware = aware.total_energy_j * aware.total_time_s
+        assert edp_oracle <= edp_aware * 1.05
