@@ -1,0 +1,93 @@
+"""Campaign throughput benchmark → BENCH_campaign.json.
+
+Times a small fixed-seed A100 campaign (4 frequencies / 12 pairs at bench
+fidelity) three ways — the legacy serial loop, the execution engine with
+one worker, and the engine with a 4-process pool — and writes wall seconds
+plus measurement throughput to ``BENCH_campaign.json`` at the repository
+root, so later PRs have a recorded perf baseline to not regress.
+
+Reference points on the original seed code (single CPU container):
+~2.2 s serial, ~230 measurements/s.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+from repro import LatestConfig, make_machine, run_campaign
+
+_REPO_ROOT = Path(__file__).resolve().parents[1]
+_OUTPUT = _REPO_ROOT / "BENCH_campaign.json"
+
+_SEED = 42
+_FREQUENCIES = (705.0, 975.0, 1215.0, 1410.0)
+
+
+def _bench_fidelity_config() -> LatestConfig:
+    """Pinned copy of the conftest bench fidelity (a perf baseline must
+    not drift when the shared fixtures are retuned)."""
+    return LatestConfig(
+        frequencies=_FREQUENCIES,
+        record_sm_count=12,
+        min_measurements=20,
+        max_measurements=60,
+        rse_check_every=10,
+        warmup_kernels=1,
+        warmup_kernel_duration_s=0.08,
+        measure_kernel_duration_s=0.12,
+        delay_iterations=250,
+        confirm_iterations=250,
+        probe_window_s=0.5,
+        settle_chunk_s=0.10,
+    )
+
+
+def _timed_campaign(workers):
+    machine = make_machine("A100", seed=_SEED)
+    config = _bench_fidelity_config()
+    t0 = time.perf_counter()
+    result = run_campaign(machine, config, workers=workers)
+    wall_s = time.perf_counter() - t0
+    n = sum(p.n_measurements for p in result.iter_measured())
+    return {
+        "wall_s": round(wall_s, 4),
+        "n_measurements": n,
+        "n_measured_pairs": result.n_measured_pairs,
+        "measurements_per_s": round(n / wall_s, 2),
+    }, result
+
+
+def test_campaign_throughput_baseline():
+    serial, serial_result = _timed_campaign(workers=None)
+    engine1, engine1_result = _timed_campaign(workers=1)
+    engine4, engine4_result = _timed_campaign(workers=4)
+
+    # Sanity: every mode measures the full pair grid.
+    assert serial["n_measured_pairs"] == 12
+    assert engine1["n_measured_pairs"] == 12
+    assert engine4["n_measured_pairs"] == 12
+    # Engine runs are bit-identical regardless of worker count.
+    assert engine1["n_measurements"] == engine4["n_measurements"]
+
+    payload = {
+        "benchmark": "A100 campaign, 4 frequencies / 12 pairs, bench fidelity",
+        "seed": _SEED,
+        "frequencies_mhz": list(_FREQUENCIES),
+        "cpu_count": os.cpu_count(),
+        "serial_legacy": serial,
+        "engine_workers_1": engine1,
+        "engine_workers_4": engine4,
+        "parallel_speedup_vs_engine_1": round(
+            engine1["wall_s"] / engine4["wall_s"], 3
+        ),
+    }
+    _OUTPUT.write_text(json.dumps(payload, indent=2) + "\n")
+
+    # Guardrails rather than tight bounds (CI boxes vary): a campaign
+    # should finish in seconds and sustain hundreds of measurements/s.
+    assert serial["wall_s"] < 30.0
+    assert serial["measurements_per_s"] > 50.0
+    assert engine4["wall_s"] < 60.0

@@ -23,21 +23,27 @@ Quickstart::
                           record_sm_count=16, max_measurements=40)
     result = run_campaign(machine, config)
     print(result.latency_matrix("max") * 1e3)   # worst case, ms
+
+Pass ``workers=N`` to :func:`run_campaign` to fan the frequency pairs out
+over a process pool (:mod:`repro.exec`); the result is bit-identical for
+every worker count.
 """
 
-from repro.core.campaign import LatestBenchmark, run_campaign
+from repro.core.campaign import LatestBenchmark, measure_pair, run_campaign
 from repro.core.config import LatestConfig
 from repro.core.results import CampaignResult, PairResult
-from repro.machine import Machine, make_machine
+from repro.machine import Machine, MachineBlueprint, make_machine
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",
     "make_machine",
     "Machine",
+    "MachineBlueprint",
     "LatestConfig",
     "LatestBenchmark",
+    "measure_pair",
     "run_campaign",
     "CampaignResult",
     "PairResult",

@@ -62,6 +62,16 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="directory for the per-pair CSV files",
     )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="measure frequency pairs across N worker processes via the "
+        "execution engine (results are bit-identical for any N, including "
+        "N=1); omit for the classic strictly-serial single-timeline loop "
+        "(default 1 process either way)",
+    )
     sim = parser.add_argument_group("simulated environment")
     sim.add_argument(
         "--gpu-model",
@@ -128,7 +138,7 @@ def main(argv: list[str] | None = None) -> int:
         output_dir=args.output_dir,
     )
     try:
-        result = run_campaign(machine, config)
+        result = run_campaign(machine, config, workers=args.workers)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1

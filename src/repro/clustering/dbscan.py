@@ -47,7 +47,14 @@ class DbscanResult:
         return float(self.noise_mask.mean())
 
     def cluster_sizes(self) -> list[int]:
-        return [int((self.labels == c).sum()) for c in range(self.n_clusters)]
+        n_clusters = self.n_clusters
+        if n_clusters == 0:
+            return []
+        # One bincount pass instead of one full label scan per cluster.
+        counts = np.bincount(
+            self.labels[self.labels >= 0], minlength=n_clusters
+        )
+        return counts.tolist()
 
     def largest_cluster(self) -> int:
         """Label of the most populous cluster (-1 if everything is noise)."""

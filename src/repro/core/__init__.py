@@ -15,7 +15,7 @@ Public entry points:
   estimation procedure of Sec. V.
 """
 
-from repro.core.campaign import LatestBenchmark, run_campaign
+from repro.core.campaign import LatestBenchmark, measure_pair, run_campaign
 from repro.core.config import LatestConfig
 from repro.core.phase1 import FrequencyCharacterization, Phase1Result, run_phase1
 from repro.core.phase2 import RawSwitchData, run_switch_benchmark
@@ -26,6 +26,7 @@ from repro.core.wakeup import WakeupEstimate, estimate_wakeup_latency
 __all__ = [
     "LatestConfig",
     "LatestBenchmark",
+    "measure_pair",
     "run_campaign",
     "run_phase1",
     "Phase1Result",

@@ -38,7 +38,7 @@ from repro.errors import MeasurementError
 from repro.gpusim.thermal import ThrottleReasons
 from repro.machine import Machine
 
-__all__ = ["ProbeInfo", "LatestBenchmark", "run_campaign"]
+__all__ = ["ProbeInfo", "LatestBenchmark", "measure_pair", "run_campaign"]
 
 #: minimum number of measurements before outlier filtering is meaningful
 _MIN_FOR_OUTLIER_FILTER = 12
@@ -135,7 +135,7 @@ class LatestBenchmark:
             window_s = cfg.probe_window_s
             latency = None
             for _ in range(cfg.max_window_retries + 1):
-                iters = self._iters_for_window(window_s, init, target, kernel)
+                iters = _iters_for_window(window_s, init, target, kernel)
                 try:
                     raw = run_switch_benchmark(self.bench, init, target, kernel, iters)
                 except MeasurementError:
@@ -157,29 +157,6 @@ class LatestBenchmark:
             pair_latencies=tuple(results),
         )
 
-    def _iters_for_window(
-        self, window_s: float, init: float, target: float, kernel
-    ) -> int:
-        """Iterations needed to keep measuring for ``window_s``.
-
-        Sized with the *shortest* iteration duration of the pair (highest
-        frequency) so the window never undershoots in time.
-        """
-        iter_s = kernel.iteration_duration_s(max(init, target))
-        return max(50, int(math.ceil(window_s / iter_s)))
-
-    def _initial_window_iters(
-        self, init: float, target: float, probe: ProbeInfo, kernel
-    ) -> int:
-        cfg = self.config
-        base = (
-            probe.max_latency_s
-            if cfg.window_policy == "probe-max"
-            else probe.median_latency_s
-        )
-        window_s = max(cfg.switch_window_factor * base, 2e-3)
-        return self._iters_for_window(window_s, init, target, kernel)
-
     # ------------------------------------------------------------------
     # per-pair measurement loop
     # ------------------------------------------------------------------
@@ -190,100 +167,159 @@ class LatestBenchmark:
         phase1: Phase1Result,
         probe: ProbeInfo,
     ) -> PairResult:
-        cfg = self.config
-        kernel = phase1.kernel
-        target_stats = phase1.stats_for(target_mhz)
-        rule = cfg.stopping_rule()
+        return measure_pair(self.bench, init_mhz, target_mhz, phase1, probe)
 
-        pair = PairResult(init_mhz=float(init_mhz), target_mhz=float(target_mhz))
-        window_iters = self._initial_window_iters(
-            init_mhz, target_mhz, probe, kernel
-        )
-        growths = 0
-        consecutive_failures = 0
-        passes = 0
 
-        while True:
-            try:
-                raw = run_switch_benchmark(
-                    self.bench, init_mhz, target_mhz, kernel, window_iters
-                )
-            except MeasurementError:
-                pair.n_failed_attempts += 1
-                consecutive_failures += 1
-                if consecutive_failures >= cfg.max_consecutive_failures:
-                    pair.skipped = True
-                    pair.skip_reason = "initial-frequency-never-settled"
-                    break
-                continue
-            passes += 1
+def _iters_for_window(
+    window_s: float, init: float, target: float, kernel
+) -> int:
+    """Iterations needed to keep measuring for ``window_s``.
 
-            # Throttle handling (paper Sec. VI): every five passes.
-            if passes % cfg.throttle_check_every == 0:
-                reasons = raw.throttle_reasons
-                if reasons & ThrottleReasons.SW_POWER_CAP:
-                    pair.skipped = True
-                    pair.skip_reason = "power-throttled"
-                    break
-                if reasons & (ThrottleReasons.SW_THERMAL | ThrottleReasons.HW_THERMAL):
-                    drop = min(cfg.throttle_discard_count, len(pair.measurements))
-                    if drop:
-                        del pair.measurements[-drop:]
-                    pair.n_throttle_discards += drop
-                    self.bench.host.sleep(cfg.throttle_backoff_s)
-                    continue
+    Sized with the *shortest* iteration duration of the pair (highest
+    frequency) so the window never undershoots in time.
+    """
+    iter_s = kernel.iteration_duration_s(max(init, target))
+    return max(50, int(math.ceil(window_s / iter_s)))
 
-            ev = evaluate_switch(raw, target_stats, cfg)
-            self.machine.tracer.emit(
-                self.machine.clock.now, "campaign", "evaluation",
-                pair=f"{init_mhz:g}->{target_mhz:g}",
-                outcome=ev.reason,
-                latency_ms=(
-                    round(ev.latency_s * 1e3, 3) if ev.ok else None
-                ),
+
+def _initial_window_iters(
+    bench: BenchContext,
+    init_mhz: float,
+    target_mhz: float,
+    probe: ProbeInfo,
+    kernel,
+) -> int:
+    cfg = bench.config
+    base = (
+        probe.max_latency_s
+        if cfg.window_policy == "probe-max"
+        else probe.median_latency_s
+    )
+    window_s = max(cfg.switch_window_factor * base, 2e-3)
+    return _iters_for_window(window_s, init_mhz, target_mhz, kernel)
+
+
+def measure_pair(
+    bench: BenchContext,
+    init_mhz: float,
+    target_mhz: float,
+    phase1: Phase1Result,
+    probe: ProbeInfo,
+) -> PairResult:
+    """Measure one frequency pair until the RSE stopping rule fires.
+
+    Standalone so the execution engine can run it against a per-pair
+    replica machine in a worker process; :class:`LatestBenchmark` delegates
+    here for the serial path.
+    """
+    cfg = bench.config
+    machine = bench.machine
+    kernel = phase1.kernel
+    target_stats = phase1.stats_for(target_mhz)
+    rule = cfg.stopping_rule()
+
+    pair = PairResult(init_mhz=float(init_mhz), target_mhz=float(target_mhz))
+    window_iters = _initial_window_iters(bench, init_mhz, target_mhz, probe, kernel)
+    growths = 0
+    consecutive_failures = 0
+    passes = 0
+
+    while True:
+        try:
+            raw = run_switch_benchmark(
+                bench, init_mhz, target_mhz, kernel, window_iters
             )
-            if ev.ok:
-                consecutive_failures = 0
-                pair.measurements.append(
-                    SwitchingLatencyMeasurement(
-                        latency_s=float(ev.latency_s),
-                        ts_acc=raw.ts_acc,
-                        te_acc=float(ev.te_acc),
-                        n_valid_sm=ev.n_valid_sm,
-                        window_iterations=window_iters,
-                        ground_truth_s=raw.ground_truth_latency_s,
-                        ground_truth_outlier=raw.ground_truth_outlier,
-                    )
-                )
-                if rule.should_stop([m.latency_s for m in pair.measurements]):
-                    break
-                continue
-
-            # Failed evaluation: grow the window when the latency escaped
-            # it ("repeated with a ten-times longer workload", Sec. V);
-            # otherwise simply repeat phases two and three.
+        except MeasurementError:
             pair.n_failed_attempts += 1
             consecutive_failures += 1
-            if ev.window_too_short and growths < cfg.max_window_retries:
-                window_iters = int(
-                    math.ceil(window_iters * cfg.window_growth_factor)
-                )
-                growths += 1
-                pair.n_window_growths += 1
-                consecutive_failures = 0
-            elif consecutive_failures >= cfg.max_consecutive_failures:
-                if not pair.measurements:
-                    pair.skipped = True
-                    pair.skip_reason = "no-viable-measurements"
+            if consecutive_failures >= cfg.max_consecutive_failures:
+                pair.skipped = True
+                pair.skip_reason = "initial-frequency-never-settled"
                 break
+            continue
+        passes += 1
 
-        if len(pair.measurements) >= _MIN_FOR_OUTLIER_FILTER:
-            pair.outliers = adaptive_dbscan(
-                [m.latency_s for m in pair.measurements], cfg.outlier_config
+        # Throttle handling (paper Sec. VI): every five passes.
+        if passes % cfg.throttle_check_every == 0:
+            reasons = raw.throttle_reasons
+            if reasons & ThrottleReasons.SW_POWER_CAP:
+                pair.skipped = True
+                pair.skip_reason = "power-throttled"
+                break
+            if reasons & (ThrottleReasons.SW_THERMAL | ThrottleReasons.HW_THERMAL):
+                drop = min(cfg.throttle_discard_count, len(pair.measurements))
+                if drop:
+                    del pair.measurements[-drop:]
+                pair.n_throttle_discards += drop
+                bench.host.sleep(cfg.throttle_backoff_s)
+                continue
+
+        ev = evaluate_switch(raw, target_stats, cfg)
+        machine.tracer.emit(
+            machine.clock.now, "campaign", "evaluation",
+            pair=f"{init_mhz:g}->{target_mhz:g}",
+            outcome=ev.reason,
+            latency_ms=(
+                round(ev.latency_s * 1e3, 3) if ev.ok else None
+            ),
+        )
+        if ev.ok:
+            consecutive_failures = 0
+            pair.measurements.append(
+                SwitchingLatencyMeasurement(
+                    latency_s=float(ev.latency_s),
+                    ts_acc=raw.ts_acc,
+                    te_acc=float(ev.te_acc),
+                    n_valid_sm=ev.n_valid_sm,
+                    window_iterations=window_iters,
+                    ground_truth_s=raw.ground_truth_latency_s,
+                    ground_truth_outlier=raw.ground_truth_outlier,
+                )
             )
-        return pair
+            if rule.should_stop([m.latency_s for m in pair.measurements]):
+                break
+            continue
+
+        # Failed evaluation: grow the window when the latency escaped
+        # it ("repeated with a ten-times longer workload", Sec. V);
+        # otherwise simply repeat phases two and three.
+        pair.n_failed_attempts += 1
+        consecutive_failures += 1
+        if ev.window_too_short and growths < cfg.max_window_retries:
+            window_iters = int(
+                math.ceil(window_iters * cfg.window_growth_factor)
+            )
+            growths += 1
+            pair.n_window_growths += 1
+            consecutive_failures = 0
+        elif consecutive_failures >= cfg.max_consecutive_failures:
+            if not pair.measurements:
+                pair.skipped = True
+                pair.skip_reason = "no-viable-measurements"
+            break
+
+    if len(pair.measurements) >= _MIN_FOR_OUTLIER_FILTER:
+        pair.outliers = adaptive_dbscan(
+            [m.latency_s for m in pair.measurements], cfg.outlier_config
+        )
+    return pair
 
 
-def run_campaign(machine: Machine, config: LatestConfig) -> CampaignResult:
-    """Convenience wrapper: build and run a campaign."""
-    return LatestBenchmark(machine, config).run()
+def run_campaign(
+    machine: Machine, config: LatestConfig, workers: int | None = None
+) -> CampaignResult:
+    """Build and run a campaign.
+
+    ``workers=None`` (the default) runs the original strictly-serial loop
+    on the caller's machine — today's exact semantics, bit for bit.  Any
+    integer ``workers >= 1`` routes through the execution engine
+    (:mod:`repro.exec`), which measures pairs on per-pair replica machines
+    with deterministic seed streams: the result is identical for every
+    worker count (1, 4, ...), but differs from the legacy serial timeline
+    because pairs no longer share one clock/RNG stream.
+    """
+    if workers is None:
+        return LatestBenchmark(machine, config).run()
+    from repro.exec.engine import run_campaign_parallel
+
+    return run_campaign_parallel(machine, config, workers=workers)

@@ -17,6 +17,13 @@ For every SM independently, scanning only iterations that started after the
 The pair's switching latency is the **maximum** over all valid SMs; if no
 SM is viable, phases two and three are repeated by the campaign loop.
 
+The confirmation step runs as array-wide Welch CI math over all candidate
+SMs at once (suffix statistics from shared cumulative-sum buffers, critical
+values from the rounded-dof cache in :mod:`repro.stats.intervals`); the
+original one-SampleStats-per-SM loop is retained as
+:func:`evaluate_switch_reference` for equivalence testing, mirroring the
+vectorized/reference split of :mod:`repro.gpusim.sm`.
+
 The FTaLaT-style confidence-interval criterion is retained behind
 ``detection_criterion="confidence-interval"`` for the Sec. V-A ablation:
 with millions of samples its band collapses below the device timer
@@ -34,9 +41,19 @@ from repro.core.config import LatestConfig
 from repro.core.phase2 import RawSwitchData
 from repro.errors import ConfigError
 from repro.stats.descriptive import SampleStats
-from repro.stats.intervals import difference_ci, two_sigma_band
+from repro.stats.intervals import (
+    difference_ci,
+    difference_ci_batch,
+    two_sigma_band,
+)
 
-__all__ = ["SmStatus", "SwitchEvaluation", "evaluate_switch", "detection_band"]
+__all__ = [
+    "SmStatus",
+    "SwitchEvaluation",
+    "evaluate_switch",
+    "evaluate_switch_reference",
+    "detection_band",
+]
 
 
 class SmStatus(enum.IntEnum):
@@ -93,20 +110,30 @@ def detection_band(
 
 
 def _suffix_stats(diffs: np.ndarray, cut: np.ndarray):
-    """Per-row mean/std/count of ``diffs[i, cut[i]:]`` without Python loops."""
+    """Per-row mean/std/count of ``diffs[i, cut[i]:]`` without Python loops.
+
+    The squares buffer is formed once and shared between the totals and
+    the cumulative sums (the seed computed ``diffs * diffs`` twice).
+    """
     n_sm, n_iter = diffs.shape
+    sq = diffs * diffs
     totals = diffs.sum(axis=1)
-    sq_totals = (diffs * diffs).sum(axis=1)
-    csum = np.cumsum(diffs, axis=1)
-    csq = np.cumsum(diffs * diffs, axis=1)
+    sq_totals = sq.sum(axis=1)
 
     cut = np.clip(cut, 0, n_iter)
+    # Prefix sums are only gathered at cut-1, so the cumulative buffers
+    # stop at the largest cut — the confirmation tail (often most of the
+    # window) never pays for them.
+    n_prefix = int(cut.max()) if cut.size else 0
+    csum = np.cumsum(diffs[:, :n_prefix], axis=1)
+    csq = np.cumsum(sq[:, :n_prefix], axis=1)
+
     before = np.where(cut > 0, np.take_along_axis(
         csum, np.maximum(cut - 1, 0)[:, None], axis=1
-    ).ravel(), 0.0)
+    ).ravel(), 0.0) if n_prefix else np.zeros(n_sm)
     before_sq = np.where(cut > 0, np.take_along_axis(
         csq, np.maximum(cut - 1, 0)[:, None], axis=1
-    ).ravel(), 0.0)
+    ).ravel(), 0.0) if n_prefix else np.zeros(n_sm)
 
     n_tail = (n_iter - cut).astype(np.int64)
     safe_n = np.maximum(n_tail, 1)
@@ -119,12 +146,8 @@ def _suffix_stats(diffs: np.ndarray, cut: np.ndarray):
     return mean, np.sqrt(var), n_tail
 
 
-def evaluate_switch(
-    raw: RawSwitchData,
-    target_stats: SampleStats,
-    cfg: LatestConfig,
-) -> SwitchEvaluation:
-    """Run the phase-3 evaluation over all recorded SMs."""
+def _detect(raw: RawSwitchData, target_stats: SampleStats, cfg: LatestConfig):
+    """Shared detection stage: masks, first-detection indices, statuses."""
     starts = raw.timestamps.starts
     ends = raw.timestamps.ends
     diffs = ends - starts
@@ -142,30 +165,22 @@ def evaluate_switch(
 
     detected = candidate.any(axis=1)
     first = np.where(detected, np.argmax(candidate, axis=1), n_iter)
+    return diffs, ends, ts, status, has_post, detected, first
 
-    # Tail statistics start after the detected iteration.
-    tail_mean, tail_std, n_tail = _suffix_stats(diffs, first + 1)
 
-    short = detected & (n_tail < cfg.min_confirm_tail)
-    status[detected] = int(SmStatus.CONFIRMATION_FAILED)
-    status[short] = int(SmStatus.SHORT_TAIL)
-
-    # Confirmation: difference CI of (tail - target) includes zero, or the
-    # mean difference is inside the relative tolerance (Algorithm 2 l. 20).
-    confirm_rows = np.flatnonzero(detected & ~short)
-    valid = np.zeros(n_sm, dtype=bool)
-    tol = cfg.tolerance_rel * target_stats.mean
-    for i in confirm_rows:
-        tail = SampleStats(
-            n=int(n_tail[i]),
-            mean=float(tail_mean[i]),
-            std=float(tail_std[i]),
-            minimum=0.0,
-            maximum=0.0,
-        )
-        lb, hb = difference_ci(tail, target_stats, cfg.confidence)
-        if (lb < 0.0 < hb) or abs(tail.mean - target_stats.mean) < tol:
-            valid[i] = True
+def _finish(
+    n_sm: int,
+    n_iter: int,
+    ends: np.ndarray,
+    ts: float,
+    status: np.ndarray,
+    has_post: np.ndarray,
+    detected: np.ndarray,
+    short: np.ndarray,
+    first: np.ndarray,
+    valid: np.ndarray,
+) -> SwitchEvaluation:
+    """Shared epilogue: per-SM latencies and the overall outcome."""
     status[valid] = int(SmStatus.OK)
 
     per_sm = np.full(n_sm, np.nan)
@@ -195,4 +210,93 @@ def evaluate_switch(
         sm_status=status,
         detection_indices=np.where(first < n_iter, first, -1),
         reason=reason,
+    )
+
+
+def evaluate_switch(
+    raw: RawSwitchData,
+    target_stats: SampleStats,
+    cfg: LatestConfig,
+) -> SwitchEvaluation:
+    """Run the phase-3 evaluation over all recorded SMs (vectorized)."""
+    diffs, ends, ts, status, has_post, detected, first = _detect(
+        raw, target_stats, cfg
+    )
+    n_sm, n_iter = diffs.shape
+
+    # Tail statistics start after the detected iteration; tail length is
+    # known without computing any statistics.
+    cut = first + 1
+    n_tail = (n_iter - np.clip(cut, 0, n_iter)).astype(np.int64)
+
+    short = detected & (n_tail < cfg.min_confirm_tail)
+    status[detected] = int(SmStatus.CONFIRMATION_FAILED)
+    status[short] = int(SmStatus.SHORT_TAIL)
+
+    # Confirmation: difference CI of (tail - target) includes zero, or the
+    # mean difference is inside the relative tolerance (Algorithm 2 l. 20),
+    # evaluated for every candidate SM at once.  Only candidate rows pay
+    # for suffix statistics.
+    confirm_rows = np.flatnonzero(detected & ~short)
+    valid = np.zeros(n_sm, dtype=bool)
+    if confirm_rows.size:
+        tail_mean, tail_std, tail_n = _suffix_stats(
+            diffs[confirm_rows], cut[confirm_rows]
+        )
+        # Variance via std*std (not the raw variance) to match the scalar
+        # reference path, which round-trips through SampleStats.
+        lb, hb = difference_ci_batch(
+            tail_mean, tail_std * tail_std, tail_n, target_stats, cfg.confidence
+        )
+        tol = cfg.tolerance_rel * target_stats.mean
+        ok = ((lb < 0.0) & (0.0 < hb)) | (
+            np.abs(tail_mean - target_stats.mean) < tol
+        )
+        valid[confirm_rows[ok]] = True
+
+    return _finish(
+        n_sm, n_iter, ends, ts, status, has_post, detected, short, first, valid
+    )
+
+
+def evaluate_switch_reference(
+    raw: RawSwitchData,
+    target_stats: SampleStats,
+    cfg: LatestConfig,
+) -> SwitchEvaluation:
+    """Scalar reference: one SampleStats + Welch CI per candidate SM.
+
+    This is the original formulation of the confirmation step.  It is kept
+    (like :func:`repro.gpusim.sm.integrate_iterations_reference`) so the
+    equivalence tests can assert that the vectorized path produces
+    identical statuses, latencies and reasons.
+    """
+    diffs, ends, ts, status, has_post, detected, first = _detect(
+        raw, target_stats, cfg
+    )
+    n_sm, n_iter = diffs.shape
+
+    tail_mean, tail_std, n_tail = _suffix_stats(diffs, first + 1)
+
+    short = detected & (n_tail < cfg.min_confirm_tail)
+    status[detected] = int(SmStatus.CONFIRMATION_FAILED)
+    status[short] = int(SmStatus.SHORT_TAIL)
+
+    confirm_rows = np.flatnonzero(detected & ~short)
+    valid = np.zeros(n_sm, dtype=bool)
+    tol = cfg.tolerance_rel * target_stats.mean
+    for i in confirm_rows:
+        tail = SampleStats(
+            n=int(n_tail[i]),
+            mean=float(tail_mean[i]),
+            std=float(tail_std[i]),
+            minimum=0.0,
+            maximum=0.0,
+        )
+        lb, hb = difference_ci(tail, target_stats, cfg.confidence)
+        if (lb < 0.0 < hb) or abs(tail.mean - target_stats.mean) < tol:
+            valid[i] = True
+
+    return _finish(
+        n_sm, n_iter, ends, ts, status, has_post, detected, short, first, valid
     )

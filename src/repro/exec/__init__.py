@@ -1,0 +1,25 @@
+"""Campaign execution engine: deterministic parallel pair measurement.
+
+A campaign decomposes into independent per-pair measurement jobs once
+phase 1 (characterization) and the probe stage have run: each job gets a
+replica of the campaign machine built from its blueprint with a
+deterministic per-pair seed stream, so results are bit-identical for any
+worker count — one process or a pool.
+
+::
+
+    from repro import LatestConfig, make_machine, run_campaign
+
+    machine = make_machine("A100", seed=42)
+    result = run_campaign(machine, config, workers=4)   # == workers=1
+"""
+
+from repro.exec.engine import CampaignExecutor, run_campaign_parallel
+from repro.exec.jobs import PairJob, PairJobResult
+
+__all__ = [
+    "CampaignExecutor",
+    "PairJob",
+    "PairJobResult",
+    "run_campaign_parallel",
+]

@@ -1,0 +1,192 @@
+"""The campaign executor: phase 1 once, pairs fanned out deterministically.
+
+Execution model
+---------------
+Phase 1 and the probe stage run on the driver's machine with exactly the
+same draws as the legacy serial loop — they are inherently sequential
+(workload growth feeds back into the kernel) and cheap.  Every valid pair
+then becomes a :class:`~repro.exec.jobs.PairJob`: a self-contained work
+order carrying the phase-1 statistics, the probe window estimate, the
+machine blueprint, a common virtual epoch, and a per-pair seed stream
+derived from the campaign machine's root entropy.
+
+Workers rebuild the machine from the blueprint (same GPU spec, same unit
+seed, same thermal configuration) with the job's seed and epoch, and run
+the unchanged :func:`repro.core.campaign.measure_pair` loop.  Because jobs
+share no mutable state, the merged :class:`CampaignResult` — per-pair
+measurements, outlier labels, CSV bytes — is bit-identical for every
+worker count; the pool only changes wall-clock time.
+
+``workers == 1`` executes the jobs in-process (no pool, no pickling) but
+through the same job pipeline, so it reproduces ``workers == N`` exactly.
+The legacy single-timeline semantics remain available through
+``run_campaign(machine, config)`` with ``workers=None``.
+
+Process pools use the ``fork`` start method where available (Linux) so
+workers inherit the loaded modules; ``spawn`` elsewhere.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from concurrent.futures import ProcessPoolExecutor
+
+from repro.core.campaign import LatestBenchmark, measure_pair
+from repro.core.phase1 import run_phase1
+from repro.core.config import LatestConfig
+from repro.core.context import BenchContext
+from repro.core.csvio import write_campaign_csvs
+from repro.core.results import CampaignResult, PairResult
+from repro.errors import ConfigError
+from repro.exec.jobs import PairJob, PairJobResult, pair_seed_sequence
+from repro.machine import Machine
+
+__all__ = ["CampaignExecutor", "run_campaign_parallel"]
+
+
+def _mp_context():
+    method = "fork" if "fork" in multiprocessing.get_all_start_methods() else "spawn"
+    return multiprocessing.get_context(method)
+
+
+def run_pair_job(job: PairJob) -> PairJobResult:
+    """Execute one pair job on a replica machine (worker entry point)."""
+    machine = job.blueprint.build(seed=job.seed, start_time=job.epoch)
+    bench = BenchContext(machine, job.config)
+    t0 = machine.clock.now
+    pair = measure_pair(bench, job.init_mhz, job.target_mhz, job.phase1, job.probe)
+    return PairJobResult(
+        index=job.index,
+        pair=pair,
+        elapsed_virtual_s=machine.clock.now - t0,
+    )
+
+
+class CampaignExecutor:
+    """Deterministic (optionally parallel) campaign execution.
+
+    Parameters
+    ----------
+    machine:
+        Campaign machine built by :func:`repro.machine.make_machine` (it
+        must carry a blueprint so workers can replicate it).
+    config:
+        Campaign configuration; CSV output (if any) is written by the
+        driver after the merge, exactly like the serial loop.
+    workers:
+        Process count.  ``1`` runs the job pipeline in-process; any value
+        produces the identical :class:`CampaignResult`.
+    """
+
+    def __init__(
+        self, machine: Machine, config: LatestConfig, workers: int = 1
+    ) -> None:
+        if workers < 1:
+            raise ConfigError(f"workers must be >= 1, got {workers}")
+        if machine.blueprint is None:
+            raise ConfigError(
+                "campaign executor needs a machine built by make_machine() "
+                "(hand-assembled machines carry no replication blueprint)"
+            )
+        self.machine = machine
+        self.config = config
+        self.workers = workers
+
+    # ------------------------------------------------------------------
+    def _build_jobs(self, phase1, probe, epoch) -> tuple[list[PairJob], dict]:
+        """Valid pairs become jobs; invalid pairs become skipped results."""
+        blueprint = self.machine.blueprint
+        device_index = self.config.device_index
+        valid = set(phase1.valid_pairs)
+
+        jobs: list[PairJob] = []
+        pairs: dict[tuple[float, float], PairResult | None] = {}
+        for index, (init, target) in enumerate(self.config.pairs()):
+            key = (float(init), float(target))
+            if key not in valid:
+                reason = (
+                    phase1.unreachable.get(key[0])
+                    or phase1.unreachable.get(key[1])
+                    or "statistically-indistinguishable"
+                )
+                pairs[key] = PairResult(
+                    init_mhz=key[0],
+                    target_mhz=key[1],
+                    skipped=True,
+                    skip_reason=reason,
+                )
+                continue
+            pairs[key] = None  # placeholder, filled by the job result
+            jobs.append(
+                PairJob(
+                    index=index,
+                    init_mhz=key[0],
+                    target_mhz=key[1],
+                    config=self.config,
+                    blueprint=blueprint,
+                    phase1=phase1,
+                    probe=probe,
+                    epoch=epoch,
+                    seed=pair_seed_sequence(blueprint, device_index, index),
+                )
+            )
+        return jobs, pairs
+
+    def _execute(self, jobs: list[PairJob]) -> list[PairJobResult]:
+        if self.workers == 1 or len(jobs) <= 1:
+            return [run_pair_job(job) for job in jobs]
+        n_workers = min(self.workers, len(jobs))
+        with ProcessPoolExecutor(
+            max_workers=n_workers, mp_context=_mp_context()
+        ) as pool:
+            return list(pool.map(run_pair_job, jobs))
+
+    # ------------------------------------------------------------------
+    def run(self) -> CampaignResult:
+        machine, config = self.machine, self.config
+        t_begin = machine.clock.now
+
+        # Phase 1 + probe: sequential by nature, same draws as the legacy
+        # loop (the driver machine's clock and RNG advance identically).
+        bench_driver = LatestBenchmark(machine, config)
+        phase1 = run_phase1(bench_driver.bench)
+        probe = (
+            bench_driver._probe_windows(phase1) if phase1.valid_pairs else None
+        )
+        epoch = machine.clock.now
+
+        jobs, pairs = self._build_jobs(phase1, probe, epoch)
+        results = self._execute(jobs)
+
+        # Merge in pair order; advance the driver clock by the summed
+        # virtual cost so downstream consumers still see time passing.
+        results.sort(key=lambda r: r.index)
+        total_elapsed = 0.0
+        by_index = {job.index: job for job in jobs}
+        for res in results:
+            job = by_index[res.index]
+            pairs[(job.init_mhz, job.target_mhz)] = res.pair
+            total_elapsed += res.elapsed_virtual_s
+        if total_elapsed > 0.0:
+            machine.clock.advance(total_elapsed)
+
+        result = CampaignResult(
+            gpu_name=bench_driver.bench.device.spec.name,
+            architecture=bench_driver.bench.device.spec.architecture,
+            hostname=machine.hostname,
+            device_index=config.device_index,
+            frequencies=config.frequencies,
+            pairs=pairs,
+            phase1=phase1,
+            wall_virtual_s=machine.clock.now - t_begin,
+        )
+        if config.output_dir is not None:
+            write_campaign_csvs(config.output_dir, result)
+        return result
+
+
+def run_campaign_parallel(
+    machine: Machine, config: LatestConfig, workers: int = 1
+) -> CampaignResult:
+    """Run a campaign through the execution engine (see module docs)."""
+    return CampaignExecutor(machine, config, workers=workers).run()

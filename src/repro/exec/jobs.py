@@ -1,0 +1,72 @@
+"""Job payloads shipped between the campaign driver and worker processes.
+
+Everything here must stay picklable: jobs cross a process boundary when
+the executor runs with ``workers > 1``.  The expensive shared inputs —
+phase-1 characterizations and the probe window estimate — are computed
+once by the driver and embedded in every job rather than recomputed per
+worker.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.campaign import ProbeInfo
+from repro.core.config import LatestConfig
+from repro.core.phase1 import Phase1Result
+from repro.core.results import PairResult
+from repro.machine import MachineBlueprint
+
+__all__ = ["PairJob", "PairJobResult", "pair_seed_sequence"]
+
+#: spawn-key namespace for per-pair streams — far above the handful of
+#: children ``make_machine`` spawns from the same root entropy, so pair
+#: streams can never collide with the host/device/machine streams
+_PAIR_STREAM_OFFSET = 0x5041_4952  # "PAIR"
+
+
+def pair_seed_sequence(
+    blueprint: MachineBlueprint, device_index: int, pair_index: int
+) -> np.random.SeedSequence:
+    """The deterministic seed stream of one pair job.
+
+    Derived from the campaign machine's root entropy (and spawn key, when
+    the machine itself was seeded with a spawned sequence) plus the pair's
+    position in ``config.pairs()`` — independent of execution order,
+    worker count, and process boundaries.
+    """
+    return np.random.SeedSequence(
+        entropy=blueprint.entropy,
+        spawn_key=blueprint.seed_spawn_key
+        + (_PAIR_STREAM_OFFSET, device_index, pair_index),
+    )
+
+
+@dataclass(frozen=True)
+class PairJob:
+    """One frequency pair's measurement work order."""
+
+    index: int
+    init_mhz: float
+    target_mhz: float
+    config: LatestConfig
+    blueprint: MachineBlueprint
+    phase1: Phase1Result
+    probe: ProbeInfo
+    #: virtual time at which every pair machine starts (the driver clock
+    #: right after phase 1 + probe) — common to all jobs so results do not
+    #: depend on scheduling
+    epoch: float
+    seed: np.random.SeedSequence
+
+
+@dataclass
+class PairJobResult:
+    """What a worker sends back for one pair."""
+
+    index: int
+    pair: PairResult
+    #: virtual seconds the pair machine consumed (driver clock bookkeeping)
+    elapsed_virtual_s: float

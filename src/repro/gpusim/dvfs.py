@@ -35,6 +35,19 @@ from repro.gpusim.trajectory import FrequencyTrajectory
 
 __all__ = ["TransitionRecord", "DvfsClockDomain"]
 
+#: interior points of linspace(0, 1, n+2) for the handful of ramp step
+#: counts the staircase can draw — rebuilt arrays dominated ramp cost
+_RAMP_FRACTIONS: dict[int, np.ndarray] = {}
+
+
+def _ramp_fractions(n_steps: int) -> np.ndarray:
+    fracs = _RAMP_FRACTIONS.get(n_steps)
+    if fracs is None:
+        fracs = np.linspace(0, 1, n_steps + 2)[1:-1]
+        fracs.setflags(write=False)
+        _RAMP_FRACTIONS[n_steps] = fracs
+    return fracs
+
 
 @dataclass
 class TransitionRecord:
@@ -74,6 +87,11 @@ class DvfsClockDomain:
 
         self.locked_mhz: float | None = None
         self.records: list[TransitionRecord] = []
+        #: suffix of ``records`` that may still be pending (t_stable in the
+        #: future).  Time only moves forward, so completed records can be
+        #: dropped from this working set — scanning the full history on
+        #: every request made supersede handling quadratic per campaign.
+        self._maybe_pending: list[TransitionRecord] = []
         self._active_kernels = 0
         self._last_kernel_end: float | None = None
         self._ever_active = False
@@ -150,9 +168,10 @@ class DvfsClockDomain:
 
         init_mhz = self.effective_freq_at(t)
         # Supersede any still-pending transition: its future events vanish.
-        for rec in self.records:
+        for rec in self._maybe_pending:
             if not rec.superseded and rec.t_stable > t:
                 rec.superseded = True
+        self._maybe_pending.clear()
         self._drop_events_after(t)
 
         if abs(init_mhz - target_mhz) < 1e-9:
@@ -168,6 +187,7 @@ class DvfsClockDomain:
                 t_stable=t + bus,
             )
             self.records.append(rec)
+            self._maybe_pending.append(rec)
             return rec
 
         init_supported = self.spec.nearest_supported_clock(init_mhz)
@@ -187,6 +207,7 @@ class DvfsClockDomain:
             t_stable=t_stable,
         )
         self.records.append(rec)
+        self._maybe_pending.append(rec)
         return rec
 
     def reset_locked_clocks(self, t: float) -> None:
@@ -207,7 +228,7 @@ class DvfsClockDomain:
         n_steps = int(self.rng.integers(2, 6))
         if adaptation_s > 0.0 and n_steps > 0:
             fracs = np.sort(self.rng.uniform(0.15, 0.9, size=n_steps))
-            times = t_stable - adaptation_s * (1.0 - np.linspace(0, 1, n_steps + 2)[1:-1])
+            times = t_stable - adaptation_s * (1.0 - _ramp_fractions(n_steps))
             for frac, ts in zip(fracs, times):
                 f = init_mhz + (target_mhz - init_mhz) * float(frac)
                 self._insert_event(float(ts), self.spec.nearest_supported_clock(f))
@@ -251,6 +272,7 @@ class DvfsClockDomain:
             kind="wakeup",
         )
         self.records.append(rec)
+        self._maybe_pending.append(rec)
         return rec
 
     def notify_kernel_end(self, t: float) -> None:
@@ -275,11 +297,18 @@ class DvfsClockDomain:
     # trajectory compilation
     # ------------------------------------------------------------------
     def trajectory(self, t0: float) -> FrequencyTrajectory:
-        """Effective frequency trajectory from ``t0`` onward (caps applied)."""
-        boundaries = sorted(
-            {t for t in self._event_times if t > t0}
-            | {t for t in self._cap_times if t > t0}
-        )
+        """Effective frequency trajectory from ``t0`` onward (caps applied).
+
+        Both event lists are kept sorted, so the boundaries after ``t0``
+        are suffix slices found by bisection — scanning the full (ever
+        growing) event history per kernel finalization made this quadratic
+        over a campaign.
+        """
+        events_after = self._event_times[
+            bisect.bisect_right(self._event_times, t0):
+        ]
+        caps_after = self._cap_times[bisect.bisect_right(self._cap_times, t0):]
+        boundaries = sorted({*events_after, *caps_after})
         events: list[tuple[float, float]] = []
         f0 = min(self.planned_freq_at(t0), self.cap_at(t0))
         for t in boundaries:

@@ -23,6 +23,7 @@ SM clock steps         120           81          110
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import cached_property
 
 import numpy as np
 
@@ -81,13 +82,14 @@ class GpuSpec:
         if self.sm_frequency_steps < 2:
             raise ConfigError(f"{self.name}: need at least two frequency steps")
 
-    @property
+    @cached_property
     def supported_clocks_mhz(self) -> tuple[float, ...]:
         """The SM clock ladder, descending (NVML ordering).
 
         NVIDIA SM ladders step by 15 MHz; the ladder spans
         [min, max] inclusive, which reproduces every frequency appearing in
-        the paper's heatmaps.
+        the paper's heatmaps.  Cached: the DVFS layer consults the ladder
+        on every locked-clocks request and ramp step.
         """
         ladder = np.arange(
             self.min_sm_frequency_mhz,
@@ -96,10 +98,30 @@ class GpuSpec:
         )
         return tuple(float(f) for f in ladder[::-1])
 
+    @cached_property
+    def _clock_ladder_array(self) -> np.ndarray:
+        return np.asarray(self.supported_clocks_mhz)
+
+    @cached_property
+    def _nearest_clock_memo(self) -> dict[float, float]:
+        return {}
+
     def nearest_supported_clock(self, freq_mhz: float) -> float:
-        """Snap ``freq_mhz`` to the closest ladder entry."""
-        clocks = np.asarray(self.supported_clocks_mhz)
-        return float(clocks[np.argmin(np.abs(clocks - freq_mhz))])
+        """Snap ``freq_mhz`` to the closest ladder entry (memoized).
+
+        The memo is bounded: ramp staircases query continuous random
+        frequencies (near-zero hit rate), and the concrete specs are
+        module-level singletons that live for the whole process.
+        """
+        memo = self._nearest_clock_memo
+        nearest = memo.get(freq_mhz)
+        if nearest is None:
+            clocks = self._clock_ladder_array
+            nearest = float(clocks[np.argmin(np.abs(clocks - freq_mhz))])
+            if len(memo) >= 4096:
+                memo.clear()
+            memo[freq_mhz] = nearest
+        return nearest
 
     def validate_clock(self, freq_mhz: float, tolerance_mhz: float = 0.5) -> float:
         """Return the ladder entry matching ``freq_mhz`` or raise.

@@ -23,7 +23,61 @@ from repro.simtime.clock import VirtualClock
 from repro.simtime.host import HostCpu, SleepModel
 from repro.trace import NULL_TRACER, Tracer
 
-__all__ = ["Machine", "make_machine"]
+__all__ = ["Machine", "MachineBlueprint", "make_machine"]
+
+
+@dataclass(frozen=True)
+class MachineBlueprint:
+    """Everything needed to rebuild a :func:`make_machine` machine.
+
+    The campaign execution engine ships blueprints to worker processes so
+    each frequency-pair job can materialize an identical machine with its
+    own deterministic random stream (a :class:`numpy.random.SeedSequence`
+    derived from ``entropy``).  Machines constructed by hand (not via
+    :func:`make_machine`) carry no blueprint and cannot be replicated.
+    """
+
+    gpu_model: GpuSpec
+    n_gpus: int
+    entropy: "int | None"
+    #: spawn key of the master SeedSequence (non-empty when the machine
+    #: was seeded with a spawned SeedSequence rather than a plain int)
+    seed_spawn_key: tuple[int, ...]
+    hostname: str
+    thermal_enabled: bool
+    ambient_c: float
+    power_limit_w: float | None
+    sleep_model: SleepModel | None
+    unit_seeds: tuple[int, ...] | None
+    start_time: float
+
+    def build(
+        self,
+        seed: "int | np.random.SeedSequence | None" = None,
+        start_time: float | None = None,
+    ) -> "Machine":
+        """Rebuild the machine, optionally with a derived seed/epoch.
+
+        Without overrides this reproduces the original machine exactly
+        (same streams, same start time).  Worker processes pass a spawned
+        :class:`~numpy.random.SeedSequence` and the campaign epoch.
+        """
+        if seed is None:
+            seed = np.random.SeedSequence(
+                entropy=self.entropy, spawn_key=self.seed_spawn_key
+            )
+        return make_machine(
+            self.gpu_model,
+            n_gpus=self.n_gpus,
+            seed=seed,
+            hostname=self.hostname,
+            thermal_enabled=self.thermal_enabled,
+            ambient_c=self.ambient_c,
+            power_limit_w=self.power_limit_w,
+            sleep_model=self.sleep_model,
+            unit_seeds=list(self.unit_seeds) if self.unit_seeds else None,
+            start_time=self.start_time if start_time is None else start_time,
+        )
 
 
 @dataclass
@@ -36,6 +90,9 @@ class Machine:
     hostname: str = "simnode01"
     rng: np.random.Generator = field(default_factory=np.random.default_rng)
     tracer: Tracer = field(default_factory=lambda: NULL_TRACER)
+    #: construction record for process-pool replication (None when the
+    #: machine was assembled by hand)
+    blueprint: MachineBlueprint | None = None
 
     def device(self, index: int = 0) -> GpuDevice:
         try:
@@ -60,7 +117,7 @@ class Machine:
 def make_machine(
     gpu_model: str | GpuSpec = "A100",
     n_gpus: int = 1,
-    seed: int | None = 0,
+    seed: "int | np.random.SeedSequence | None" = 0,
     hostname: str = "simnode01",
     thermal_enabled: bool = False,
     ambient_c: float = 30.0,
@@ -80,7 +137,9 @@ def make_machine(
     n_gpus:
         Number of identical GPUs (multi-GPU nodes, paper Sec. VII-C).
     seed:
-        Master seed; every stochastic component derives from it.
+        Master seed; every stochastic component derives from it.  A
+        :class:`numpy.random.SeedSequence` may be passed directly (the
+        execution engine derives per-pair sequences this way).
     thermal_enabled / ambient_c / power_limit_w:
         Thermal-model controls.  Disabled by default (the paper's
         front-row, thermally unconstrained configuration).
@@ -93,7 +152,11 @@ def make_machine(
     if n_gpus < 1:
         raise ConfigError("machine needs at least one GPU")
     spec = gpu_model if isinstance(gpu_model, GpuSpec) else lookup_spec(gpu_model)
-    master = np.random.SeedSequence(seed)
+    master = (
+        seed
+        if isinstance(seed, np.random.SeedSequence)
+        else np.random.SeedSequence(seed)
+    )
     host_ss, *gpu_ss = master.spawn(1 + n_gpus)
 
     clock = VirtualClock(start=start_time)
@@ -127,6 +190,19 @@ def make_machine(
                 tracer=trace,
             )
         )
+    blueprint = MachineBlueprint(
+        gpu_model=spec,
+        n_gpus=n_gpus,
+        entropy=master.entropy,
+        seed_spawn_key=tuple(master.spawn_key),
+        hostname=hostname,
+        thermal_enabled=thermal_enabled,
+        ambient_c=ambient_c,
+        power_limit_w=power_limit_w,
+        sleep_model=sleep_model,
+        unit_seeds=tuple(unit_seeds),
+        start_time=start_time,
+    )
     return Machine(
         clock=clock,
         host=host,
@@ -134,4 +210,5 @@ def make_machine(
         hostname=hostname,
         rng=np.random.default_rng(master.spawn(1)[0]),
         tracer=trace,
+        blueprint=blueprint,
     )

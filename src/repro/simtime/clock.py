@@ -107,9 +107,12 @@ class HardwareClock:
         """Vectorized :meth:`convert` for numpy arrays (used by the SM engine)."""
         import numpy as np
 
-        raw = (np.asarray(true_t, dtype=np.float64) - self.epoch) * (
-            1.0 + self.drift
-        ) + self.offset
+        raw = np.asarray(true_t, dtype=np.float64) - self.epoch
+        raw *= 1.0 + self.drift
+        raw += self.offset
         if self.granularity <= 0.0:
             return raw
-        return np.floor(raw / self.granularity) * self.granularity
+        raw /= self.granularity
+        np.floor(raw, out=raw)
+        raw *= self.granularity
+        return raw

@@ -96,17 +96,29 @@ def synchronize_timers(
     link = link or PtpLink()
     rng = host.rng
 
+    # The handshake is a pure alternation of clock conversions and local
+    # time advances; tracking true time in a local accumulator (committed
+    # to the machine clock once at the end) keeps the per-round cost at
+    # the random draws themselves.  The advance sequence — and therefore
+    # every timestamp and every draw — is identical to stepping the shared
+    # clock through ``host.busy`` on each leg.
+    os_convert = host.os_clock.convert
+    gpu_convert = device.gpu_clock.convert
+    sample_delay = link.sample_delay
+    uniform = rng.uniform
+    t = host.clock.now
+
     best: tuple[float, float, float] | None = None  # (delay, offset, t1)
     delays = []
     for _ in range(rounds):
-        t1 = host.clock_gettime()
-        host.busy(link.sample_delay(rng, "up"))
-        t2 = device.gpu_clock.read()
+        t1 = os_convert(t)
+        t += sample_delay(rng, "up")
+        t2 = gpu_convert(t)
         # Device-side turnaround (firmware handling the probe).
-        host.busy(float(rng.uniform(0.2e-6, 0.6e-6)))
-        t3 = device.gpu_clock.read()
-        host.busy(link.sample_delay(rng, "down"))
-        t4 = host.clock_gettime()
+        t += float(uniform(0.2e-6, 0.6e-6))
+        t3 = gpu_convert(t)
+        t += sample_delay(rng, "down")
+        t4 = os_convert(t)
 
         offset = ((t2 - t1) + (t3 - t4)) / 2.0
         delay = ((t4 - t1) - (t3 - t2)) / 2.0
@@ -114,6 +126,13 @@ def synchronize_timers(
         if best is None or delay < best[0]:
             best = (delay, offset, t1)
 
+    host.clock.advance_to(t)
+    # The loop bypassed HardwareClock.read() (pure conversions instead);
+    # one real read per clock re-arms the monotonic guard and _last_read
+    # bookkeeping for later callers, and asserts consistency once per
+    # handshake.  No time passes and no draws are consumed.
+    host.os_clock.read()
+    device.gpu_clock.read()
     assert best is not None
     delay, offset, t1 = best
     return SyncResult(
