@@ -1,13 +1,26 @@
 """Campaign throughput benchmark → BENCH_campaign.json.
 
 Times a small fixed-seed A100 campaign (4 frequencies / 12 pairs at bench
-fidelity) three ways — the legacy serial loop, the execution engine with
-one worker, and the engine with a 4-process pool — and writes wall seconds
-plus measurement throughput to ``BENCH_campaign.json`` at the repository
-root, so later PRs have a recorded perf baseline to not regress.
+fidelity) four ways — the legacy serial loop, the execution engine with
+one worker on the scalar reference loop, the engine on the batched
+pass-block pipeline, and (when the host can honestly run it) the engine
+with a 4-process pool — and writes wall seconds plus measurement
+throughput to ``BENCH_campaign.json`` at the repository root, so later
+PRs have a recorded perf baseline to not regress.
+
+Honesty rules:
+
+* every mode is timed ``_REPEATS`` times and the **best** wall clock is
+  recorded (standard practice — the minimum is the least noise-polluted
+  sample of a deterministic workload on a shared container);
+* the multi-worker comparison is *skipped with a recorded reason* when
+  the host has fewer cores than workers — timing a 4-process pool on a
+  1-core container produced the seed's infamous 0.772x "speedup", which
+  measured the scheduler, not the engine.
 
 Reference points on the original seed code (single CPU container):
-~2.2 s serial, ~230 measurements/s.
+~2.2 s serial, ~230 measurements/s; PR 1 recorded 448.23 meas/s for
+``engine_workers_1``.
 """
 
 from __future__ import annotations
@@ -15,6 +28,7 @@ from __future__ import annotations
 import json
 import os
 import time
+from dataclasses import replace
 from pathlib import Path
 
 from repro import LatestConfig, make_machine, run_campaign
@@ -24,11 +38,19 @@ _OUTPUT = _REPO_ROOT / "BENCH_campaign.json"
 
 _SEED = 42
 _FREQUENCIES = (705.0, 975.0, 1215.0, 1410.0)
+_REPEATS = 5
+#: engine_workers_1 measurements/s recorded by PR 1 (the perf baseline
+#: the batched pipeline is scored against)
+_BASELINE_ENGINE_1 = 448.23
 
 
 def _bench_fidelity_config() -> LatestConfig:
     """Pinned copy of the conftest bench fidelity (a perf baseline must
-    not drift when the shared fixtures are retuned)."""
+    not drift when the shared fixtures are retuned).
+
+    ``pass_block_size=None`` pins the scalar reference loop; batched
+    modes override it explicitly so the comparison axis is visible here.
+    """
     return LatestConfig(
         frequencies=_FREQUENCIES,
         record_sm_count=12,
@@ -42,15 +64,23 @@ def _bench_fidelity_config() -> LatestConfig:
         confirm_iterations=250,
         probe_window_s=0.5,
         settle_chunk_s=0.10,
+        pass_block_size=None,
     )
 
 
-def _timed_campaign(workers):
-    machine = make_machine("A100", seed=_SEED)
-    config = _bench_fidelity_config()
-    t0 = time.perf_counter()
-    result = run_campaign(machine, config, workers=workers)
-    wall_s = time.perf_counter() - t0
+def _timed_campaign(workers, pass_block_size=None):
+    best = None
+    for _ in range(_REPEATS):
+        machine = make_machine("A100", seed=_SEED)
+        config = replace(
+            _bench_fidelity_config(), pass_block_size=pass_block_size
+        )
+        t0 = time.perf_counter()
+        result = run_campaign(machine, config, workers=workers)
+        wall_s = time.perf_counter() - t0
+        if best is None or wall_s < best[0]:
+            best = (wall_s, result)
+    wall_s, result = best
     n = sum(p.n_measurements for p in result.iter_measured())
     return {
         "wall_s": round(wall_s, 4),
@@ -61,27 +91,54 @@ def _timed_campaign(workers):
 
 
 def test_campaign_throughput_baseline():
-    serial, serial_result = _timed_campaign(workers=None)
-    engine1, engine1_result = _timed_campaign(workers=1)
-    engine4, engine4_result = _timed_campaign(workers=4)
+    serial, _ = _timed_campaign(workers=None)
+    engine1, _ = _timed_campaign(workers=1)
+    batched, _ = _timed_campaign(workers=1, pass_block_size=25)
 
-    # Sanity: every mode measures the full pair grid.
+    # Sanity: every mode measures the full pair grid, and the batched
+    # pipeline reproduces the scalar engine's measurement set exactly.
     assert serial["n_measured_pairs"] == 12
     assert engine1["n_measured_pairs"] == 12
-    assert engine4["n_measured_pairs"] == 12
-    # Engine runs are bit-identical regardless of worker count.
-    assert engine1["n_measurements"] == engine4["n_measurements"]
+    assert batched["n_measured_pairs"] == 12
+    assert batched["n_measurements"] == engine1["n_measurements"]
+
+    cpu_count = os.cpu_count() or 1
+    if cpu_count >= 4:
+        engine4, _ = _timed_campaign(workers=4)
+        assert engine4["n_measurements"] == engine1["n_measurements"]
+        parallel_speedup = round(engine1["wall_s"] / engine4["wall_s"], 3)
+    else:
+        engine4 = {
+            "skipped": True,
+            "reason": (
+                f"host has {cpu_count} CPU(s) < 4 workers; a process-pool "
+                "timing would measure scheduler contention, not the engine"
+            ),
+        }
+        parallel_speedup = None
 
     payload = {
         "benchmark": "A100 campaign, 4 frequencies / 12 pairs, bench fidelity",
         "seed": _SEED,
         "frequencies_mhz": list(_FREQUENCIES),
-        "cpu_count": os.cpu_count(),
+        "cpu_count": cpu_count,
+        "timing": f"best of {_REPEATS} runs per mode",
         "serial_legacy": serial,
         "engine_workers_1": engine1,
+        "engine_batched_block25": batched,
         "engine_workers_4": engine4,
-        "parallel_speedup_vs_engine_1": round(
-            engine1["wall_s"] / engine4["wall_s"], 3
+        "parallel_speedup_vs_engine_1": parallel_speedup,
+        "batched_speedup_vs_engine_1": round(
+            engine1["wall_s"] / batched["wall_s"], 3
+        ),
+        "batched_speedup_vs_pr1_baseline": round(
+            batched["measurements_per_s"] / _BASELINE_ENGINE_1, 3
+        ),
+        "baseline_note": (
+            f"PR 1 baseline ({_BASELINE_ENGINE_1} meas/s) was recorded on "
+            "the 1-CPU reference container; the speedup ratio is only "
+            "meaningful on comparable hardware — cross-host runs (CI) "
+            "should track measurements_per_s over time instead"
         ),
     }
     _OUTPUT.write_text(json.dumps(payload, indent=2) + "\n")
@@ -90,4 +147,4 @@ def test_campaign_throughput_baseline():
     # should finish in seconds and sustain hundreds of measurements/s.
     assert serial["wall_s"] < 30.0
     assert serial["measurements_per_s"] > 50.0
-    assert engine4["wall_s"] < 60.0
+    assert batched["wall_s"] < 30.0

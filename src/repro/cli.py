@@ -72,6 +72,22 @@ def build_parser() -> argparse.ArgumentParser:
         "N=1); omit for the classic strictly-serial single-timeline loop "
         "(default 1 process either way)",
     )
+    parser.add_argument(
+        "--pass-block",
+        type=int,
+        default=25,
+        metavar="B",
+        help="upper bound on the batched pass-block size of the per-pair "
+        "measurement loop (results are bit-identical for every value); "
+        "0 forces the scalar reference loop (default 25)",
+    )
+    parser.add_argument(
+        "--profile",
+        default=None,
+        metavar="OUT.pstats",
+        help="profile the campaign under cProfile and write the stats to "
+        "this path (inspect with python -m pstats or snakeviz)",
+    )
     sim = parser.add_argument_group("simulated environment")
     sim.add_argument(
         "--gpu-model",
@@ -136,12 +152,24 @@ def main(argv: list[str] | None = None) -> int:
         max_measurements=args.max_measurements,
         record_sm_count=args.sm_count,
         output_dir=args.output_dir,
+        pass_block_size=args.pass_block if args.pass_block > 0 else None,
     )
+    profiler = None
+    if args.profile:
+        import cProfile
+
+        profiler = cProfile.Profile()
+        profiler.enable()
     try:
         result = run_campaign(machine, config, workers=args.workers)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
+    finally:
+        if profiler is not None:
+            profiler.disable()
+            profiler.dump_stats(args.profile)
+            print(f"profile written to {args.profile}", file=sys.stderr)
 
     if not args.quiet:
         for pair in result.pairs.values():

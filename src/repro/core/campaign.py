@@ -38,7 +38,13 @@ from repro.errors import MeasurementError
 from repro.gpusim.thermal import ThrottleReasons
 from repro.machine import Machine
 
-__all__ = ["ProbeInfo", "LatestBenchmark", "measure_pair", "run_campaign"]
+__all__ = [
+    "ProbeInfo",
+    "LatestBenchmark",
+    "measure_pair",
+    "measure_pair_reference",
+    "run_campaign",
+]
 
 #: minimum number of measurements before outlier filtering is meaningful
 _MIN_FOR_OUTLIER_FILTER = 12
@@ -211,6 +217,37 @@ def measure_pair(
     Standalone so the execution engine can run it against a per-pair
     replica machine in a worker process; :class:`LatestBenchmark` delegates
     here for the serial path.
+
+    Dispatches to the batched pass-block pipeline
+    (:mod:`repro.core.passblock`) unless ``config.pass_block_size`` is
+    ``None`` or the machine carries an active tracer — both paths produce
+    bit-identical results; the scalar loop below is the reference
+    implementation and the one whose per-pass trace events are meaningful.
+    """
+    from repro.trace import NULL_TRACER
+
+    block = bench.config.pass_block_size
+    if block is not None and bench.machine.tracer is NULL_TRACER:
+        from repro.core.passblock import measure_pair_blocked
+
+        return measure_pair_blocked(
+            bench, init_mhz, target_mhz, phase1, probe, block
+        )
+    return measure_pair_reference(bench, init_mhz, target_mhz, phase1, probe)
+
+
+def measure_pair_reference(
+    bench: BenchContext,
+    init_mhz: float,
+    target_mhz: float,
+    phase1: Phase1Result,
+    probe: ProbeInfo,
+) -> PairResult:
+    """The scalar reference loop: one pass simulated, evaluated, decided.
+
+    Retained verbatim as the semantic definition of the per-pair
+    measurement procedure; ``tests/test_core_passblock.py`` asserts the
+    batched pipeline reproduces it bit for bit.
     """
     cfg = bench.config
     machine = bench.machine
@@ -310,13 +347,15 @@ def run_campaign(
 ) -> CampaignResult:
     """Build and run a campaign.
 
-    ``workers=None`` (the default) runs the original strictly-serial loop
-    on the caller's machine — today's exact semantics, bit for bit.  Any
-    integer ``workers >= 1`` routes through the execution engine
+    ``workers=None`` (the default) runs the strictly-serial loop on the
+    caller's machine: one shared timeline and RNG stream across pairs.
+    Any integer ``workers >= 1`` routes through the execution engine
     (:mod:`repro.exec`), which measures pairs on per-pair replica machines
     with deterministic seed streams: the result is identical for every
-    worker count (1, 4, ...), but differs from the legacy serial timeline
-    because pairs no longer share one clock/RNG stream.
+    worker count (1, 4, ...), but differs from the serial timeline because
+    pairs no longer share one clock/RNG stream.  Either way the per-pair
+    inner loop runs batched (``config.pass_block_size``) or scalar —
+    bit-identical by contract.
     """
     if workers is None:
         return LatestBenchmark(machine, config).run()

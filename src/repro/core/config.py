@@ -100,6 +100,17 @@ class LatestConfig:
     #: consecutive evaluation failures before the pair is abandoned
     max_consecutive_failures: int = 12
 
+    # ----- execution ----------------------------------------------------
+    #: upper bound on the pass-block size of the batched per-pair loop
+    #: (:mod:`repro.core.passblock`); blocks are additionally clipped so a
+    #: stopping-rule check can only land on the final pass of a block.
+    #: ``None`` forces the scalar reference loop
+    #: (:func:`repro.core.campaign.measure_pair_reference`).  Results are
+    #: bit-identical for every setting; this knob only trades batching
+    #: efficiency against speculation (rolled back on mid-block state
+    #: changes).  25 mirrors the paper's RSE check cadence.
+    pass_block_size: int | None = 25
+
     # ----- outlier filtering (Algorithm 3) ------------------------------
     outlier_config: AdaptiveDbscanConfig = field(default_factory=AdaptiveDbscanConfig)
 
@@ -125,6 +136,8 @@ class LatestConfig:
             raise ConfigError("max_measurements below min_measurements")
         if self.delay_iterations < 1 or self.confirm_iterations < 1:
             raise ConfigError("delay/confirm iteration counts must be >= 1")
+        if self.pass_block_size is not None and self.pass_block_size < 1:
+            raise ConfigError("pass_block_size must be >= 1 (or None)")
 
     # ------------------------------------------------------------------
     def stopping_rule(self) -> RseStoppingRule:

@@ -94,6 +94,7 @@ class BenchContext:
             * 1e6,
             sm_count=1,
             label="filler",
+            aggregate=True,
         )
         self.cuda.launch(kernel)
         self.cuda.synchronize()

@@ -31,31 +31,51 @@ __all__ = ["RawSwitchData", "run_switch_benchmark"]
 
 @dataclass
 class RawSwitchData:
-    """Everything phase 3 needs to evaluate one switch measurement."""
+    """Everything phase 3 needs to evaluate one switch measurement.
+
+    ``timestamps`` may be ``None`` when the benchmark ran with
+    ``defer_timestamps=True`` (the pass-block pipeline): the launched
+    kernel is kept in ``pending`` and :meth:`materialize` produces the
+    device view later, batched with the rest of the block.  The
+    ground-truth fields are snapshotted at construction time — the live
+    :class:`TransitionRecord` can be superseded by a *later* pass's
+    request, and the methodology's record of a measurement must reflect
+    the state at evaluation time, exactly as the scalar loop observes it.
+    """
 
     init_mhz: float
     target_mhz: float
     sync: SyncResult
     ts_cpu: float
     ts_acc: float
-    timestamps: DeviceTimestamps
+    timestamps: DeviceTimestamps | None
     window_iterations: int
     kernel: MicrobenchmarkKernel
     ground_truth: TransitionRecord | None
     throttle_reasons: ThrottleReasons
+    #: deferred-readback handle (pass-block pipeline only)
+    pending: "LaunchedKernel | None" = None  # noqa: F821 - forward ref
+    ground_truth_latency_s: float | None = None
+    ground_truth_outlier: bool = False
 
-    @property
-    def ground_truth_latency_s(self) -> float | None:
-        if self.ground_truth is None or self.ground_truth.superseded:
-            return None
-        # Ground truth measured from the same reference the methodology
-        # uses: the CPU timestamp taken just before the driver call.
-        t_req = self.ground_truth.t_request
-        return self.ground_truth.t_stable - t_req
+    def __post_init__(self) -> None:
+        gt = self.ground_truth
+        if gt is not None and not gt.superseded and (
+            self.ground_truth_latency_s is None
+        ):
+            # Ground truth measured from the same reference the
+            # methodology uses: the CPU timestamp taken just before the
+            # driver call.
+            self.ground_truth_latency_s = gt.t_stable - gt.t_request
+        if gt is not None and gt.sample.is_outlier:
+            self.ground_truth_outlier = True
 
-    @property
-    def ground_truth_outlier(self) -> bool:
-        return bool(self.ground_truth and self.ground_truth.sample.is_outlier)
+    def materialize(self, cuda) -> DeviceTimestamps:
+        """Resolve the deferred timestamp view (idempotent)."""
+        if self.timestamps is None:
+            self.timestamps = cuda.timestamps(self.pending)
+            self.pending = None
+        return self.timestamps
 
 
 def build_benchmark_kernel(
@@ -87,8 +107,15 @@ def run_switch_benchmark(
     target_mhz: float,
     base_kernel: MicrobenchmarkKernel,
     window_iterations: int,
+    defer_timestamps: bool = False,
 ) -> RawSwitchData:
-    """One phase-2 execution for one frequency pair."""
+    """One phase-2 execution for one frequency pair.
+
+    With ``defer_timestamps=True`` the device view of the kernel's
+    iteration boundaries is not read back here; the caller materializes it
+    later (see :class:`RawSwitchData`).  Every RNG draw and clock advance
+    is identical either way — deferral only postpones pure array math.
+    """
     from repro.errors import MeasurementError
 
     cfg = bench.config
@@ -122,9 +149,9 @@ def run_switch_benchmark(
     # would only ever see GPU_IDLE).
     reasons = bench.handle.current_clocks_throttle_reasons()
 
-    # (5) drain and read back
+    # (5) drain, then read back (possibly deferred)
     bench.cuda.synchronize()
-    view = bench.cuda.timestamps(launched)
+    view = None if defer_timestamps else bench.cuda.timestamps(launched)
 
     return RawSwitchData(
         init_mhz=init_mhz,
@@ -137,4 +164,5 @@ def run_switch_benchmark(
         kernel=kernel,
         ground_truth=record,
         throttle_reasons=reasons,
+        pending=launched if defer_timestamps else None,
     )

@@ -51,9 +51,27 @@ __all__ = [
     "SmStatus",
     "SwitchEvaluation",
     "evaluate_switch",
+    "evaluate_switch_block_deferred",
     "evaluate_switch_reference",
     "detection_band",
 ]
+
+
+#: reusable block-sized scratch buffers, one per (kind) — pass blocks
+#: allocate multi-megabyte temporaries every few dozen passes, and without
+#: reuse each round-trips through mmap.  Buffers are grown (never shrunk)
+#: and handed out as leading-axis views; nothing returned to callers
+#: aliases them (evaluations copy what they keep).
+_SCRATCH: dict[str, np.ndarray] = {}
+
+
+def block_scratch(kind: str, shape: tuple, dtype=np.float64) -> np.ndarray:
+    size = int(np.prod(shape))
+    buf = _SCRATCH.get(kind)
+    if buf is None or buf.size < size or buf.dtype != np.dtype(dtype):
+        buf = np.empty(max(size, 1), dtype=dtype)
+        _SCRATCH[kind] = buf
+    return buf[:size].reshape(shape)
 
 
 class SmStatus(enum.IntEnum):
@@ -109,34 +127,63 @@ def detection_band(
     raise ConfigError(f"unknown detection criterion {cfg.detection_criterion!r}")
 
 
-def _suffix_stats(diffs: np.ndarray, cut: np.ndarray):
+def _suffix_stats(diffs: np.ndarray, cut: np.ndarray, rows=None):
     """Per-row mean/std/count of ``diffs[i, cut[i]:]`` without Python loops.
 
-    The squares buffer is formed once and shared between the totals and
-    the cumulative sums (the seed computed ``diffs * diffs`` twice).
+    ``rows`` optionally restricts the computation to a row subset.  All
+    array work happens on the sub-matrix from the earliest cut onward —
+    the delay/detection prefix of the kernel (never part of any
+    confirmation tail) pays for nothing here.  Within the sub-matrix the
+    tail sums are totals minus gathered prefix cumulative sums, with the
+    squares buffer shared between the totals and the cumulative sums.
     """
-    n_sm, n_iter = diffs.shape
-    sq = diffs * diffs
-    totals = diffs.sum(axis=1)
+    if rows is None:
+        rows = np.arange(diffs.shape[0])
+    n_iter = diffs.shape[1]
+    cut = np.clip(cut, 0, n_iter)
+    n_tail = (n_iter - cut).astype(np.int64)
+    safe_n = np.maximum(n_tail, 1)
+    n_rows = len(rows)
+    if n_rows == 0:
+        zero = np.zeros(0)
+        return zero, zero.copy(), n_tail
+
+    c0 = int(cut.min())
+    if c0 >= n_iter:  # every tail empty
+        zero = np.zeros(n_rows)
+        return zero, zero.copy(), n_tail
+
+    tail_width = n_iter - c0
+    sub = block_scratch("suffix_sub", (n_rows, tail_width))
+    np.take(diffs[:, c0:], rows, axis=0, out=sub)
+    local_cut = cut - c0
+    sq = block_scratch("suffix_sq", (n_rows, tail_width))
+    np.multiply(sub, sub, out=sq)
+    totals = sub.sum(axis=1)
     sq_totals = sq.sum(axis=1)
 
-    cut = np.clip(cut, 0, n_iter)
     # Prefix sums are only gathered at cut-1, so the cumulative buffers
     # stop at the largest cut — the confirmation tail (often most of the
     # window) never pays for them.
-    n_prefix = int(cut.max()) if cut.size else 0
-    csum = np.cumsum(diffs[:, :n_prefix], axis=1)
-    csq = np.cumsum(sq[:, :n_prefix], axis=1)
+    n_prefix = int(local_cut.max())
+    gather = np.maximum(local_cut - 1, 0)[:, None]
+    if n_prefix:
+        csum = np.cumsum(sub[:, :n_prefix], axis=1)
+        csq = np.cumsum(sq[:, :n_prefix], axis=1)
+        before = np.where(
+            local_cut > 0,
+            np.take_along_axis(csum, gather, axis=1).ravel(),
+            0.0,
+        )
+        before_sq = np.where(
+            local_cut > 0,
+            np.take_along_axis(csq, gather, axis=1).ravel(),
+            0.0,
+        )
+    else:
+        before = np.zeros(n_rows)
+        before_sq = np.zeros(n_rows)
 
-    before = np.where(cut > 0, np.take_along_axis(
-        csum, np.maximum(cut - 1, 0)[:, None], axis=1
-    ).ravel(), 0.0) if n_prefix else np.zeros(n_sm)
-    before_sq = np.where(cut > 0, np.take_along_axis(
-        csq, np.maximum(cut - 1, 0)[:, None], axis=1
-    ).ravel(), 0.0) if n_prefix else np.zeros(n_sm)
-
-    n_tail = (n_iter - cut).astype(np.int64)
-    safe_n = np.maximum(n_tail, 1)
     tail_sum = totals - before
     tail_sq = sq_totals - before_sq
     mean = tail_sum / safe_n
@@ -186,7 +233,10 @@ def _finish(
     per_sm = np.full(n_sm, np.nan)
     rows = np.flatnonzero(valid)
     if rows.size:
-        te = np.take_along_axis(ends, first[rows][:, None], axis=1).ravel()
+        # Point-indexed gather: valid only ever holds detected rows, whose
+        # first-index is in range.  (A take_along_axis over the full ends
+        # matrix broke whenever only a strict subset of SMs confirmed.)
+        te = ends[rows, first[rows]]
         per_sm[rows] = te - ts
         latency = float(np.nanmax(per_sm))
         te_overall = float(ts + latency)
@@ -241,7 +291,7 @@ def evaluate_switch(
     valid = np.zeros(n_sm, dtype=bool)
     if confirm_rows.size:
         tail_mean, tail_std, tail_n = _suffix_stats(
-            diffs[confirm_rows], cut[confirm_rows]
+            diffs, cut[confirm_rows], rows=confirm_rows
         )
         # Variance via std*std (not the raw variance) to match the scalar
         # reference path, which round-trips through SampleStats.
@@ -257,6 +307,159 @@ def evaluate_switch(
     return _finish(
         n_sm, n_iter, ends, ts, status, has_post, detected, short, first, valid
     )
+
+
+#: detection scans run in column chunks of this many iterations with an
+#: early exit once every (pass, SM) row found its first in-band iteration
+_DETECT_CHUNK = 512
+
+
+def evaluate_switch_block_deferred(
+    start0: np.ndarray,
+    ends: np.ndarray,
+    ts_acc: "list[float]",
+    target_stats: SampleStats,
+    cfg: LatestConfig,
+) -> list[SwitchEvaluation]:
+    """Block evaluation straight from converted end boundaries.
+
+    With back-to-back iterations every start except the first per SM *is*
+    the previous end, so the post-switch mask and the execution-time
+    matrix are built by shifting ``ends`` — the same subtractions and
+    comparisons, on the same floats, as materializing a full starts
+    matrix first.  ``start0`` is the converted iteration-0 start per
+    (pass, SM); ``ends`` is ``(n_pass, n_sm, n_iter)``.
+
+    Detection is a prefix scan for the *first* in-band post-switch
+    iteration per row, so it runs over column chunks and stops as soon as
+    every row has found one — typically a few hundred columns into a
+    multi-thousand-column kernel.  The chunked scan visits candidates in
+    the same order as a whole-matrix ``argmax``, so the detection indices
+    are identical; only never-detected rows (failed passes) pay for the
+    full sweep.
+    """
+    n_pass, n_sm, n_iter = ends.shape
+    ts = np.asarray(ts_acc)
+    ts3 = ts[:, None, None]
+
+    diffs = block_scratch("diffs", ends.shape)
+    np.subtract(ends[:, :, 0], start0, out=diffs[:, :, 0])
+    np.subtract(ends[:, :, 1:], ends[:, :, :-1], out=diffs[:, :, 1:])
+
+    # Converted starts are non-decreasing along a row, so the post-switch
+    # mask is a per-row suffix: "any post-switch iteration" is exactly
+    # "the last iteration starts post-switch".
+    if n_iter > 1:
+        has_post = ends[:, :, -2] > ts[:, None]
+    else:
+        has_post = start0 > ts[:, None]
+
+    lo, hi = detection_band(target_stats, cfg)
+    found = np.zeros((n_pass, n_sm), dtype=bool)
+    first = np.full((n_pass, n_sm), n_iter, dtype=np.int64)
+    for c0 in range(0, n_iter, _DETECT_CHUNK):
+        c1 = min(c0 + _DETECT_CHUNK, n_iter)
+        width = c1 - c0
+        d = diffs[:, :, c0:c1]
+        after = block_scratch("after", (n_pass, n_sm, width), dtype=bool)
+        if c0 == 0:
+            after[:, :, 0] = start0 > ts[:, None]
+            np.greater(ends[:, :, : c1 - 1], ts3, out=after[:, :, 1:])
+        else:
+            np.greater(ends[:, :, c0 - 1 : c1 - 1], ts3, out=after)
+        cand = block_scratch("cand", (n_pass, n_sm, width), dtype=bool)
+        np.greater_equal(d, lo, out=cand)
+        cand &= after
+        np.less_equal(d, hi, out=after)
+        cand &= after
+        hit = cand.any(axis=2)
+        new = hit & ~found
+        if new.any():
+            first[new] = c0 + np.argmax(cand, axis=2)[new]
+            found |= hit
+        if found.all():
+            break
+
+    return _confirm_and_finish(
+        diffs, ends, list(ts_acc), has_post, found, first,
+        target_stats, cfg,
+    )
+
+
+def _confirm_and_finish(
+    diffs: np.ndarray,
+    ends: np.ndarray,
+    ts_list: "list[float]",
+    has_post: np.ndarray,
+    detected: np.ndarray,
+    first: np.ndarray,
+    target_stats: SampleStats,
+    cfg: LatestConfig,
+) -> list[SwitchEvaluation]:
+    """Confirmation + per-pass epilogue over block arrays.
+
+    Reuses scratch buffers; callers must not retain ``diffs`` across the
+    call.  ``detected``/``first``/``has_post`` come from the chunked
+    prefix-scan detection front end in
+    :func:`evaluate_switch_block_deferred`.
+    """
+    n_pass, n_sm, n_iter = diffs.shape
+
+    status = np.full((n_pass, n_sm), int(SmStatus.NO_DETECTION), dtype=np.int64)
+    status[~has_post] = int(SmStatus.NO_POST_SWITCH)
+
+    cut = first + 1
+    n_tail = (n_iter - np.clip(cut, 0, n_iter)).astype(np.int64)
+    short = detected & (n_tail < cfg.min_confirm_tail)
+    status[detected] = int(SmStatus.CONFIRMATION_FAILED)
+    status[short] = int(SmStatus.SHORT_TAIL)
+
+    # Suffix statistics run per pass with exactly the per-pass row set and
+    # matrix slice the scalar ``evaluate_switch`` uses — the sub-matrix
+    # anchor (the pass-wide earliest cut) is part of the float-op sequence,
+    # so a block-wide anchor would produce ulp-different tail moments and
+    # break the bit-identity contract.  Only the Welch CI lookup, which is
+    # row-pure, batches across the whole block.
+    confirm = detected & ~short
+    per_pass_rows = [np.flatnonzero(confirm[b]) for b in range(n_pass)]
+    stats = [
+        _suffix_stats(diffs[b], cut[b][rows_b], rows=rows_b)
+        for b, rows_b in enumerate(per_pass_rows)
+        if rows_b.size
+    ]
+    valid = np.zeros((n_pass, n_sm), dtype=bool)
+    if stats:
+        tail_mean = np.concatenate([s[0] for s in stats])
+        tail_std = np.concatenate([s[1] for s in stats])
+        tail_n = np.concatenate([s[2] for s in stats])
+        lb, hb = difference_ci_batch(
+            tail_mean, tail_std * tail_std, tail_n, target_stats, cfg.confidence
+        )
+        tol = cfg.tolerance_rel * target_stats.mean
+        ok = ((lb < 0.0) & (0.0 < hb)) | (
+            np.abs(tail_mean - target_stats.mean) < tol
+        )
+        offset = 0
+        for b, rows_b in enumerate(per_pass_rows):
+            if rows_b.size:
+                valid[b, rows_b[ok[offset : offset + rows_b.size]]] = True
+                offset += rows_b.size
+
+    return [
+        _finish(
+            n_sm,
+            n_iter,
+            ends[b],
+            ts_list[b],
+            status[b],
+            has_post[b],
+            detected[b],
+            short[b],
+            first[b],
+            valid[b],
+        )
+        for b in range(n_pass)
+    ]
 
 
 def evaluate_switch_reference(

@@ -44,6 +44,9 @@ class MicrobenchmarkKernel:
     cycles_per_iteration: float
     sm_count: int | None = None
     label: str = "microbench"
+    #: untimed workloads (fillers, warm-up load) whose per-iteration
+    #: timestamps are never read; simulated at aggregate fidelity
+    aggregate: bool = False
 
     def __post_init__(self) -> None:
         if self.n_iterations <= 0:
@@ -60,6 +63,7 @@ class MicrobenchmarkKernel:
             cycles_per_iteration=self.cycles_per_iteration,
             sm_count=self.sm_count,
             label=self.label,
+            aggregate=self.aggregate,
         )
 
     def iteration_duration_s(self, freq_mhz: float) -> float:

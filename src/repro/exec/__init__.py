@@ -6,6 +6,19 @@ replica of the campaign machine built from its blueprint with a
 deterministic per-pair seed stream, so results are bit-identical for any
 worker count — one process or a pool.
 
+Dispatch contract
+-----------------
+The shared campaign payload (config, blueprint, phase-1 statistics, probe
+estimate, epoch) ships to each worker process exactly once through the
+pool initializer; jobs themselves are three numbers.  Jobs are submitted
+**longest-expected-pair-first** using the probe latencies as a cost model
+(:class:`repro.exec.jobs.ProbeCostModel`) and collected with
+``as_completed`` — straggler-aware scheduling that only affects wall
+clock: results merge by pair index, so neither submission order nor
+completion order can influence the :class:`CampaignResult`.  Worker
+processes additionally keep a skeleton cache of deterministic
+machine-build products (per-pair latency-model structures) across jobs.
+
 ::
 
     from repro import LatestConfig, make_machine, run_campaign
@@ -14,12 +27,26 @@ worker count — one process or a pool.
     result = run_campaign(machine, config, workers=4)   # == workers=1
 """
 
-from repro.exec.engine import CampaignExecutor, run_campaign_parallel
-from repro.exec.jobs import PairJob, PairJobResult
+from repro.exec.engine import (
+    CampaignExecutor,
+    run_campaign_parallel,
+    run_pair_job,
+)
+from repro.exec.jobs import (
+    CampaignPayload,
+    PairJob,
+    PairJobResult,
+    ProbeCostModel,
+    pair_seed_sequence,
+)
 
 __all__ = [
     "CampaignExecutor",
+    "CampaignPayload",
     "PairJob",
     "PairJobResult",
+    "ProbeCostModel",
+    "pair_seed_sequence",
     "run_campaign_parallel",
+    "run_pair_job",
 ]

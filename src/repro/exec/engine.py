@@ -5,17 +5,28 @@ Execution model
 Phase 1 and the probe stage run on the driver's machine with exactly the
 same draws as the legacy serial loop — they are inherently sequential
 (workload growth feeds back into the kernel) and cheap.  Every valid pair
-then becomes a :class:`~repro.exec.jobs.PairJob`: a self-contained work
-order carrying the phase-1 statistics, the probe window estimate, the
-machine blueprint, a common virtual epoch, and a per-pair seed stream
-derived from the campaign machine's root entropy.
+then becomes a :class:`~repro.exec.jobs.PairJob`: three numbers (pair
+index and frequencies).  All heavy shared inputs — config, blueprint,
+phase-1 statistics, probe window estimate, campaign epoch — travel once
+per worker process as a :class:`~repro.exec.jobs.CampaignPayload` through
+the pool initializer, never inside jobs.
 
 Workers rebuild the machine from the blueprint (same GPU spec, same unit
-seed, same thermal configuration) with the job's seed and epoch, and run
-the unchanged :func:`repro.core.campaign.measure_pair` loop.  Because jobs
-share no mutable state, the merged :class:`CampaignResult` — per-pair
+seed, same thermal configuration) with a seed stream derived from the
+pair index, and run the unchanged :func:`repro.core.campaign.measure_pair`
+loop.  A per-process *skeleton cache* keeps the deterministic, immutable
+parts of the machine build — the per-pair latency-model structures —
+alive across jobs, so replica construction cost is paid once per
+(architecture, unit seed) rather than once per job.
+
+Dispatch is **straggler-aware**: jobs are submitted longest-expected-first
+(``expected_pair_cost``, a cost model built from the probe latencies) and
+collected with ``as_completed``, so a slow pair starts early instead of
+serializing the pool tail.  Because jobs share no mutable state and the
+merge is keyed by pair index, the :class:`CampaignResult` — per-pair
 measurements, outlier labels, CSV bytes — is bit-identical for every
-worker count; the pool only changes wall-clock time.
+worker count and submission order; scheduling only changes wall-clock
+time.
 
 ``workers == 1`` executes the jobs in-process (no pool, no pickling) but
 through the same job pipeline, so it reproduces ``workers == N`` exactly.
@@ -29,7 +40,7 @@ workers inherit the loaded modules; ``spawn`` elsewhere.
 from __future__ import annotations
 
 import multiprocessing
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, as_completed
 
 from repro.core.campaign import LatestBenchmark, measure_pair
 from repro.core.phase1 import run_phase1
@@ -38,10 +49,16 @@ from repro.core.context import BenchContext
 from repro.core.csvio import write_campaign_csvs
 from repro.core.results import CampaignResult, PairResult
 from repro.errors import ConfigError
-from repro.exec.jobs import PairJob, PairJobResult, pair_seed_sequence
+from repro.exec.jobs import (
+    CampaignPayload,
+    PairJob,
+    PairJobResult,
+    ProbeCostModel,
+    pair_seed_sequence,
+)
 from repro.machine import Machine
 
-__all__ = ["CampaignExecutor", "run_campaign_parallel"]
+__all__ = ["CampaignExecutor", "run_campaign_parallel", "run_pair_job"]
 
 
 def _mp_context():
@@ -49,12 +66,49 @@ def _mp_context():
     return multiprocessing.get_context(method)
 
 
-def run_pair_job(job: PairJob) -> PairJobResult:
-    """Execute one pair job on a replica machine (worker entry point)."""
-    machine = job.blueprint.build(seed=job.seed, start_time=job.epoch)
-    bench = BenchContext(machine, job.config)
+#: per-process shared state installed by the pool initializer
+_WORKER_PAYLOAD: CampaignPayload | None = None
+#: per-process skeleton cache: (architecture, unit_seed) -> pair-model dict
+_WORKER_SKELETON: dict = {}
+
+
+def _worker_init(payload: CampaignPayload) -> None:
+    global _WORKER_PAYLOAD
+    _WORKER_PAYLOAD = payload
+    _WORKER_SKELETON.clear()
+
+
+def _worker_run(job: PairJob) -> PairJobResult:
+    assert _WORKER_PAYLOAD is not None, "pool initializer did not run"
+    return run_pair_job(job, _WORKER_PAYLOAD, _WORKER_SKELETON)
+
+
+def run_pair_job(
+    job: PairJob,
+    payload: CampaignPayload,
+    skeleton: dict | None = None,
+) -> PairJobResult:
+    """Execute one pair job on a replica machine.
+
+    ``skeleton`` (optional) is a process-lifetime cache of deterministic
+    machine-build products shared across jobs; passing it never changes
+    results, only replica construction cost.
+    """
+    seed = pair_seed_sequence(
+        payload.blueprint, payload.config.device_index, job.index
+    )
+    machine = payload.blueprint.build(seed=seed, start_time=payload.epoch)
+    if skeleton is not None:
+        for device in machine.devices:
+            key = (device.spec.architecture, device.unit_seed)
+            device.latency_model.use_shared_cache(
+                skeleton.setdefault(key, {})
+            )
+    bench = BenchContext(machine, payload.config)
     t0 = machine.clock.now
-    pair = measure_pair(bench, job.init_mhz, job.target_mhz, job.phase1, job.probe)
+    pair = measure_pair(
+        bench, job.init_mhz, job.target_mhz, payload.phase1, payload.probe
+    )
     return PairJobResult(
         index=job.index,
         pair=pair,
@@ -93,10 +147,8 @@ class CampaignExecutor:
         self.workers = workers
 
     # ------------------------------------------------------------------
-    def _build_jobs(self, phase1, probe, epoch) -> tuple[list[PairJob], dict]:
+    def _build_jobs(self, phase1) -> tuple[list[PairJob], dict]:
         """Valid pairs become jobs; invalid pairs become skipped results."""
-        blueprint = self.machine.blueprint
-        device_index = self.config.device_index
         valid = set(phase1.valid_pairs)
 
         jobs: list[PairJob] = []
@@ -117,29 +169,37 @@ class CampaignExecutor:
                 )
                 continue
             pairs[key] = None  # placeholder, filled by the job result
-            jobs.append(
-                PairJob(
-                    index=index,
-                    init_mhz=key[0],
-                    target_mhz=key[1],
-                    config=self.config,
-                    blueprint=blueprint,
-                    phase1=phase1,
-                    probe=probe,
-                    epoch=epoch,
-                    seed=pair_seed_sequence(blueprint, device_index, index),
-                )
-            )
+            jobs.append(PairJob(index=index, init_mhz=key[0], target_mhz=key[1]))
         return jobs, pairs
 
-    def _execute(self, jobs: list[PairJob]) -> list[PairJobResult]:
+    def _execute(
+        self, jobs: list[PairJob], payload: CampaignPayload
+    ) -> list[PairJobResult]:
         if self.workers == 1 or len(jobs) <= 1:
-            return [run_pair_job(job) for job in jobs]
+            skeleton: dict = {}
+            return [run_pair_job(job, payload, skeleton) for job in jobs]
+
+        # Straggler-aware dispatch: longest-expected pair first, so the
+        # costliest job never starts last and the pool drains evenly.
+        # ``as_completed`` keeps the driver free to merge early finishers;
+        # ordering cannot affect results (the merge is index-keyed).
+        model = ProbeCostModel(payload.probe)
+        ordered = sorted(
+            jobs,
+            key=lambda job: (
+                -model.cost(job.init_mhz, job.target_mhz),
+                job.index,
+            ),
+        )
         n_workers = min(self.workers, len(jobs))
         with ProcessPoolExecutor(
-            max_workers=n_workers, mp_context=_mp_context()
+            max_workers=n_workers,
+            mp_context=_mp_context(),
+            initializer=_worker_init,
+            initargs=(payload,),
         ) as pool:
-            return list(pool.map(run_pair_job, jobs))
+            futures = [pool.submit(_worker_run, job) for job in ordered]
+            return [future.result() for future in as_completed(futures)]
 
     # ------------------------------------------------------------------
     def run(self) -> CampaignResult:
@@ -153,16 +213,22 @@ class CampaignExecutor:
         probe = (
             bench_driver._probe_windows(phase1) if phase1.valid_pairs else None
         )
-        epoch = machine.clock.now
+        payload = CampaignPayload(
+            blueprint=machine.blueprint,
+            config=config,
+            phase1=phase1,
+            probe=probe,
+            epoch=machine.clock.now,
+        )
 
-        jobs, pairs = self._build_jobs(phase1, probe, epoch)
-        results = self._execute(jobs)
+        jobs, pairs = self._build_jobs(phase1)
+        results = self._execute(jobs, payload)
 
         # Merge in pair order; advance the driver clock by the summed
         # virtual cost so downstream consumers still see time passing.
         results.sort(key=lambda r: r.index)
-        total_elapsed = 0.0
         by_index = {job.index: job for job in jobs}
+        total_elapsed = 0.0
         for res in results:
             job = by_index[res.index]
             pairs[(job.init_mhz, job.target_mhz)] = res.pair

@@ -1,10 +1,13 @@
 """Job payloads shipped between the campaign driver and worker processes.
 
-Everything here must stay picklable: jobs cross a process boundary when
-the executor runs with ``workers > 1``.  The expensive shared inputs —
-phase-1 characterizations and the probe window estimate — are computed
-once by the driver and embedded in every job rather than recomputed per
-worker.
+Everything here must stay picklable: payloads cross a process boundary
+when the executor runs with ``workers > 1``.  The expensive shared inputs
+— the campaign configuration, the machine blueprint, the phase-1
+characterizations and the probe window estimate — travel **once per
+worker process** inside a :class:`CampaignPayload` (via the pool
+initializer), not once per job: a :class:`PairJob` is three numbers.  The
+per-pair seed stream is derived inside the worker from the blueprint and
+the pair index, so jobs carry no RNG state either.
 """
 
 from __future__ import annotations
@@ -19,7 +22,13 @@ from repro.core.phase1 import Phase1Result
 from repro.core.results import PairResult
 from repro.machine import MachineBlueprint
 
-__all__ = ["PairJob", "PairJobResult", "pair_seed_sequence"]
+__all__ = [
+    "CampaignPayload",
+    "PairJob",
+    "PairJobResult",
+    "ProbeCostModel",
+    "pair_seed_sequence",
+]
 
 #: spawn-key namespace for per-pair streams — far above the handful of
 #: children ``make_machine`` spawns from the same root entropy, so pair
@@ -45,21 +54,30 @@ def pair_seed_sequence(
 
 
 @dataclass(frozen=True)
-class PairJob:
-    """One frequency pair's measurement work order."""
+class CampaignPayload:
+    """Per-campaign state shared by every pair job of one executor run.
 
-    index: int
-    init_mhz: float
-    target_mhz: float
-    config: LatestConfig
+    Shipped to each worker process exactly once through the pool
+    initializer; the in-process path passes it by reference.
+    """
+
     blueprint: MachineBlueprint
+    config: LatestConfig
     phase1: Phase1Result
     probe: ProbeInfo
     #: virtual time at which every pair machine starts (the driver clock
     #: right after phase 1 + probe) — common to all jobs so results do not
     #: depend on scheduling
     epoch: float
-    seed: np.random.SeedSequence
+
+
+@dataclass(frozen=True)
+class PairJob:
+    """One frequency pair's measurement work order (intentionally tiny)."""
+
+    index: int
+    init_mhz: float
+    target_mhz: float
 
 
 @dataclass
@@ -70,3 +88,50 @@ class PairJobResult:
     pair: PairResult
     #: virtual seconds the pair machine consumed (driver clock bookkeeping)
     elapsed_virtual_s: float
+
+
+class ProbeCostModel:
+    """Deterministic pair-cost estimates for straggler-aware dispatch.
+
+    Longer switching latencies mean longer settle phases, larger windows
+    after growth, and more virtual seconds per pass, so the probe
+    latencies are the natural cost model.  An exact probe match wins;
+    otherwise pairs sharing a probed target frequency are averaged
+    (latency depends mostly on the target band); otherwise the probe
+    median scaled by the relative frequency distance stands in.  Only the
+    *ordering* matters — the merge is index-keyed, so dispatch order never
+    affects results.  The probe lookup tables build once per campaign,
+    not once per job, so sorting a dense pair grid stays O(P log P).
+    """
+
+    def __init__(self, probe: ProbeInfo | None) -> None:
+        self._probe = probe
+        self._by_pair: dict[tuple[float, float], float] = {}
+        self._by_target: dict[float, float] = {}
+        self._span = 0.0
+        if probe is not None and probe.pair_latencies:
+            self._by_pair = {
+                (i, t): lat for i, t, lat in probe.pair_latencies
+            }
+            targets: dict[float, list[float]] = {}
+            for (i, t), lat in self._by_pair.items():
+                targets.setdefault(t, []).append(lat)
+                self._span = max(self._span, abs(t - i))
+            self._by_target = {
+                t: float(np.mean(lats)) for t, lats in targets.items()
+            }
+
+    def cost(self, init_mhz: float, target_mhz: float) -> float:
+        if not self._by_pair:
+            return abs(target_mhz - init_mhz)
+        exact = self._by_pair.get((init_mhz, target_mhz))
+        if exact is not None:
+            return exact
+        same_target = self._by_target.get(target_mhz)
+        if same_target is not None:
+            return same_target
+        distance = abs(target_mhz - init_mhz)
+        scale = distance / self._span if self._span > 0 else 1.0
+        return self._probe.median_latency_s * (0.5 + scale)
+
+

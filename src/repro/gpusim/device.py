@@ -32,7 +32,8 @@ from repro.gpusim.latency_model import SwitchingLatencyModel
 from repro.gpusim.sm import (
     DeviceTimestamps,
     KernelTimestamps,
-    integrate_iterations,
+    PendingIntegration,
+    prepare_integration_from_boundaries,
     sample_iteration_cycles,
 )
 from repro.gpusim.spec import GpuSpec
@@ -61,6 +62,10 @@ class KernelLaunchSpec:
     cycles_per_iteration: float
     sm_count: int | None = None
     label: str = ""
+    #: aggregate kernels model their total cycle cost with one draw per SM
+    #: (CLT-matched to the per-iteration sum) and record no per-iteration
+    #: timestamps — for filler/warm-load workloads nothing ever reads back
+    aggregate: bool = False
 
     def __post_init__(self) -> None:
         if self.n_iterations <= 0:
@@ -79,11 +84,20 @@ class KernelHandle:
     t_start: float | None = None
     t_complete: float | None = None
     start_notified: bool = False
-    timestamps: KernelTimestamps | None = field(default=None, repr=False)
+    #: deferred integration; the per-iteration boundaries materialize only
+    #: when timestamps are actually read (filler kernels never are)
+    deferred: PendingIntegration | None = field(default=None, repr=False)
 
     @property
     def finalized(self) -> bool:
         return self.t_complete is not None
+
+    @property
+    def timestamps(self) -> KernelTimestamps | None:
+        """Per-iteration boundaries; materializes the deferred integration."""
+        if self.deferred is None:
+            return None
+        return self.deferred.materialize()
 
 
 class GpuDevice:
@@ -203,17 +217,29 @@ class GpuDevice:
         n_sm = handle.spec.sm_count or self.spec.sm_count
         n_sm = min(n_sm, self.spec.sm_count)
         stagger = self.rng.uniform(0.0, self.sm_start_stagger_s, size=n_sm)
-        cycles = sample_iteration_cycles(
-            self.rng,
-            n_sm,
-            handle.spec.n_iterations,
-            handle.spec.cycles_per_iteration,
-            self.spec.iteration_noise_rel,
-        )
-        trajectory = self.dvfs.trajectory(t_start)
-        ts = integrate_iterations(trajectory, t_start + stagger, cycles)
-        handle.timestamps = ts
-        completion = ts.completion_true + _KERNEL_EPILOGUE_S
+        starts = t_start + stagger
+        # RNG draws and clock advance happen here (the scalar-exact part);
+        # the full per-iteration inversion is deferred until the kernel's
+        # timestamps are actually read.  The segments are compiled now —
+        # events inserted later all lie at or after this completion time,
+        # so the deferred inversion sees the exact segments the eager one
+        # would have.
+        tb, f_mhz = self.dvfs.compiled_segments(float(starts.min()))
+        if handle.spec.aggregate:
+            completion = self._finalize_aggregate(handle, n_sm, starts, tb, f_mhz)
+        else:
+            cycles = sample_iteration_cycles(
+                self.rng,
+                n_sm,
+                handle.spec.n_iterations,
+                handle.spec.cycles_per_iteration,
+                self.spec.iteration_noise_rel,
+            )
+            pending = prepare_integration_from_boundaries(
+                tb, f_mhz, starts, cycles, consume=True
+            )
+            handle.deferred = pending
+            completion = pending.completion_true + _KERNEL_EPILOGUE_S
         handle.t_complete = completion
         self.dvfs.notify_kernel_end(completion)
         self.energy.record_busy(t_start, completion)
@@ -225,12 +251,61 @@ class GpuDevice:
             duration_ms=round((completion - t_start) * 1e3, 3),
         )
 
+    def _finalize_aggregate(
+        self,
+        handle: KernelHandle,
+        n_sm: int,
+        starts: np.ndarray,
+        tb: np.ndarray,
+        f_mhz: np.ndarray,
+    ) -> float:
+        """Completion time of an untimed (aggregate-fidelity) kernel.
+
+        One normal draw per SM models the total cycle cost — the exact CLT
+        image of the per-iteration sum the timed path draws — and the
+        piecewise cycle integral is inverted only at the per-SM totals.
+        """
+        spec = handle.spec
+        n = spec.n_iterations
+        mean_total = n * spec.cycles_per_iteration
+        sigma_total = (
+            self.spec.iteration_noise_rel
+            * spec.cycles_per_iteration
+            * float(np.sqrt(n))
+        )
+        totals = self.rng.standard_normal(n_sm)
+        totals *= sigma_total
+        totals += mean_total
+        np.maximum(totals, 0.01 * mean_total, out=totals)
+        if n_sm == 1 and len(f_mhz) <= 2:
+            # Scalar fast path for the common filler shape (one SM, at
+            # most one frequency change ahead): a handful of float ops
+            # instead of the array integration pipeline.
+            t0 = float(starts[0])
+            total = float(totals[0])
+            f0 = float(f_mhz[0]) * 1e6
+            if len(f_mhz) == 1 or t0 + total / f0 <= float(tb[1]):
+                end = t0 + total / f0
+            else:
+                spent = (float(tb[1]) - t0) * f0
+                end = float(tb[1]) + (total - spent) / (float(f_mhz[1]) * 1e6)
+            return end + _KERNEL_EPILOGUE_S
+        pending = prepare_integration_from_boundaries(
+            tb, f_mhz, starts, totals[:, None]
+        )
+        return pending.completion_true + _KERNEL_EPILOGUE_S
+
     def read_timestamps(self, handle: KernelHandle) -> DeviceTimestamps:
         """Read the kernel's iteration timestamp buffers (GPU-clock view).
 
         Requires prior synchronization, exactly like a ``cudaMemcpy`` of a
         device buffer.
         """
+        if handle.finalized and handle.spec.aggregate:
+            raise CudaError(
+                "aggregate kernels record no per-iteration timestamps "
+                f"(kernel seq={handle.seq} {handle.spec.label!r})"
+            )
         if not handle.finalized or handle.timestamps is None:
             raise CudaError(
                 "kernel results read before synchronization "
@@ -313,6 +388,63 @@ class GpuDevice:
 
     def last_transition(self) -> TransitionRecord | None:
         return self.dvfs.last_transition()
+
+    # ------------------------------------------------------------------
+    # machine-checkpoint support
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> tuple:
+        """Capture the device for :meth:`repro.machine.Machine.checkpoint`.
+
+        Only legal at a quiescent point: pending (unfinalized) kernels hold
+        mutable handles that a snapshot cannot protect, so campaign code
+        checkpoints right after ``synchronize()``.
+        """
+        if self._pending:
+            raise SimulationError(
+                "cannot checkpoint a device with pending kernels "
+                "(synchronize first)"
+            )
+        from dataclasses import replace
+
+        return (
+            self.rng.bit_generator.state,
+            self.gpu_clock._last_read,
+            self.dvfs.snapshot_state(),
+            self._busy_until,
+            self._seq,
+            replace(self.thermal_state),
+            self._thermal_cap_mhz,
+            self._power_cap_mhz,
+            self._cap_applied_mhz,
+            self.energy.snapshot_state(),
+        )
+
+    def restore_state(self, state: tuple) -> None:
+        from dataclasses import replace
+
+        (
+            rng_state,
+            gpu_last_read,
+            dvfs_state,
+            busy_until,
+            seq,
+            thermal_state,
+            thermal_cap,
+            power_cap,
+            cap_applied,
+            energy_state,
+        ) = state
+        self.rng.bit_generator.state = rng_state
+        self.gpu_clock._last_read = gpu_last_read
+        self.dvfs.restore_state(dvfs_state)
+        self._busy_until = busy_until
+        self._seq = seq
+        self.thermal_state = replace(thermal_state)
+        self._thermal_cap_mhz = thermal_cap
+        self._power_cap_mhz = power_cap
+        self._cap_applied_mhz = cap_applied
+        self.energy.restore_state(energy_state)
+        self._pending.clear()
 
     # ------------------------------------------------------------------
     # internals

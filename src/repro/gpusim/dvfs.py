@@ -229,9 +229,11 @@ class DvfsClockDomain:
         if adaptation_s > 0.0 and n_steps > 0:
             fracs = np.sort(self.rng.uniform(0.15, 0.9, size=n_steps))
             times = t_stable - adaptation_s * (1.0 - _ramp_fractions(n_steps))
-            for frac, ts in zip(fracs, times):
-                f = init_mhz + (target_mhz - init_mhz) * float(frac)
-                self._insert_event(float(ts), self.spec.nearest_supported_clock(f))
+            freqs = self.spec.nearest_supported_clocks(
+                init_mhz + (target_mhz - init_mhz) * fracs
+            )
+            for f, ts in zip(freqs, times):
+                self._insert_event(float(ts), float(f))
         self._insert_event(t_stable, target_mhz)
 
     # ------------------------------------------------------------------
@@ -294,6 +296,59 @@ class DvfsClockDomain:
         self._cap_values.append(float("inf"))
 
     # ------------------------------------------------------------------
+    # machine-checkpoint support
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> tuple:
+        """Capture the domain for :meth:`repro.machine.Machine.restore`.
+
+        Event/cap timelines are copied outright (later requests may both
+        append and drop suffix events).  ``records`` is append-only, but
+        records still in ``_maybe_pending`` can have their ``superseded``
+        flag flipped by a later request, so those flags are saved
+        individually and restored on rollback.
+        """
+        return (
+            list(self._event_times),
+            list(self._event_freqs),
+            list(self._cap_times),
+            list(self._cap_values),
+            len(self.records),
+            list(self._maybe_pending),
+            [rec.superseded for rec in self._maybe_pending],
+            self.locked_mhz,
+            self._active_kernels,
+            self._last_kernel_end,
+            self._ever_active,
+        )
+
+    def restore_state(self, state: tuple) -> None:
+        (
+            event_times,
+            event_freqs,
+            cap_times,
+            cap_values,
+            n_records,
+            maybe_pending,
+            pending_flags,
+            locked_mhz,
+            active_kernels,
+            last_kernel_end,
+            ever_active,
+        ) = state
+        self._event_times = list(event_times)
+        self._event_freqs = list(event_freqs)
+        self._cap_times = list(cap_times)
+        self._cap_values = list(cap_values)
+        del self.records[n_records:]
+        self._maybe_pending = list(maybe_pending)
+        for rec, flag in zip(self._maybe_pending, pending_flags):
+            rec.superseded = flag
+        self.locked_mhz = locked_mhz
+        self._active_kernels = active_kernels
+        self._last_kernel_end = last_kernel_end
+        self._ever_active = ever_active
+
+    # ------------------------------------------------------------------
     # trajectory compilation
     # ------------------------------------------------------------------
     def trajectory(self, t0: float) -> FrequencyTrajectory:
@@ -314,6 +369,39 @@ class DvfsClockDomain:
         for t in boundaries:
             events.append((t, min(self.planned_freq_at(t), self.cap_at(t))))
         return FrequencyTrajectory.from_events(t0, f0, events)
+
+    def compiled_segments(self, t0: float) -> tuple[np.ndarray, np.ndarray]:
+        """Effective-frequency segments from ``t0`` as boundary arrays.
+
+        Returns ``(tb, f_mhz)``: ``tb`` has one boundary per segment plus a
+        trailing ``+inf``, ``f_mhz`` the per-segment frequency in MHz.  The
+        segment set is canonical (adjacent equal frequencies merged), so it
+        is exactly what ``trajectory(t0).iter_from(t0)`` yields — but built
+        straight from the sorted event/cap timelines, without materializing
+        :class:`~repro.gpusim.trajectory.FrequencyTrajectory` objects.
+        This is the hot-path form the SM integrator consumes for every
+        kernel finalization.
+        """
+        events_after = self._event_times[
+            bisect.bisect_right(self._event_times, t0):
+        ]
+        caps_after = self._cap_times[bisect.bisect_right(self._cap_times, t0):]
+        cur_f = min(self.planned_freq_at(t0), self.cap_at(t0))
+        tb = [t0]
+        fs = []
+        for t in sorted({*events_after, *caps_after}):
+            f = min(self.planned_freq_at(t), self.cap_at(t))
+            if f == cur_f:
+                continue
+            tb.append(t)
+            fs.append(cur_f)
+            cur_f = f
+        fs.append(cur_f)
+        tb.append(float("inf"))
+        return (
+            np.asarray(tb, dtype=np.float64),
+            np.asarray(fs, dtype=np.float64),
+        )
 
     def last_transition(self) -> TransitionRecord | None:
         """Most recent locked-clock transition (ignoring wake-ups)."""

@@ -110,6 +110,23 @@ class EnergyMeter:
         """NVML-style total energy consumption since the epoch."""
         return self.integrate_to(t)
 
+    # ------------------------------------------------------------------
+    # machine-checkpoint support
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> tuple:
+        """Capture the meter for :meth:`repro.machine.Machine.checkpoint`.
+
+        ``_busy`` is append-only and its intervals are never mutated after
+        insertion, so the snapshot records only its length.
+        """
+        return (self._energy_j, self._integrated_until, len(self._busy))
+
+    def restore_state(self, state: tuple) -> None:
+        energy_j, integrated_until, n_busy = state
+        self._energy_j = energy_j
+        self._integrated_until = integrated_until
+        del self._busy[n_busy:]
+
     def average_power_w(self, t: float) -> float:
         span = t - self.start_time
         if span <= 0:

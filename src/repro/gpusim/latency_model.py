@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import zlib
 from dataclasses import dataclass, field
+from functools import cached_property
 from typing import Protocol
 
 import numpy as np
@@ -84,9 +85,23 @@ class PairLatencyModel:
         w = np.asarray([m.weight for m in self.modes], dtype=np.float64)
         return w / w.sum()
 
+    @cached_property
+    def _cum_weights(self) -> np.ndarray:
+        # cached_property writes straight into __dict__, which bypasses the
+        # frozen-dataclass __setattr__ guard — the cache is per instance.
+        return np.cumsum(self.weights)
+
     def sample(self, rng: np.random.Generator) -> "LatencySample":
-        """Draw one switching latency."""
-        idx = int(rng.choice(len(self.modes), p=self.weights))
+        """Draw one switching latency.
+
+        Mode selection inverts the cached cumulative weights with a single
+        uniform draw — equivalent to (and much cheaper than) a categorical
+        ``rng.choice`` per sample.
+        """
+        idx = min(
+            int(np.searchsorted(self._cum_weights, rng.random(), side="right")),
+            len(self.modes) - 1,
+        )
         mode = self.modes[idx]
         latency = mode.median_s * float(
             np.exp(mode.sigma_log * rng.standard_normal())
@@ -208,6 +223,19 @@ class SwitchingLatencyModel:
             model = self.profile.pair_model(init_mhz, target_mhz, self.unit_seed)
             self._pair_cache[key] = model
         return model
+
+    def use_shared_cache(self, cache: dict) -> None:
+        """Adopt an externally owned pair-model cache.
+
+        Pair models are immutable and a pure deterministic function of
+        (architecture profile, unit seed, pair), so replica machines of
+        the same blueprint can share one cache — the execution engine's
+        worker processes keep a per-(architecture, unit-seed) skeleton
+        cache alive across jobs instead of re-deriving every pair model
+        per replica.
+        """
+        cache.update(self._pair_cache)
+        self._pair_cache = cache
 
     def sample_transition(
         self, init_mhz: float, target_mhz: float

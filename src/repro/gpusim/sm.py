@@ -17,11 +17,24 @@ split across segments by the piecewise inversion — and runs as three numpy
 ``searchsorted``/gather passes over the whole (SM × iteration) matrix with
 no Python-level loops.  A scalar reference implementation is provided for
 property-based equivalence testing.
+
+Integration is split in two stages so the hot campaign path can defer the
+expensive part.  :func:`prepare_integration` consumes the RNG-dependent
+inputs (cycle draws) immediately, compiles the trajectory, and computes
+only the *last* iteration boundary per SM — enough for the kernel
+completion time that drives the machine clock.  The full per-iteration
+inversion and the device-view conversion happen lazily in
+:meth:`PendingIntegration.materialize`, which kernels whose timestamps are
+never read (filler workloads, rolled-back speculative passes) simply never
+call.  The split is bit-exact: the deferred inversion applies the same
+elementwise operation sequence to the same cumulative-cycle buffer, so the
+materialized last column equals the eagerly computed completion boundary
+float for float.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -30,8 +43,11 @@ from repro.gpusim.trajectory import FrequencyTrajectory
 
 __all__ = [
     "KernelTimestamps",
+    "PendingIntegration",
     "integrate_iterations",
     "integrate_iterations_reference",
+    "prepare_integration",
+    "prepare_integration_from_boundaries",
     "sample_iteration_cycles",
 ]
 
@@ -122,13 +138,13 @@ def sample_iteration_cycles(
     """
     if n_sm <= 0 or n_iterations <= 0:
         raise SimulationError("need at least one SM and one iteration")
-    # In-place evaluation of cycles_per_iteration * (1 + noise_rel * z):
+    # In-place evaluation of cycles_per_iteration + (noise * cycles) * z:
     # the draw matrix is the hottest allocation in the simulator, so the
-    # scalings reuse it instead of materializing three temporaries.
+    # scalings reuse it instead of materializing temporaries, and the two
+    # scalar factors are folded into one multiply.
     cycles = rng.standard_normal((n_sm, n_iterations))
-    cycles *= noise_rel
-    cycles += 1.0
-    cycles *= cycles_per_iteration
+    cycles *= noise_rel * cycles_per_iteration
+    cycles += cycles_per_iteration
     np.maximum(cycles, 0.01 * cycles_per_iteration, out=cycles)
     return cycles
 
@@ -150,12 +166,101 @@ def _compile_trajectory(
     return tb, f_hz, g
 
 
-def integrate_iterations(
+@dataclass
+class PendingIntegration:
+    """Deferred iteration-boundary integration for one kernel.
+
+    Holds the compiled trajectory (boundary times ``tb``, segment
+    frequencies ``f_hz``, cumulative cycles ``g``), the per-SM start times
+    and cycle-integral offsets, and the cumulative cycle matrix.  The last
+    iteration boundary of every SM — all the device needs for the
+    completion time — is computed eagerly by :func:`prepare_integration`;
+    the full matrix inversion runs only on :meth:`materialize`, which is
+    idempotent (the result is cached, the cumulative buffer consumed).
+    """
+
+    tb: np.ndarray
+    f_hz: np.ndarray
+    g: np.ndarray
+    sm_start_times: np.ndarray
+    g_start: np.ndarray
+    cycles_cum: np.ndarray | None
+    last_ends_true: np.ndarray
+    _ends: np.ndarray | None = field(default=None, repr=False)
+    _result: KernelTimestamps | None = field(default=None, repr=False)
+
+    @property
+    def completion_true(self) -> float:
+        """True time when the last SM retires its last iteration."""
+        return float(self.last_ends_true.max())
+
+    @property
+    def cycles_shape(self) -> tuple[int, int]:
+        """``(n_sm, n_iterations)`` of the pending kernel."""
+        buf = self.cycles_cum if self.cycles_cum is not None else self._ends
+        assert buf is not None
+        return buf.shape
+
+    def _invert(self, c_abs: np.ndarray) -> np.ndarray:
+        """Map absolute cycle targets to true times (in place on c_abs).
+
+        The per-segment map ``(c - g_j) / f_j + tb_j`` is folded into the
+        affine form ``c * (1/f_j) + (tb_j - g_j / f_j)`` — two gathers and
+        two element passes instead of three of each.
+        """
+        inv_f = 1.0 / self.f_hz
+        shift = self.tb[: len(self.f_hz)] - self.g[: len(self.f_hz)] * inv_f
+        if len(self.f_hz) == 1:
+            # Constant-frequency fast path (fillers, post-settle kernels):
+            # the inversion is a single linear map, so the searchsorted/
+            # gather passes degenerate.
+            c_abs *= inv_f[0]
+            c_abs += shift[0]
+            return c_abs
+        shape = c_abs.shape
+        flat = c_abs.reshape(-1)
+        j = np.searchsorted(self.g, flat, side="right") - 1
+        j = np.minimum(j, len(self.f_hz) - 1)
+        flat *= inv_f[j]
+        flat += shift[j]
+        return flat.reshape(shape)
+
+    def ends_true(self) -> np.ndarray:
+        """All iteration-end boundaries (full inversion, cached).
+
+        The pass-block pipeline consumes ends directly — with back-to-back
+        iterations every start except the first per SM *is* the previous
+        end, so a separate starts matrix never needs building there.
+        """
+        if self._ends is not None:
+            return self._ends
+        assert self.cycles_cum is not None, "pending buffers already consumed"
+        c_abs = self.cycles_cum
+        self.cycles_cum = None  # consumed in place below
+        c_abs += self.g_start[:, None]
+        self._ends = self._invert(c_abs)
+        return self._ends
+
+    def materialize(self) -> KernelTimestamps:
+        """Run the full inversion and build the per-iteration boundaries."""
+        if self._result is not None:
+            return self._result
+        ends = self.ends_true()
+        starts = np.empty_like(ends)
+        starts[:, 0] = self.sm_start_times
+        starts[:, 1:] = ends[:, :-1]
+        self._result = KernelTimestamps(
+            starts_true=starts, ends_true=ends, back_to_back=True
+        )
+        return self._result
+
+
+def prepare_integration(
     trajectory: FrequencyTrajectory,
     sm_start_times: np.ndarray,
     cycles: np.ndarray,
-) -> KernelTimestamps:
-    """Exact vectorized integration of iteration boundaries.
+) -> PendingIntegration:
+    """Stage one of the exact integration: compile, cumsum, last boundary.
 
     Parameters
     ----------
@@ -175,44 +280,89 @@ def integrate_iterations(
 
     t0 = float(sm_start_times.min())
     tb, f_hz, g = _compile_trajectory(trajectory, t0)
+    return _prepare_from_compiled(tb, f_hz, g, sm_start_times, cycles)
 
+
+def prepare_integration_from_boundaries(
+    tb: np.ndarray,
+    f_mhz: np.ndarray,
+    sm_start_times: np.ndarray,
+    cycles: np.ndarray,
+    consume: bool = False,
+) -> PendingIntegration:
+    """Boundary-array twin of :func:`prepare_integration`.
+
+    Consumes the segment form :meth:`DvfsClockDomain.compiled_segments`
+    produces (boundary times with trailing ``inf``, per-segment MHz) —
+    the hot path skips :class:`FrequencyTrajectory` object churn entirely.
+    The MHz→Hz scaling and the cumulative-cycle construction apply the
+    exact operations :func:`_compile_trajectory` applies, so both entries
+    produce identical floats for identical segments.  ``consume=True``
+    cumulates in place into the caller's ``cycles`` buffer (the device
+    passes freshly drawn matrices it never rereads).
+    """
+    f_hz = f_mhz * 1e6
+    if np.any(f_hz <= 0):
+        raise SimulationError("non-positive frequency in trajectory")
+    spans = np.diff(tb)
+    seg_cycles = np.where(np.isinf(spans), np.inf, spans * f_hz)
+    g = np.concatenate([[0.0], np.cumsum(seg_cycles)])
+    return _prepare_from_compiled(
+        tb, f_hz, g, sm_start_times, cycles, consume=consume
+    )
+
+
+def _prepare_from_compiled(
+    tb: np.ndarray,
+    f_hz: np.ndarray,
+    g: np.ndarray,
+    sm_start_times: np.ndarray,
+    cycles: np.ndarray,
+    consume: bool = False,
+) -> PendingIntegration:
+    sm_start_times = np.asarray(sm_start_times, dtype=np.float64)
+    cycles = np.asarray(cycles, dtype=np.float64)
+    if cycles.ndim != 2 or sm_start_times.shape != (cycles.shape[0],):
+        raise SimulationError("shape mismatch between start times and cycles")
     if len(f_hz) == 1:
-        # Constant-frequency fast path (fillers, post-settle kernels):
-        # the inversion is a single linear map, so the searchsorted/gather
-        # passes degenerate — identical arithmetic with idx0 == j == 0.
-        f0, tb0 = f_hz[0], tb[0]
-        g_start = g[0] + (sm_start_times - tb0) * f0
-        c_abs = np.cumsum(cycles, axis=1)
-        c_abs += g_start[:, None]
-        ends = c_abs
-        ends -= g[0]
-        ends /= f0
-        ends += tb0
+        g_start = g[0] + (sm_start_times - tb[0]) * f_hz[0]
     else:
         # Cycle-integral value at each SM's start time.
         idx0 = np.searchsorted(tb, sm_start_times, side="right") - 1
         idx0 = np.minimum(idx0, len(f_hz) - 1)
         g_start = g[idx0] + (sm_start_times - tb[idx0]) * f_hz[idx0]
 
-        # Absolute cumulative cycle targets for every iteration end.
-        c_abs = np.cumsum(cycles, axis=1)
-        c_abs += g_start[:, None]
+    cycles_cum = np.cumsum(cycles, axis=1, out=cycles if consume else None)
 
-        # Invert the piecewise-linear cycle integral (in place on the
-        # cycle-target buffer; it has no further use).
-        shape = c_abs.shape
-        flat = c_abs.reshape(-1)
-        j = np.searchsorted(g, flat, side="right") - 1
-        j = np.minimum(j, len(f_hz) - 1)
-        flat -= g[j]
-        flat /= f_hz[j]
-        flat += tb[j]
-        ends = flat.reshape(shape)
+    pending = PendingIntegration(
+        tb=tb,
+        f_hz=f_hz,
+        g=g,
+        sm_start_times=sm_start_times,
+        g_start=g_start,
+        cycles_cum=cycles_cum,
+        last_ends_true=np.empty(0),
+    )
+    # The last boundary per SM: the same (cum + g_start) then invert
+    # elementwise sequence the materialized path applies to every column,
+    # restricted to the final one — bit-identical to ends[:, -1].
+    pending.last_ends_true = pending._invert(
+        cycles_cum[:, -1] + g_start
+    )
+    return pending
 
-    starts = np.empty_like(ends)
-    starts[:, 0] = sm_start_times
-    starts[:, 1:] = ends[:, :-1]
-    return KernelTimestamps(starts_true=starts, ends_true=ends, back_to_back=True)
+
+def integrate_iterations(
+    trajectory: FrequencyTrajectory,
+    sm_start_times: np.ndarray,
+    cycles: np.ndarray,
+) -> KernelTimestamps:
+    """Exact vectorized integration of iteration boundaries.
+
+    One-shot convenience over :func:`prepare_integration` +
+    :meth:`PendingIntegration.materialize` (see module docs).
+    """
+    return prepare_integration(trajectory, sm_start_times, cycles).materialize()
 
 
 def integrate_iterations_reference(

@@ -123,6 +123,18 @@ class GpuSpec:
             memo[freq_mhz] = nearest
         return nearest
 
+    def nearest_supported_clocks(self, freqs_mhz: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`nearest_supported_clock` for small batches.
+
+        Same tie-breaking (first ladder entry at minimum distance), one
+        argmin sweep instead of a Python call per frequency — used by the
+        DVFS ramp scheduler.
+        """
+        clocks = self._clock_ladder_array
+        freqs_mhz = np.asarray(freqs_mhz, dtype=np.float64)
+        idx = np.abs(clocks[None, :] - freqs_mhz[:, None]).argmin(axis=1)
+        return clocks[idx]
+
     def validate_clock(self, freq_mhz: float, tolerance_mhz: float = 0.5) -> float:
         """Return the ladder entry matching ``freq_mhz`` or raise.
 

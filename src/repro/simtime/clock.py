@@ -47,6 +47,17 @@ class VirtualClock:
             self._now = t
         return self._now
 
+    def _restore(self, t: float) -> None:
+        """Rewind to ``t`` — machine-checkpoint rollback support only.
+
+        The public timeline API only moves forward; this hook exists for
+        :meth:`repro.machine.Machine.restore`, which discards a speculative
+        simulation suffix as a whole (every actor's state rewinds with it).
+        """
+        if not math.isfinite(t):
+            raise ClockError(f"cannot restore to {t!r}")
+        self._now = float(t)
+
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"VirtualClock(now={self._now:.9f})"
 
@@ -103,16 +114,27 @@ class HardwareClock:
             return raw
         return math.floor(raw / self.granularity) * self.granularity
 
-    def convert_array(self, true_t):
-        """Vectorized :meth:`convert` for numpy arrays (used by the SM engine)."""
+    def convert_array(self, true_t, out=None):
+        """Vectorized :meth:`convert` for numpy arrays (used by the SM engine).
+
+        The affine map and the granularity division are folded into one
+        multiply-add per element (``t * scale/g + shift/g``, floor, ``*g``)
+        — algebraically identical to the scalar formula; last-ulp rounding
+        may differ, which only matters at exact quantization boundaries.
+        ``out`` reuses a caller buffer (e.g. a slice of a pass-block
+        matrix) instead of allocating.
+        """
         import numpy as np
 
-        raw = np.asarray(true_t, dtype=np.float64) - self.epoch
-        raw *= 1.0 + self.drift
-        raw += self.offset
-        if self.granularity <= 0.0:
+        scale = 1.0 + self.drift
+        shift = self.offset - self.epoch * scale
+        if self.granularity > 0.0:
+            inv_g = 1.0 / self.granularity
+            raw = np.multiply(true_t, scale * inv_g, out=out)
+            raw += shift * inv_g
+            np.floor(raw, out=raw)
+            raw *= self.granularity
             return raw
-        raw /= self.granularity
-        np.floor(raw, out=raw)
-        raw *= self.granularity
+        raw = np.multiply(true_t, scale, out=out)
+        raw += shift
         return raw

@@ -18,6 +18,18 @@ microseconds, negligible against millisecond-scale switching latencies.
 
 The result converts CPU timestamps into the accelerator timebase exactly as
 Algorithm 2 line 6 does: ``t_acc = t_cpu - cpu_sync + acc_sync``.
+
+Draw-order contract
+-------------------
+The handshake consumes the host RNG in one fixed, batched order per call —
+uplink jitter ``(rounds, 2)``, spike uniforms ``(rounds, 2)``, spike
+magnitudes ``(rounds, 2)``, turnaround uniforms ``(rounds,)`` — rather than
+round by round.  Spike magnitudes are always drawn and applied only where
+the spike uniform fires, so the number of draws is a pure function of
+``rounds``.  This is the canonical entry in the campaign's RNG draw-order
+ledger (see DESIGN.md): every measurement path, scalar or pass-block
+batched, performs exactly this sequence, which is what keeps the batched
+campaign bit-identical to the scalar reference.
 """
 
 from __future__ import annotations
@@ -49,6 +61,12 @@ class PtpLink:
     spike_scale_s: float = 30e-6
 
     def sample_delay(self, rng: np.random.Generator, direction: str) -> float:
+        """One transport delay (kept for API stability and unit tests).
+
+        The handshake itself uses :meth:`sample_delays` — a different,
+        batched draw order — so calling this does *not* reproduce the
+        draws :func:`synchronize_timers` makes.
+        """
         sign = 1.0 if direction == "up" else -1.0
         delay = (
             self.base_delay_s
@@ -58,6 +76,27 @@ class PtpLink:
         if rng.random() < self.spike_prob:
             delay += float(rng.exponential(self.spike_scale_s))
         return max(delay, 1e-9)
+
+    def sample_delays(
+        self, rng: np.random.Generator, rounds: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Batched uplink/downlink delays for ``rounds`` exchanges.
+
+        Returns ``(up, down)`` arrays of shape ``(rounds,)``.  The draw
+        order is fixed (jitter, spike uniforms, spike magnitudes — each
+        ``(rounds, 2)`` with up in column 0) so the stream consumption is
+        independent of which rounds spike.
+        """
+        jitter = rng.exponential(self.jitter_scale_s, size=(rounds, 2))
+        spike_u = rng.random((rounds, 2))
+        spikes = rng.exponential(self.spike_scale_s, size=(rounds, 2))
+        delays = jitter
+        delays += self.base_delay_s
+        delays[:, 0] += self.asymmetry_s
+        delays[:, 1] -= self.asymmetry_s
+        delays += np.where(spike_u < self.spike_prob, spikes, 0.0)
+        np.maximum(delays, 1e-9, out=delays)
+        return delays[:, 0], delays[:, 1]
 
 
 @dataclass(frozen=True)
@@ -96,50 +135,51 @@ def synchronize_timers(
     link = link or PtpLink()
     rng = host.rng
 
-    # The handshake is a pure alternation of clock conversions and local
-    # time advances; tracking true time in a local accumulator (committed
-    # to the machine clock once at the end) keeps the per-round cost at
-    # the random draws themselves.  The advance sequence — and therefore
-    # every timestamp and every draw — is identical to stepping the shared
-    # clock through ``host.busy`` on each leg.
-    os_convert = host.os_clock.convert
-    gpu_convert = device.gpu_clock.convert
-    sample_delay = link.sample_delay
-    uniform = rng.uniform
-    t = host.clock.now
+    # All transport draws for the handshake happen up front in the fixed
+    # batched order (see the module docstring), then the whole exchange is
+    # evaluated as array math: the true-time grid is the running sum of
+    # the per-leg durations, and the hardware-timer views are vectorized
+    # conversions of that grid.  The machine clock commits once at the end.
+    up, down = link.sample_delays(rng, rounds)
+    turnaround = rng.uniform(0.2e-6, 0.6e-6, size=rounds)
 
-    best: tuple[float, float, float] | None = None  # (delay, offset, t1)
-    delays = []
-    for _ in range(rounds):
-        t1 = os_convert(t)
-        t += sample_delay(rng, "up")
-        t2 = gpu_convert(t)
-        # Device-side turnaround (firmware handling the probe).
-        t += float(uniform(0.2e-6, 0.6e-6))
-        t3 = gpu_convert(t)
-        t += sample_delay(rng, "down")
-        t4 = os_convert(t)
+    t0 = host.clock.now
+    grid = np.empty(3 * rounds + 1)
+    grid[0] = 0.0
+    legs = grid[1:].reshape(rounds, 3)
+    legs[:, 0] = up
+    legs[:, 1] = turnaround
+    legs[:, 2] = down
+    np.cumsum(grid, out=grid)
+    grid += t0
 
-        offset = ((t2 - t1) + (t3 - t4)) / 2.0
-        delay = ((t4 - t1) - (t3 - t2)) / 2.0
-        delays.append(delay)
-        if best is None or delay < best[0]:
-            best = (delay, offset, t1)
+    # One conversion sweep per clock domain over the whole grid; the
+    # per-round views below are slices of the converted buffers.
+    t_host = host.os_clock.convert_array(grid)
+    t_gpu = device.gpu_clock.convert_array(grid)
+    t1 = t_host[0::3][:-1]
+    t2 = t_gpu[1::3]
+    t3 = t_gpu[2::3]
+    t4 = t_host[3::3]
 
-    host.clock.advance_to(t)
-    # The loop bypassed HardwareClock.read() (pure conversions instead);
+    offsets = ((t2 - t1) + (t3 - t4)) / 2.0
+    delays = ((t4 - t1) - (t3 - t2)) / 2.0
+    # Minimum-delay filtering; argmin keeps the first minimum, matching
+    # the strict-less comparison of the original round-by-round loop.
+    best = int(np.argmin(delays))
+
+    host.clock.advance_to(float(grid[-1]))
+    # The grid bypassed HardwareClock.read() (pure conversions instead);
     # one real read per clock re-arms the monotonic guard and _last_read
     # bookkeeping for later callers, and asserts consistency once per
     # handshake.  No time passes and no draws are consumed.
     host.os_clock.read()
     device.gpu_clock.read()
-    assert best is not None
-    delay, offset, t1 = best
     return SyncResult(
-        cpu_sync=t1,
-        acc_sync=t1 + offset,
-        offset=offset,
-        path_delay=delay,
+        cpu_sync=float(t1[best]),
+        acc_sync=float(t1[best] + offsets[best]),
+        offset=float(offsets[best]),
+        path_delay=float(delays[best]),
         rounds=rounds,
         delay_spread=float(np.ptp(delays)),
     )
