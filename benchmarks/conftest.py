@@ -9,7 +9,6 @@ bands (GH200 1170/1260/1875 MHz; RTX 930/990 and the mid-band plateau).
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro import LatestConfig, make_machine, run_campaign

@@ -10,8 +10,6 @@ attempts.
 
 import dataclasses
 
-import numpy as np
-import pytest
 
 from repro import LatestConfig, make_machine
 from repro.core.context import BenchContext

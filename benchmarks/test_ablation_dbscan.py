@@ -8,7 +8,6 @@ rate the adaptive objective exists to minimize.
 """
 
 import numpy as np
-import pytest
 
 from repro.clustering.adaptive import AdaptiveDbscanConfig, adaptive_dbscan
 from repro.clustering.dbscan import dbscan

@@ -9,7 +9,6 @@ the injected ground truth, exposing both failure directions.
 """
 
 import numpy as np
-import pytest
 
 from repro import LatestConfig, make_machine
 from repro.core.context import BenchContext

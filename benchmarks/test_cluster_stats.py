@@ -6,7 +6,6 @@ silhouette scores always above 0.4 with a 0.84 average over the GPUs.
 """
 
 import numpy as np
-import pytest
 
 from benchmarks.conftest import print_paper_vs_measured
 from repro.analysis.clusters import cluster_report

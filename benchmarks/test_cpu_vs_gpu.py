@@ -7,7 +7,6 @@ ranging from tens to hundreds of milliseconds."
 """
 
 import numpy as np
-import pytest
 
 from repro.analysis.paper_reference import CPU_TRANSITION_RANGE_MS
 from repro.ftalat import CpuCore, FtalatConfig, run_ftalat

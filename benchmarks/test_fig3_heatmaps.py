@@ -13,7 +13,6 @@ asserts the structural observations of Sec. VII:
 """
 
 import numpy as np
-import pytest
 
 from repro.analysis.heatmap import heatmap_from_campaign
 from repro.analysis.render import render_heatmap

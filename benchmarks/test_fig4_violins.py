@@ -12,7 +12,6 @@ all three GPUs and asserts the published qualitative findings:
 """
 
 import numpy as np
-import pytest
 
 from repro.analysis.distributions import split_by_direction
 

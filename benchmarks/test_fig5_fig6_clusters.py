@@ -9,7 +9,6 @@ Sec. VII-B (score > 0.4 for multi-cluster pairs).
 """
 
 import numpy as np
-import pytest
 
 from repro import LatestConfig, make_machine
 from repro.analysis.clusters import scatter_data

@@ -8,7 +8,6 @@ transitions are "not entirely uniform across hardware instances".
 """
 
 import numpy as np
-import pytest
 
 from repro.analysis.render import render_matrix
 from repro.analysis.variability import variability_report

@@ -6,7 +6,6 @@ instance consistently exhibits worse than others".
 """
 
 import numpy as np
-import pytest
 
 from repro.analysis.variability import variability_report
 

@@ -6,7 +6,6 @@ benefits the paper predicts: better switch timing (skip phases shorter
 than the transition) and avoidance of pathological frequency pairs.
 """
 
-import pytest
 
 from repro.governor import (
     LatencyAwareGovernor,

@@ -6,8 +6,6 @@ known.  This bench scores the full pipeline (sync -> delay -> detection ->
 confirmation -> outlier filter) on all three GPU campaigns.
 """
 
-import numpy as np
-import pytest
 
 from repro.analysis.validation import score_recovery
 

@@ -5,7 +5,6 @@ surface (not from the spec constants directly, so the driver path is what
 is being validated).
 """
 
-import pytest
 
 from repro.machine import make_machine
 

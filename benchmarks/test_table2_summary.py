@@ -6,7 +6,6 @@ published values: ordering of devices, asymmetry between best and worst
 case, and the rough factors between architectures.
 """
 
-import pytest
 
 from benchmarks.conftest import print_paper_vs_measured
 from repro.analysis.paper_reference import PAPER_TABLE2

@@ -19,17 +19,28 @@ from repro.analysis.clusters import ClusterReport, cluster_report
 from repro.analysis.compare import CampaignComparison, compare_campaigns
 from repro.analysis.grid_io import read_grid_csv, write_grid_csv
 from repro.analysis.distributions import DirectionSplit, split_by_direction
-from repro.analysis.heatmap import HeatmapGrid, heatmap_from_campaign
+from repro.analysis.heatmap import (
+    HeatmapGrid,
+    heatmap_from_campaign,
+    heatmaps_by_memory,
+)
 from repro.analysis.report import campaign_report, write_campaign_report
-from repro.analysis.summary import CaseSummary, Table2Row, summarize_campaign
+from repro.analysis.summary import (
+    CaseSummary,
+    Table2Row,
+    summarize_by_memory,
+    summarize_campaign,
+)
 from repro.analysis.validation import RecoveryReport, score_recovery
 from repro.analysis.variability import VariabilityReport, variability_report
 
 __all__ = [
     "HeatmapGrid",
     "heatmap_from_campaign",
+    "heatmaps_by_memory",
     "Table2Row",
     "CaseSummary",
+    "summarize_by_memory",
     "summarize_campaign",
     "DirectionSplit",
     "split_by_direction",

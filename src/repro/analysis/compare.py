@@ -93,9 +93,11 @@ def compare_campaigns(
             f"{a.frequencies} vs {b.frequencies}"
         )
     comparison = CampaignComparison(gpu_name=a.gpu_name)
-    measured_b = {p.key: p for p in b.iter_measured()}
+    # Match on the full grid key so core×memory campaigns compare facet
+    # against facet rather than collapsing memory clocks onto one SM pair.
+    measured_b = {p.grid_key: p for p in b.iter_measured()}
     for pair_a in a.iter_measured():
-        pair_b = measured_b.get(pair_a.key)
+        pair_b = measured_b.get(pair_a.grid_key)
         if pair_b is None:
             continue
         values_a = pair_a.latencies_s(without_outliers)

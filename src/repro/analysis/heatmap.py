@@ -1,7 +1,9 @@
 """Heatmap grids of per-pair switching latencies (paper Fig. 3).
 
 Rows are initial frequencies, columns target frequencies, matching the
-orientation stated in the paper's figure caption.
+orientation stated in the paper's figure caption.  Core×memory campaigns
+render one grid per memory clock (:func:`heatmaps_by_memory`) — the
+faceted view of the 2-D frequency domain.
 """
 
 from __future__ import annotations
@@ -13,7 +15,7 @@ import numpy as np
 from repro.core.results import CampaignResult
 from repro.errors import MeasurementError
 
-__all__ = ["HeatmapGrid", "heatmap_from_campaign"]
+__all__ = ["HeatmapGrid", "heatmap_from_campaign", "heatmaps_by_memory"]
 
 
 @dataclass(frozen=True)
@@ -24,6 +26,8 @@ class HeatmapGrid:
     values_ms: np.ndarray  # (init, target); NaN on the diagonal/unmeasured
     statistic: str
     gpu_name: str
+    #: memory clock the grid was measured at (None: legacy fixed memory)
+    memory_mhz: float | None = None
 
     def value(self, init_mhz: float, target_mhz: float) -> float:
         i = self.frequencies_mhz.index(float(init_mhz))
@@ -88,12 +92,41 @@ def heatmap_from_campaign(
     result: CampaignResult,
     statistic: str = "max",
     without_outliers: bool = True,
+    memory_mhz: "float | None" = ...,
 ) -> HeatmapGrid:
-    """Build the Fig. 3-style grid from a campaign."""
-    grid_s = result.latency_matrix(statistic, without_outliers)
+    """Build the Fig. 3-style grid from a campaign.
+
+    ``memory_mhz`` selects one facet of a core×memory campaign (required
+    when several memory clocks were swept); the default covers legacy and
+    single-memory-clock campaigns.
+    """
+    grid_s = result.latency_matrix(statistic, without_outliers, memory_mhz)
+    if memory_mhz is ...:
+        memory_mhz = (
+            result.memory_frequencies[0]
+            if result.memory_frequencies is not None
+            else None
+        )
     return HeatmapGrid(
         frequencies_mhz=tuple(float(f) for f in result.frequencies),
         values_ms=grid_s * 1e3,
         statistic=statistic,
         gpu_name=result.gpu_name,
+        memory_mhz=memory_mhz,
     )
+
+
+def heatmaps_by_memory(
+    result: CampaignResult,
+    statistic: str = "max",
+    without_outliers: bool = True,
+) -> dict[float | None, HeatmapGrid]:
+    """One Fig. 3-style grid per memory clock, in campaign sweep order.
+
+    Legacy campaigns return a single entry keyed ``None``.
+    """
+    plan = result.memory_frequencies or (None,)
+    return {
+        mem: heatmap_from_campaign(result, statistic, without_outliers, mem)
+        for mem in plan
+    }

@@ -32,7 +32,8 @@ def render_matrix(
 
 def render_heatmap(grid: HeatmapGrid) -> str:
     """Fig. 3-style text heatmap (initial freq in rows, target in columns)."""
-    title = f"{grid.gpu_name} — {grid.statistic} switching latencies [ms]"
+    mem = f" @ mem {grid.memory_mhz:g} MHz" if grid.memory_mhz is not None else ""
+    title = f"{grid.gpu_name}{mem} — {grid.statistic} switching latencies [ms]"
     body = render_matrix(
         grid.values_ms,
         grid.frequencies_mhz,

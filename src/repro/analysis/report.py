@@ -16,7 +16,7 @@ import numpy as np
 from repro.analysis.advisor import RuntimeAdvisor
 from repro.analysis.clusters import cluster_report
 from repro.analysis.distributions import split_by_direction
-from repro.analysis.heatmap import heatmap_from_campaign
+from repro.analysis.heatmap import heatmaps_by_memory
 from repro.analysis.render import render_matrix
 from repro.analysis.summary import summarize_campaign
 from repro.analysis.validation import score_recovery
@@ -27,21 +27,27 @@ __all__ = ["campaign_report", "write_campaign_report"]
 
 
 def _heatmap_section(result: CampaignResult, statistic: str) -> list[str]:
-    grid = heatmap_from_campaign(result, statistic)
-    body = render_matrix(
-        grid.values_ms,
-        grid.frequencies_mhz,
-        grid.frequencies_mhz,
-        corner="init\\tgt",
-    )
-    return [
-        f"### {statistic.capitalize()} switching latencies [ms]",
-        "",
-        "```",
-        body,
-        "```",
-        "",
-    ]
+    """One grid per memory facet (a single facet for legacy campaigns)."""
+    lines: list[str] = []
+    for mem, grid in heatmaps_by_memory(result, statistic).items():
+        body = render_matrix(
+            grid.values_ms,
+            grid.frequencies_mhz,
+            grid.frequencies_mhz,
+            corner="init\\tgt",
+        )
+        facet = f" @ mem {mem:g} MHz" if mem is not None else ""
+        lines.extend(
+            [
+                f"### {statistic.capitalize()} switching latencies [ms]{facet}",
+                "",
+                "```",
+                body,
+                "```",
+                "",
+            ]
+        )
+    return lines
 
 
 def _summary_section(result: CampaignResult) -> list[str]:

@@ -15,7 +15,7 @@ import numpy as np
 from repro.core.results import CampaignResult
 from repro.errors import MeasurementError
 
-__all__ = ["CaseSummary", "Table2Row", "summarize_campaign"]
+__all__ = ["CaseSummary", "Table2Row", "summarize_campaign", "summarize_by_memory"]
 
 
 @dataclass(frozen=True)
@@ -61,13 +61,20 @@ def _case_summary(values_ms: np.ndarray, pairs: list) -> CaseSummary:
 
 
 def summarize_campaign(
-    result: CampaignResult, without_outliers: bool = True
+    result: CampaignResult,
+    without_outliers: bool = True,
+    memory_mhz: "float | None" = ...,
 ) -> Table2Row:
-    """Compute the Table II row block for one campaign."""
+    """Compute the Table II row block for one campaign.
+
+    ``memory_mhz`` restricts the summary to one memory facet of a
+    core×memory campaign; the default aggregates across every facet
+    (per-pair extremes are still per (init, target, memory) point).
+    """
     pairs = []
     worst_ms = []
     best_ms = []
-    for p in result.iter_measured():
+    for p in result.iter_measured(memory_mhz):
         values = p.latencies_s(without_outliers)
         if values.size == 0:
             continue
@@ -82,3 +89,22 @@ def summarize_campaign(
         best=_case_summary(np.asarray(best_ms), pairs),
         n_pairs=len(pairs),
     )
+
+
+def summarize_by_memory(
+    result: CampaignResult, without_outliers: bool = True
+) -> dict[float | None, Table2Row]:
+    """One Table II row block per memory clock, in campaign sweep order.
+
+    Legacy campaigns return a single entry keyed ``None``.  Facets whose
+    pairs were all skipped (e.g. a memory clock that never settled) are
+    omitted rather than raising.
+    """
+    plan = result.memory_frequencies or (None,)
+    out: dict[float | None, Table2Row] = {}
+    for mem in plan:
+        try:
+            out[mem] = summarize_campaign(result, without_outliers, mem)
+        except MeasurementError:
+            continue
+    return out

@@ -12,7 +12,7 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.analysis.heatmap import heatmap_from_campaign
+from repro.analysis.heatmap import heatmaps_by_memory
 from repro.analysis.render import render_heatmap, render_table2
 from repro.analysis.summary import summarize_campaign
 from repro.core.campaign import run_campaign
@@ -56,6 +56,15 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=200,
         help="hard per-pair measurement cap",
+    )
+    parser.add_argument(
+        "--memory-frequencies",
+        default=None,
+        metavar="LIST",
+        help="comma-separated memory clocks in MHz to sweep the SM pair "
+        "grid over (core×memory campaign; each clock must be on the "
+        "device's supported memory ladder); omit for the classic "
+        "fixed-memory campaign",
     )
     parser.add_argument(
         "--output-dir",
@@ -124,19 +133,38 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def parse_frequencies(text: str) -> tuple[float, ...]:
+def parse_frequencies(
+    text: str, minimum: int = 2, label: str = "frequency"
+) -> tuple[float, ...]:
+    """Parse and validate a comma-separated frequency list.
+
+    Rejects non-numeric tokens, non-positive clocks (``nearest_clock``
+    would otherwise snap them silently) and duplicates (which produce
+    degenerate ``f->f`` self-pairs) with a clear :class:`SystemExit`.
+    """
     try:
         freqs = tuple(float(tok) for tok in text.split(",") if tok.strip())
     except ValueError:
-        raise SystemExit(f"invalid frequency list: {text!r}")
-    if len(freqs) < 2:
-        raise SystemExit("need at least two frequencies")
+        raise SystemExit(f"invalid {label} list: {text!r}")
+    if len(freqs) < minimum:
+        raise SystemExit(f"need at least {minimum} {label} value(s): {text!r}")
+    if any(f <= 0 for f in freqs):
+        raise SystemExit(f"{label} values must be positive: {text!r}")
+    if len(set(freqs)) != len(freqs):
+        raise SystemExit(f"duplicate {label} values: {text!r}")
     return freqs
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     freqs = parse_frequencies(args.frequencies)
+    mem_freqs = (
+        parse_frequencies(
+            args.memory_frequencies, minimum=1, label="memory frequency"
+        )
+        if args.memory_frequencies is not None
+        else None
+    )
 
     machine = make_machine(
         args.gpu_model,
@@ -146,6 +174,7 @@ def main(argv: list[str] | None = None) -> int:
     )
     config = LatestConfig(
         frequencies=freqs,
+        memory_frequencies=mem_freqs,
         device_index=args.device,
         rse_threshold=args.rse,
         min_measurements=args.min_measurements,
@@ -173,15 +202,20 @@ def main(argv: list[str] | None = None) -> int:
 
     if not args.quiet:
         for pair in result.pairs.values():
+            mem = (
+                f" @ mem {pair.memory_mhz:7g} MHz"
+                if pair.memory_mhz is not None
+                else ""
+            )
             if pair.skipped:
                 print(
-                    f"{pair.init_mhz:7g} -> {pair.target_mhz:7g} MHz: "
+                    f"{pair.init_mhz:7g} -> {pair.target_mhz:7g} MHz{mem}: "
                     f"skipped ({pair.skip_reason})"
                 )
                 continue
             stats = pair.stats(without_outliers=True)
             print(
-                f"{pair.init_mhz:7g} -> {pair.target_mhz:7g} MHz: "
+                f"{pair.init_mhz:7g} -> {pair.target_mhz:7g} MHz{mem}: "
                 f"n={pair.n_measurements:4d}  "
                 f"min={stats.minimum * 1e3:8.3f} ms  "
                 f"mean={stats.mean * 1e3:8.3f} ms  "
@@ -193,8 +227,9 @@ def main(argv: list[str] | None = None) -> int:
     print(render_table2([summarize_campaign(result)]))
     if args.heatmaps:
         for stat in ("min", "max"):
-            print()
-            print(render_heatmap(heatmap_from_campaign(result, stat)))
+            for grid in heatmaps_by_memory(result, stat).values():
+                print()
+                print(render_heatmap(grid))
     if args.report:
         from repro.analysis.report import write_campaign_report
 

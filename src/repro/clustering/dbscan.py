@@ -65,9 +65,49 @@ class DbscanResult:
 
 
 def _neighbors_1d(x_sorted: np.ndarray, order: np.ndarray, eps: float):
-    """Neighbour lists (in original indexing) for sorted 1-D data."""
+    """Neighbour lists (in original indexing) for sorted 1-D data.
+
+    The bisection keys ``x ± eps`` can round differently from the exact
+    pairwise predicate ``|xi - xj| <= eps`` right at a neighbourhood
+    boundary (e.g. ``1.0 + 0.1 == 1.1`` in doubles while
+    ``1.1 - 1.0 > 0.1``), so the slices are corrected against the exact
+    predicate — keeping this fast path label-equivalent to the
+    d-dimensional brute-force distances for any input.
+    """
+    n = x_sorted.size
     lo = np.searchsorted(x_sorted, x_sorted - eps, side="left")
     hi = np.searchsorted(x_sorted, x_sorted + eps, side="right")
+    # Grow/shrink every bound until it matches the exact predicate;
+    # rounding puts each within a couple of elements of the true
+    # boundary, so the loops converge almost immediately.
+    while True:
+        grow = (lo > 0) & (
+            np.abs(x_sorted - x_sorted[np.maximum(lo - 1, 0)]) <= eps
+        )
+        if not grow.any():
+            break
+        lo[grow] -= 1
+    while True:
+        shrink = (lo < hi) & (
+            np.abs(x_sorted - x_sorted[np.minimum(lo, n - 1)]) > eps
+        )
+        if not shrink.any():
+            break
+        lo[shrink] += 1
+    while True:
+        grow = (hi < n) & (
+            np.abs(x_sorted[np.minimum(hi, n - 1)] - x_sorted) <= eps
+        )
+        if not grow.any():
+            break
+        hi[grow] += 1
+    while True:
+        shrink = (hi > lo) & (
+            np.abs(x_sorted[np.maximum(hi - 1, 0)] - x_sorted) > eps
+        )
+        if not shrink.any():
+            break
+        hi[shrink] -= 1
 
     def neighbors(i_orig: int) -> np.ndarray:
         i_sorted = _inverse[i_orig]

@@ -49,6 +49,32 @@ __all__ = [
 #: minimum number of measurements before outlier filtering is meaningful
 _MIN_FOR_OUTLIER_FILTER = 12
 
+#: skip reason recorded when a facet's memory P-state cannot be reached
+MEMORY_NEVER_SETTLED = "memory-clock-never-settled"
+
+
+def facet_skip_reason(
+    phase1: "Phase1Result | None",
+    sm_key: tuple[float, float],
+    valid: set,
+) -> str | None:
+    """Why a grid point cannot be measured at its facet (None = measurable).
+
+    The single source of truth for skip semantics shared by the serial
+    loop and the execution engine.  ``phase1=None`` means the facet's
+    memory clock never settled; ``valid`` is the caller's precomputed
+    ``set(phase1.valid_pairs)`` so dense grids stay O(P).
+    """
+    if phase1 is None:
+        return MEMORY_NEVER_SETTLED
+    if sm_key in valid:
+        return None
+    return (
+        phase1.unreachable.get(sm_key[0])
+        or phase1.unreachable.get(sm_key[1])
+        or "statistically-indistinguishable"
+    )
+
 
 @dataclass(frozen=True)
 class ProbeInfo:
@@ -69,32 +95,51 @@ class LatestBenchmark:
 
     # ------------------------------------------------------------------
     def run(self) -> CampaignResult:
-        """Execute the full campaign and (optionally) write CSV output."""
-        t_begin = self.machine.clock.now
-        phase1 = run_phase1(self.bench)
-        # Power caps or too-coarse workloads can leave no distinguishable
-        # pair at all; the campaign then reports every pair as skipped
-        # rather than failing (the tool's CSV output stays consistent).
-        probe = self._probe_windows(phase1) if phase1.valid_pairs else None
+        """Execute the full campaign and (optionally) write CSV output.
 
-        valid = set(phase1.valid_pairs)
-        pairs: dict[tuple[float, float], PairResult] = {}
-        for init, target in self.config.pairs():
-            key = (float(init), float(target))
-            if key not in valid:
-                reason = (
-                    phase1.unreachable.get(key[0])
-                    or phase1.unreachable.get(key[1])
-                    or "statistically-indistinguishable"
+        Legacy campaigns (``memory_frequencies`` unset) run exactly the
+        fixed-memory loop — one phase 1, one probe stage, one pair sweep,
+        with the memory domain never touched.  Core×memory campaigns
+        repeat that loop once per memory clock: lock+settle the memory
+        P-state, re-characterize (iteration times respond to the memory
+        clock), then measure the full SM pair grid at that clock.
+        """
+        t_begin = self.machine.clock.now
+        mem_plan = self.config.memory_plan()
+        pairs: dict = {}
+        phase1_by_memory: dict = {}
+        for mem in mem_plan:
+            if mem is not None and not self.bench.set_memory_clock(mem):
+                phase1 = None
+                probe = None
+            else:
+                phase1 = run_phase1(self.bench)
+                phase1_by_memory[mem] = phase1
+                # Power caps or too-coarse workloads can leave no
+                # distinguishable pair at all; the campaign then reports
+                # every pair as skipped rather than failing (the tool's
+                # CSV output stays consistent).
+                probe = (
+                    self._probe_windows(phase1) if phase1.valid_pairs else None
                 )
-                pairs[key] = PairResult(
-                    init_mhz=key[0],
-                    target_mhz=key[1],
-                    skipped=True,
-                    skip_reason=reason,
-                )
-                continue
-            pairs[key] = self.measure_pair(key[0], key[1], phase1, probe)
+
+            valid = set(phase1.valid_pairs) if phase1 is not None else set()
+            for init, target in self.config.pairs():
+                sm_key = (float(init), float(target))
+                key = sm_key if mem is None else sm_key + (float(mem),)
+                reason = facet_skip_reason(phase1, sm_key, valid)
+                if reason is not None:
+                    pairs[key] = PairResult(
+                        init_mhz=sm_key[0],
+                        target_mhz=sm_key[1],
+                        skipped=True,
+                        skip_reason=reason,
+                        memory_mhz=mem,
+                    )
+                    continue
+                pair = self.measure_pair(sm_key[0], sm_key[1], phase1, probe)
+                pair.memory_mhz = mem
+                pairs[key] = pair
 
         result = CampaignResult(
             gpu_name=self.bench.device.spec.name,
@@ -103,8 +148,13 @@ class LatestBenchmark:
             device_index=self.config.device_index,
             frequencies=self.config.frequencies,
             pairs=pairs,
-            phase1=phase1,
+            phase1=phase1_by_memory.get(mem_plan[0]),
             wall_virtual_s=self.machine.clock.now - t_begin,
+            memory_frequencies=self.config.memory_frequencies,
+            phase1_by_memory=(
+                None if self.config.memory_frequencies is None
+                else phase1_by_memory
+            ),
         )
         if self.config.output_dir is not None:
             write_campaign_csvs(self.config.output_dir, result)
@@ -356,6 +406,10 @@ def run_campaign(
     pairs no longer share one clock/RNG stream.  Either way the per-pair
     inner loop runs batched (``config.pass_block_size``) or scalar —
     bit-identical by contract.
+
+    With ``config.memory_frequencies`` set, both paths sweep the full
+    core×memory grid: the SM pair grid is re-characterized and measured
+    once per locked memory clock (see ``LatestBenchmark.run``).
     """
     if workers is None:
         return LatestBenchmark(machine, config).run()

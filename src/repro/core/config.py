@@ -29,6 +29,11 @@ class LatestConfig:
     min_measurements: int = 25
     max_measurements: int = 200
     rse_check_every: int = 25
+    #: memory clocks to sweep the SM pair grid over (the core×memory
+    #: extension; paper Sec. VII names the memory domain as the next
+    #: measurement axis).  ``None`` keeps the legacy fixed-memory campaign
+    #: bit-identical: the memory domain is never touched.
+    memory_frequencies: tuple[float, ...] | None = None
 
     # ----- workload sizing (paper Sec. V) -----------------------------
     #: per-iteration duration at the device's max clock; iterations must be
@@ -122,6 +127,18 @@ class LatestConfig:
             raise ConfigError("need at least two benchmark frequencies")
         if len(set(self.frequencies)) != len(self.frequencies):
             raise ConfigError("duplicate benchmark frequencies")
+        if any(f <= 0 for f in self.frequencies):
+            raise ConfigError("benchmark frequencies must be positive")
+        if self.memory_frequencies is not None:
+            if not self.memory_frequencies:
+                raise ConfigError(
+                    "memory_frequencies must be a non-empty tuple (or None "
+                    "for the legacy fixed-memory campaign)"
+                )
+            if any(f <= 0 for f in self.memory_frequencies):
+                raise ConfigError("memory frequencies must be positive")
+            if len(set(self.memory_frequencies)) != len(self.memory_frequencies):
+                raise ConfigError("duplicate memory frequencies")
         if self.detection_criterion not in ("two-sigma", "confidence-interval"):
             raise ConfigError(
                 f"unknown detection criterion {self.detection_criterion!r}"
@@ -149,7 +166,7 @@ class LatestConfig:
         )
 
     def pairs(self) -> list[tuple[float, float]]:
-        """All ordered frequency pairs (latencies are non-symmetric)."""
+        """All ordered SM frequency pairs (latencies are non-symmetric)."""
         return [
             (a, b)
             for a in self.frequencies
@@ -157,5 +174,32 @@ class LatestConfig:
             if a != b
         ]
 
+    def memory_plan(self) -> tuple[float | None, ...]:
+        """Memory clocks the campaign visits, in order.
+
+        ``(None,)`` for legacy campaigns — the sentinel means "whatever the
+        device booted at, never touched".
+        """
+        if self.memory_frequencies is None:
+            return (None,)
+        return self.memory_frequencies
+
+    def grid_points(self) -> list[tuple[float, float, float | None]]:
+        """The full core×memory campaign grid, memory-major.
+
+        Each point is ``(init_sm, target_sm, memory)``; the memory
+        coordinate is ``None`` for legacy campaigns.  The enumeration
+        order is the execution (and job-index) order.
+        """
+        return [
+            (a, b, m) for m in self.memory_plan() for (a, b) in self.pairs()
+        ]
+
     def with_frequencies(self, freqs) -> "LatestConfig":
         return replace(self, frequencies=tuple(freqs))
+
+    def with_memory_frequencies(self, freqs) -> "LatestConfig":
+        return replace(
+            self,
+            memory_frequencies=None if freqs is None else tuple(freqs),
+        )

@@ -54,6 +54,27 @@ class BenchContext:
         """Lock the SM clock; returns the ground-truth transition record."""
         return self.handle.set_gpu_locked_clocks(freq_mhz, freq_mhz)
 
+    def set_memory_clock(self, mem_mhz: float) -> bool:
+        """Lock the memory clock and wait (under load) until it settles.
+
+        Memory retraining is one to two orders of magnitude slower than an
+        SM relock, so the campaign must not characterize or measure before
+        the P-state actually arrived.  Mirrors :meth:`settle_on`: filler
+        chunks alternate with NVML memory-clock polls, bounded by
+        ``max_settle_s`` of busy time.
+        """
+        cfg = self.config
+        self.handle.set_memory_locked_clocks(mem_mhz, mem_mhz)
+        if abs(self.handle.clock_info_mem_mhz() - mem_mhz) < 1.0:
+            return True
+        waited = 0.0
+        while waited < cfg.max_settle_s:
+            self.run_filler(cfg.settle_chunk_s, mem_mhz)
+            waited += cfg.settle_chunk_s
+            if abs(self.handle.clock_info_mem_mhz() - mem_mhz) < 1.0:
+                return True
+        return False
+
     def settle_on(self, freq_mhz: float) -> bool:
         """Bring the SM clock to ``freq_mhz`` under sustained load.
 

@@ -3,17 +3,33 @@
 "After each frequency pair measurement, the switching latencies are output
 to a .csv file.  The .csv filename contains the initial, the target
 frequency, the hostname, and the index of the benchmarked GPU."
+
+Core×memory campaigns write ``swlatm_`` files carrying the locked memory
+clock as an extra field between the target frequency and the hostname.
+The distinct prefix keeps parsing unambiguous in both directions: a
+``swlat_`` name can never yield a memory clock (even for pre-extension
+archives whose unsanitized hostname happens to start with ``mem<digits>_``),
+and a ``swlatm_`` name always carries one.
+
+Hostnames are sanitized on write (only ``[A-Za-z0-9.-]`` survives — a
+hostname containing ``/`` or leading dots must not be able to escape the
+output directory or collide with the ``swlat_`` field layout) and names are
+validated on read: anything that does not match the convention raises
+:class:`~repro.errors.MeasurementError` instead of silently recovering
+wrong frequencies.
 """
 
 from __future__ import annotations
 
 import csv
+import re
 from pathlib import Path
 
 import numpy as np
 
 from repro.core.results import (
     CampaignResult,
+    OutlierLabels,
     PairResult,
     SwitchingLatencyMeasurement,
 )
@@ -21,6 +37,8 @@ from repro.errors import MeasurementError
 
 __all__ = [
     "pair_csv_name",
+    "parse_pair_csv_name",
+    "sanitize_hostname",
     "write_pair_csv",
     "read_pair_csv",
     "write_campaign_csvs",
@@ -40,13 +58,43 @@ _FIELDS = [
     "ground_truth_outlier",
 ]
 
+#: characters allowed to survive in a hostname embedded in a file name
+_HOST_UNSAFE_RE = re.compile(r"[^A-Za-z0-9.-]")
+
+#: the full naming convention; the host part is greedy so hostnames may
+#: contain underscores (the frequency fields sit at fixed positions), and
+#: the memory field exists exactly when the prefix is ``swlatm``
+_NAME_RE = re.compile(
+    r"^swlat(?P<grid>m)?_(?P<init>[0-9.eE+-]+)_(?P<target>[0-9.eE+-]+)"
+    r"(?(grid)_(?P<mem>[0-9.eE+-]+))"
+    r"_(?P<host>.+)_gpu(?P<index>\d+)$"
+)
+
+
+def sanitize_hostname(hostname: str) -> str:
+    """Make a hostname safe to embed in a pair CSV file name.
+
+    Path separators, ``..`` runs and anything outside ``[A-Za-z0-9.-]``
+    are replaced/stripped; an empty result falls back to ``"host"`` so the
+    name always keeps its field count.
+    """
+    cleaned = _HOST_UNSAFE_RE.sub("-", hostname).lstrip(".")
+    return cleaned or "host"
+
 
 def pair_csv_name(
-    init_mhz: float, target_mhz: float, hostname: str, device_index: int
+    init_mhz: float,
+    target_mhz: float,
+    hostname: str,
+    device_index: int,
+    memory_mhz: float | None = None,
 ) -> str:
-    """Standardized per-pair file name."""
+    """Standardized per-pair file name (hostname sanitized)."""
+    prefix = "swlat" if memory_mhz is None else "swlatm"
+    mem = "" if memory_mhz is None else f"{memory_mhz:g}_"
     return (
-        f"swlat_{init_mhz:g}_{target_mhz:g}_{hostname}_gpu{device_index}.csv"
+        f"{prefix}_{init_mhz:g}_{target_mhz:g}_{mem}"
+        f"{sanitize_hostname(hostname)}_gpu{device_index}.csv"
     )
 
 
@@ -60,7 +108,8 @@ def write_pair_csv(
     directory = Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
     path = directory / pair_csv_name(
-        pair.init_mhz, pair.target_mhz, hostname, device_index
+        pair.init_mhz, pair.target_mhz, hostname, device_index,
+        memory_mhz=pair.memory_mhz,
     )
     labels = (
         pair.outliers.labels
@@ -92,23 +141,51 @@ def write_pair_csv(
     return path
 
 
+def parse_pair_csv_name(name: str) -> tuple[float, float, float | None]:
+    """Recover ``(init, target, memory)`` from a pair CSV file name.
+
+    Raises :class:`MeasurementError` when the name does not follow the
+    convention — silent misparses would attribute measurements to wrong
+    frequencies downstream.
+    """
+    match = _NAME_RE.match(Path(name).stem)
+    if match is None:
+        raise MeasurementError(f"not a pair CSV: {name}")
+    try:
+        init_mhz = float(match["init"])
+        target_mhz = float(match["target"])
+        memory_mhz = float(match["mem"]) if match["mem"] is not None else None
+    except ValueError:
+        raise MeasurementError(
+            f"malformed frequency fields in pair CSV name: {name}"
+        ) from None
+    return init_mhz, target_mhz, memory_mhz
+
+
 def read_pair_csv(path: str | Path) -> PairResult:
     """Load a per-pair CSV back into a :class:`PairResult`.
 
-    The frequencies are recovered from the standardized file name; cluster
-    labels are restored as plain arrays (the DBSCAN descent trace is not
-    persisted).
+    The frequencies (and memory clock, when present) are recovered from
+    the standardized file name; cluster labels are restored as an
+    :class:`~repro.core.results.OutlierLabels` record (the DBSCAN descent
+    trace is not persisted), so outlier filtering and a re-write are
+    byte-stable against the original.
+
+    One caveat the frozen CSV format cannot avoid: a pair persisted
+    *before* clustering ever ran (``outliers=None``) writes the same
+    all-zero label column as a genuine single-cluster/no-outlier result,
+    so it reads back with ``n_clusters == 1`` rather than 0.  Masks,
+    filtered latencies, and re-written bytes are identical either way.
     """
     path = Path(path)
-    parts = path.stem.split("_")
-    if len(parts) < 4 or parts[0] != "swlat":
-        raise MeasurementError(f"not a pair CSV: {path.name}")
-    init_mhz, target_mhz = float(parts[1]), float(parts[2])
+    init_mhz, target_mhz, memory_mhz = parse_pair_csv_name(path.name)
 
     measurements: list[SwitchingLatencyMeasurement] = []
+    labels: list[int] = []
     with path.open() as fh:
         for row in csv.DictReader(fh):
             gt = row.get("ground_truth_ms", "")
+            labels.append(int(row.get("cluster_label", 0) or 0))
             measurements.append(
                 SwitchingLatencyMeasurement(
                     latency_s=float(row["latency_ms"]) * 1e-3,
@@ -120,8 +197,17 @@ def read_pair_csv(path: str | Path) -> PairResult:
                     ground_truth_outlier=bool(int(row["ground_truth_outlier"])),
                 )
             )
+    outliers = (
+        OutlierLabels(labels=np.asarray(labels, dtype=np.int64))
+        if measurements
+        else None
+    )
     return PairResult(
-        init_mhz=init_mhz, target_mhz=target_mhz, measurements=measurements
+        init_mhz=init_mhz,
+        target_mhz=target_mhz,
+        measurements=measurements,
+        outliers=outliers,
+        memory_mhz=memory_mhz,
     )
 
 
@@ -136,36 +222,42 @@ def write_campaign_csvs(directory: str | Path, result: CampaignResult) -> list[P
 
 
 def write_summary_csv(directory: str | Path, result: CampaignResult) -> Path:
-    """One row per pair: status and headline statistics."""
+    """One row per pair: status and headline statistics.
+
+    Core×memory campaigns add a ``memory_mhz`` column; legacy campaigns
+    keep the original column set byte for byte.
+    """
     directory = Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
     path = directory / (
-        f"summary_{result.hostname}_gpu{result.device_index}.csv"
+        f"summary_{sanitize_hostname(result.hostname)}"
+        f"_gpu{result.device_index}.csv"
     )
+    has_memory = result.memory_frequencies is not None
     with path.open("w", newline="") as fh:
         writer = csv.writer(fh)
-        writer.writerow(
-            [
-                "init_mhz",
-                "target_mhz",
-                "status",
-                "n_measurements",
-                "n_outliers",
-                "min_ms",
-                "mean_ms",
-                "max_ms",
-                "n_clusters",
-            ]
-        )
+        header = ["init_mhz", "target_mhz"]
+        if has_memory:
+            header.append("memory_mhz")
+        header += [
+            "status",
+            "n_measurements",
+            "n_outliers",
+            "min_ms",
+            "mean_ms",
+            "max_ms",
+            "n_clusters",
+        ]
+        writer.writerow(header)
         for pair in result.pairs.values():
+            prefix = [f"{pair.init_mhz:g}", f"{pair.target_mhz:g}"]
+            if has_memory:
+                prefix.append(
+                    f"{pair.memory_mhz:g}" if pair.memory_mhz is not None else ""
+                )
             if pair.skipped or pair.n_measurements == 0:
                 writer.writerow(
-                    [
-                        f"{pair.init_mhz:g}",
-                        f"{pair.target_mhz:g}",
-                        pair.skip_reason or "empty",
-                        0, 0, "", "", "", 0,
-                    ]
+                    prefix + [pair.skip_reason or "empty", 0, 0, "", "", "", 0]
                 )
                 continue
             stats = pair.stats(without_outliers=True)
@@ -175,9 +267,8 @@ def write_summary_csv(directory: str | Path, result: CampaignResult) -> Path:
                 else 0
             )
             writer.writerow(
-                [
-                    f"{pair.init_mhz:g}",
-                    f"{pair.target_mhz:g}",
+                prefix
+                + [
                     "ok",
                     pair.n_measurements,
                     n_out,

@@ -21,7 +21,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-import numpy as np
 
 from repro.core.context import BenchContext
 from repro.cuda.kernel import MicrobenchmarkKernel

@@ -11,10 +11,52 @@ from repro.clustering.adaptive import AdaptiveDbscanResult
 from repro.errors import MeasurementError
 from repro.stats.descriptive import SampleStats, summarize
 
-__all__ = ["PairKey", "SwitchingLatencyMeasurement", "PairResult", "CampaignResult"]
+__all__ = [
+    "PairKey",
+    "GridKey",
+    "OutlierLabels",
+    "SwitchingLatencyMeasurement",
+    "PairResult",
+    "CampaignResult",
+]
 
 #: (initial_mhz, target_mhz)
 PairKey = tuple[float, float]
+#: (initial_mhz, target_mhz, memory_mhz) — key form of core×memory campaigns
+GridKey = tuple[float, float, float]
+
+
+@dataclass(frozen=True)
+class OutlierLabels:
+    """Cluster labels restored from a persisted pair CSV.
+
+    The lightweight stand-in for
+    :class:`~repro.clustering.adaptive.AdaptiveDbscanResult` when a pair is
+    loaded back from disk: the DBSCAN descent trace is not persisted, but
+    the labels (and therefore the kept/outlier masks) round-trip exactly,
+    so ``latencies_s(without_outliers=True)`` and a re-write of the CSV
+    behave identically to the in-memory original.
+    """
+
+    labels: np.ndarray
+
+    @property
+    def outlier_mask(self) -> np.ndarray:
+        return self.labels == -1
+
+    @property
+    def kept_mask(self) -> np.ndarray:
+        return self.labels != -1
+
+    @property
+    def n_clusters(self) -> int:
+        return int(self.labels.max()) + 1 if (self.labels >= 0).any() else 0
+
+    @property
+    def outlier_ratio(self) -> float:
+        if self.labels.size == 0:
+            return 0.0
+        return float(self.outlier_mask.mean())
 
 
 @dataclass(frozen=True)
@@ -39,22 +81,33 @@ class SwitchingLatencyMeasurement:
 
 @dataclass
 class PairResult:
-    """Everything measured for one (initial, target) frequency pair."""
+    """Everything measured for one (initial, target) SM frequency pair.
+
+    ``memory_mhz`` is the locked memory clock the pair was measured at
+    (``None`` in legacy fixed-memory campaigns).
+    """
 
     init_mhz: float
     target_mhz: float
     measurements: list[SwitchingLatencyMeasurement] = field(default_factory=list)
-    outliers: AdaptiveDbscanResult | None = None
+    outliers: "AdaptiveDbscanResult | OutlierLabels | None" = None
     skipped: bool = False
     skip_reason: str = ""
     n_failed_attempts: int = 0
     n_throttle_discards: int = 0
     n_window_growths: int = 0
+    memory_mhz: float | None = None
 
     # ------------------------------------------------------------------
     @property
     def key(self) -> PairKey:
         return (self.init_mhz, self.target_mhz)
+
+    @property
+    def grid_key(self) -> "PairKey | GridKey":
+        if self.memory_mhz is None:
+            return (self.init_mhz, self.target_mhz)
+        return (self.init_mhz, self.target_mhz, self.memory_mhz)
 
     @property
     def increasing(self) -> bool:
@@ -106,31 +159,80 @@ class PairResult:
 
 @dataclass
 class CampaignResult:
-    """Output of a full switching-latency campaign on one GPU."""
+    """Output of a full switching-latency campaign on one GPU.
+
+    Legacy fixed-memory campaigns key ``pairs`` by ``(init, target)``;
+    core×memory campaigns (``memory_frequencies`` set) key the dict by
+    ``(init, target, memory)`` and carry one full SM pair grid per memory
+    clock.
+    """
 
     gpu_name: str
     architecture: str
     hostname: str
     device_index: int
     frequencies: tuple[float, ...]
-    pairs: dict[PairKey, PairResult]
+    pairs: "dict[PairKey | GridKey, PairResult]"
     phase1: "Phase1Result | None" = None  # noqa: F821 - forward ref
     wall_virtual_s: float = 0.0
+    memory_frequencies: tuple[float, ...] | None = None
+    #: per-memory-clock phase-1 characterizations of core×memory campaigns
+    #: (``phase1`` stays the first facet's result)
+    phase1_by_memory: "dict | None" = None
 
     # ------------------------------------------------------------------
-    def pair(self, init_mhz: float, target_mhz: float) -> PairResult:
+    def _resolve_memory(self, memory_mhz: float | None) -> float | None:
+        """Pick the facet an accessor should read when one is required."""
+        if self.memory_frequencies is None:
+            if memory_mhz is not None:
+                raise MeasurementError(
+                    "campaign swept no memory clocks; omit memory_mhz"
+                )
+            return None
+        if memory_mhz is not None:
+            return float(memory_mhz)
+        if len(self.memory_frequencies) == 1:
+            return float(self.memory_frequencies[0])
+        raise MeasurementError(
+            "campaign swept multiple memory clocks "
+            f"{self.memory_frequencies}; pass memory_mhz to select a facet"
+        )
+
+    def pair(
+        self,
+        init_mhz: float,
+        target_mhz: float,
+        memory_mhz: float | None = None,
+    ) -> PairResult:
+        mem = self._resolve_memory(memory_mhz)
+        key = (
+            (float(init_mhz), float(target_mhz))
+            if mem is None
+            else (float(init_mhz), float(target_mhz), mem)
+        )
         try:
-            return self.pairs[(float(init_mhz), float(target_mhz))]
+            return self.pairs[key]
         except KeyError:
             raise MeasurementError(
-                f"pair {init_mhz:g}->{target_mhz:g} not in campaign"
+                f"pair {init_mhz:g}->{target_mhz:g}"
+                + (f" @ mem {mem:g} MHz" if mem is not None else "")
+                + " not in campaign"
             ) from None
 
-    def iter_measured(self) -> Iterator[PairResult]:
-        """Pairs that produced at least one measurement."""
+    def iter_measured(
+        self, memory_mhz: "float | None" = ...
+    ) -> Iterator[PairResult]:
+        """Pairs that produced at least one measurement.
+
+        ``memory_mhz`` restricts iteration to one memory facet; the
+        default (``...``) yields every facet.
+        """
         for p in self.pairs.values():
-            if not p.skipped and p.n_measurements > 0:
-                yield p
+            if p.skipped or p.n_measurements == 0:
+                continue
+            if memory_mhz is not ... and p.memory_mhz != memory_mhz:
+                continue
+            yield p
 
     @property
     def n_measured_pairs(self) -> int:
@@ -142,18 +244,25 @@ class CampaignResult:
 
     # ------------------------------------------------------------------
     def latency_matrix(
-        self, statistic: str = "max", without_outliers: bool = True
+        self,
+        statistic: str = "max",
+        without_outliers: bool = True,
+        memory_mhz: "float | None" = ...,
     ) -> np.ndarray:
         """(init x target) latency grid in seconds; NaN where unmeasured.
 
         ``statistic``: "max" (worst case), "min" (best case), "mean" or
         "count".  Rows are initial frequencies, columns target frequencies,
         both in the campaign's frequency order — matching the orientation
-        of the paper's Fig. 3 heatmaps.
+        of the paper's Fig. 3 heatmaps.  Core×memory campaigns produce one
+        grid per memory clock: select the facet with ``memory_mhz``
+        (required when more than one was swept).
         """
+        if memory_mhz is ...:
+            memory_mhz = self._resolve_memory(None)
         freqs = list(self.frequencies)
         grid = np.full((len(freqs), len(freqs)), np.nan)
-        for p in self.iter_measured():
+        for p in self.iter_measured(memory_mhz):
             i = freqs.index(p.init_mhz)
             j = freqs.index(p.target_mhz)
             values = p.latencies_s(without_outliers)

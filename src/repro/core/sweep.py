@@ -22,7 +22,7 @@ from repro.core.campaign import run_campaign
 from repro.core.config import LatestConfig
 from repro.core.results import CampaignResult
 from repro.errors import ConfigError
-from repro.exec.engine import _mp_context
+from repro.exec import mp_context
 from repro.machine import Machine, MachineBlueprint, make_machine
 
 __all__ = ["sweep_devices", "sweep_models"]
@@ -83,7 +83,7 @@ def sweep_devices(
     if workers == 1 or len(jobs) == 1:
         return [_run_device_campaign(job) for job in jobs]
     with ProcessPoolExecutor(
-        max_workers=min(workers, len(jobs)), mp_context=_mp_context()
+        max_workers=min(workers, len(jobs)), mp_context=mp_context()
     ) as pool:
         return list(pool.map(_run_device_campaign, jobs))
 
@@ -93,6 +93,7 @@ def sweep_models(
     seed: int = 0,
     hostname: str = "simnode01",
     workers: int | None = None,
+    memory_subsets: dict[str, tuple[float, ...]] | None = None,
 ) -> dict[str, CampaignResult]:
     """Run one campaign per GPU model (e.g. the paper's three devices).
 
@@ -101,11 +102,30 @@ def sweep_models(
     gets its own machine derived from ``seed`` so results are independent
     and reproducible — which also makes the parallel path (one process per
     model) bit-identical to the sequential one for any ``workers``.
+
+    ``memory_subsets`` optionally assigns per-model memory-clock subsets
+    (each must come from the model's
+    :attr:`~repro.gpusim.spec.GpuSpec.supported_memory_clocks_mhz` ladder);
+    models not listed keep their config's ``memory_frequencies``.
     """
     if not model_configs:
         raise ConfigError("model sweep needs at least one model")
     if workers is not None and workers < 1:
         raise ConfigError(f"workers must be >= 1, got {workers}")
+    if memory_subsets:
+        unknown = set(memory_subsets) - set(model_configs)
+        if unknown:
+            raise ConfigError(
+                f"memory_subsets names models not in the sweep: {sorted(unknown)}"
+            )
+        model_configs = {
+            model: (
+                replace(cfg, memory_frequencies=tuple(memory_subsets[model]))
+                if model in memory_subsets
+                else cfg
+            )
+            for model, cfg in model_configs.items()
+        }
     ordered = sorted(model_configs.items())
     jobs = [
         (model, config, seed + 1000 * offset, hostname)
@@ -116,7 +136,7 @@ def sweep_models(
         results = [_run_model_campaign(job) for job in jobs]
     else:
         with ProcessPoolExecutor(
-            max_workers=min(workers, len(jobs)), mp_context=_mp_context()
+            max_workers=min(workers, len(jobs)), mp_context=mp_context()
         ) as pool:
             results = list(pool.map(_run_model_campaign, jobs))
     return {model: res for (model, _, _, _), res in zip(jobs, results)}

@@ -47,6 +47,10 @@ class MicrobenchmarkKernel:
     #: untimed workloads (fillers, warm-up load) whose per-iteration
     #: timestamps are never read; simulated at aggregate fidelity
     aggregate: bool = False
+    #: memory-bound fraction of the iteration cycle budget; makes iteration
+    #: time respond to the memory clock in core×memory campaigns (inert at
+    #: the reference memory clock)
+    memory_intensity: float = 0.30
 
     def __post_init__(self) -> None:
         if self.n_iterations <= 0:
@@ -56,6 +60,8 @@ class MicrobenchmarkKernel:
                 "cycles_per_iteration below 1000 cycles cannot exceed timer "
                 "granularity on any supported device"
             )
+        if not 0.0 <= self.memory_intensity < 1.0:
+            raise ConfigError("memory_intensity must be in [0, 1)")
 
     def launch_spec(self) -> KernelLaunchSpec:
         return KernelLaunchSpec(
@@ -64,6 +70,7 @@ class MicrobenchmarkKernel:
             sm_count=self.sm_count,
             label=self.label,
             aggregate=self.aggregate,
+            memory_intensity=self.memory_intensity,
         )
 
     def iteration_duration_s(self, freq_mhz: float) -> float:
@@ -82,6 +89,7 @@ class MicrobenchmarkKernel:
         total_duration_s: float = 0.25,
         sm_count: int | None = None,
         label: str = "microbench",
+        memory_intensity: float = 0.30,
     ) -> "MicrobenchmarkKernel":
         """Build a kernel with a given per-iteration duration at max clock.
 
@@ -95,6 +103,7 @@ class MicrobenchmarkKernel:
             cycles_per_iteration=cycles,
             sm_count=sm_count,
             label=label,
+            memory_intensity=memory_intensity,
         )
 
     def scaled(self, iteration_factor: float = 1.0, length_factor: float = 1.0):
@@ -110,4 +119,5 @@ class MicrobenchmarkKernel:
             cycles_per_iteration=self.cycles_per_iteration * iteration_factor,
             sm_count=self.sm_count,
             label=self.label,
+            memory_intensity=self.memory_intensity,
         )

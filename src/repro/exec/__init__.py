@@ -29,6 +29,7 @@ machine-build products (per-pair latency-model structures) across jobs.
 
 from repro.exec.engine import (
     CampaignExecutor,
+    mp_context,
     run_campaign_parallel,
     run_pair_job,
 )
@@ -46,6 +47,7 @@ __all__ = [
     "PairJob",
     "PairJobResult",
     "ProbeCostModel",
+    "mp_context",
     "pair_seed_sequence",
     "run_campaign_parallel",
     "run_pair_job",

@@ -4,10 +4,12 @@ Execution model
 ---------------
 Phase 1 and the probe stage run on the driver's machine with exactly the
 same draws as the legacy serial loop — they are inherently sequential
-(workload growth feeds back into the kernel) and cheap.  Every valid pair
-then becomes a :class:`~repro.exec.jobs.PairJob`: three numbers (pair
-index and frequencies).  All heavy shared inputs — config, blueprint,
-phase-1 statistics, probe window estimate, campaign epoch — travel once
+(workload growth feeds back into the kernel) and cheap; core×memory
+campaigns repeat them once per memory clock.  Every valid grid point then
+becomes a :class:`~repro.exec.jobs.PairJob`: a handful of numbers (flat
+grid index, SM frequencies, and — for 2-D campaigns — the memory-clock
+coordinate).  All heavy shared inputs — config, blueprint, per-facet
+phase-1 statistics, probe window estimates, campaign epoch — travel once
 per worker process as a :class:`~repro.exec.jobs.CampaignPayload` through
 the pool initializer, never inside jobs.
 
@@ -42,7 +44,12 @@ from __future__ import annotations
 import multiprocessing
 from concurrent.futures import ProcessPoolExecutor, as_completed
 
-from repro.core.campaign import LatestBenchmark, measure_pair
+from repro.core.campaign import (
+    MEMORY_NEVER_SETTLED,
+    LatestBenchmark,
+    facet_skip_reason,
+    measure_pair,
+)
 from repro.core.phase1 import run_phase1
 from repro.core.config import LatestConfig
 from repro.core.context import BenchContext
@@ -58,10 +65,21 @@ from repro.exec.jobs import (
 )
 from repro.machine import Machine
 
-__all__ = ["CampaignExecutor", "run_campaign_parallel", "run_pair_job"]
+__all__ = [
+    "CampaignExecutor",
+    "mp_context",
+    "run_campaign_parallel",
+    "run_pair_job",
+]
 
 
-def _mp_context():
+def mp_context():
+    """The multiprocessing context every repro process pool should use.
+
+    ``fork`` where available (Linux — workers inherit loaded modules),
+    ``spawn`` elsewhere.  Public so sweeps and external drivers share one
+    start-method policy instead of reaching into engine internals.
+    """
     method = "fork" if "fork" in multiprocessing.get_all_start_methods() else "spawn"
     return multiprocessing.get_context(method)
 
@@ -92,10 +110,15 @@ def run_pair_job(
 
     ``skeleton`` (optional) is a process-lifetime cache of deterministic
     machine-build products shared across jobs; passing it never changes
-    results, only replica construction cost.
+    results, only replica construction cost.  Core×memory jobs lock and
+    settle their memory P-state before measuring, against the phase-1
+    characterization taken at that same clock.
     """
     seed = pair_seed_sequence(
-        payload.blueprint, payload.config.device_index, job.index
+        payload.blueprint,
+        payload.config.device_index,
+        job.index,
+        job.memory_index,
     )
     machine = payload.blueprint.build(seed=seed, start_time=payload.epoch)
     if skeleton is not None:
@@ -104,11 +127,29 @@ def run_pair_job(
             device.latency_model.use_shared_cache(
                 skeleton.setdefault(key, {})
             )
+            # Memory pair models live in their own cache: SM and memory
+            # pairs can share numerically identical frequency keys.
+            device.mem_latency_model.use_shared_cache(
+                skeleton.setdefault(key + ("memory",), {})
+            )
     bench = BenchContext(machine, payload.config)
     t0 = machine.clock.now
-    pair = measure_pair(
-        bench, job.init_mhz, job.target_mhz, payload.phase1, payload.probe
-    )
+    if job.memory_mhz is not None and not bench.set_memory_clock(job.memory_mhz):
+        pair = PairResult(
+            init_mhz=float(job.init_mhz),
+            target_mhz=float(job.target_mhz),
+            skipped=True,
+            skip_reason=MEMORY_NEVER_SETTLED,
+        )
+    else:
+        pair = measure_pair(
+            bench,
+            job.init_mhz,
+            job.target_mhz,
+            payload.phase1_for(job.memory_mhz),
+            payload.probe_for(job.memory_mhz),
+        )
+    pair.memory_mhz = job.memory_mhz
     return PairJobResult(
         index=job.index,
         pair=pair,
@@ -147,29 +188,45 @@ class CampaignExecutor:
         self.workers = workers
 
     # ------------------------------------------------------------------
-    def _build_jobs(self, phase1) -> tuple[list[PairJob], dict]:
-        """Valid pairs become jobs; invalid pairs become skipped results."""
-        valid = set(phase1.valid_pairs)
+    def _build_jobs(self, phase1_by_memory: dict) -> tuple[list[PairJob], dict]:
+        """Valid grid points become jobs; the rest become skipped results.
+
+        Job indices are flat positions in ``config.grid_points()``
+        (memory-major), which for legacy campaigns reduces to the pair's
+        position in ``config.pairs()`` — the seed-stream contract of PR 1
+        is untouched.
+        """
+        mem_plan = self.config.memory_plan()
+        sm_pairs = self.config.pairs()
 
         jobs: list[PairJob] = []
-        pairs: dict[tuple[float, float], PairResult | None] = {}
-        for index, (init, target) in enumerate(self.config.pairs()):
-            key = (float(init), float(target))
-            if key not in valid:
-                reason = (
-                    phase1.unreachable.get(key[0])
-                    or phase1.unreachable.get(key[1])
-                    or "statistically-indistinguishable"
+        pairs: dict = {}
+        for mem_index, mem in enumerate(mem_plan):
+            phase1 = phase1_by_memory.get(mem)
+            valid = set(phase1.valid_pairs) if phase1 is not None else set()
+            for pair_index, (init, target) in enumerate(sm_pairs):
+                sm_key = (float(init), float(target))
+                key = sm_key if mem is None else sm_key + (float(mem),)
+                reason = facet_skip_reason(phase1, sm_key, valid)
+                if reason is not None:
+                    pairs[key] = PairResult(
+                        init_mhz=sm_key[0],
+                        target_mhz=sm_key[1],
+                        skipped=True,
+                        skip_reason=reason,
+                        memory_mhz=mem,
+                    )
+                    continue
+                pairs[key] = None  # placeholder, filled by the job result
+                jobs.append(
+                    PairJob(
+                        index=mem_index * len(sm_pairs) + pair_index,
+                        init_mhz=sm_key[0],
+                        target_mhz=sm_key[1],
+                        memory_mhz=mem,
+                        memory_index=None if mem is None else mem_index,
+                    )
                 )
-                pairs[key] = PairResult(
-                    init_mhz=key[0],
-                    target_mhz=key[1],
-                    skipped=True,
-                    skip_reason=reason,
-                )
-                continue
-            pairs[key] = None  # placeholder, filled by the job result
-            jobs.append(PairJob(index=index, init_mhz=key[0], target_mhz=key[1]))
         return jobs, pairs
 
     def _execute(
@@ -194,7 +251,7 @@ class CampaignExecutor:
         n_workers = min(self.workers, len(jobs))
         with ProcessPoolExecutor(
             max_workers=n_workers,
-            mp_context=_mp_context(),
+            mp_context=mp_context(),
             initializer=_worker_init,
             initargs=(payload,),
         ) as pool:
@@ -205,33 +262,53 @@ class CampaignExecutor:
     def run(self) -> CampaignResult:
         machine, config = self.machine, self.config
         t_begin = machine.clock.now
+        mem_plan = config.memory_plan()
 
         # Phase 1 + probe: sequential by nature, same draws as the legacy
         # loop (the driver machine's clock and RNG advance identically).
+        # Core×memory campaigns repeat the characterization once per
+        # memory clock on the driver machine before any job is built.
         bench_driver = LatestBenchmark(machine, config)
-        phase1 = run_phase1(bench_driver.bench)
-        probe = (
-            bench_driver._probe_windows(phase1) if phase1.valid_pairs else None
-        )
+        phase1_by_memory: dict = {}
+        probe_by_memory: dict = {}
+        for mem in mem_plan:
+            if mem is not None and not bench_driver.bench.set_memory_clock(mem):
+                continue
+            phase1 = run_phase1(bench_driver.bench)
+            phase1_by_memory[mem] = phase1
+            probe_by_memory[mem] = (
+                bench_driver._probe_windows(phase1)
+                if phase1.valid_pairs
+                else None
+            )
+        first = mem_plan[0]
         payload = CampaignPayload(
             blueprint=machine.blueprint,
             config=config,
-            phase1=phase1,
-            probe=probe,
+            phase1=phase1_by_memory.get(first),
+            probe=probe_by_memory.get(first),
             epoch=machine.clock.now,
+            phase1_by_memory=(
+                None if config.memory_frequencies is None else phase1_by_memory
+            ),
+            probe_by_memory=(
+                None if config.memory_frequencies is None else probe_by_memory
+            ),
         )
 
-        jobs, pairs = self._build_jobs(phase1)
+        jobs, pairs = self._build_jobs(phase1_by_memory)
         results = self._execute(jobs, payload)
 
-        # Merge in pair order; advance the driver clock by the summed
+        # Merge in job order; advance the driver clock by the summed
         # virtual cost so downstream consumers still see time passing.
         results.sort(key=lambda r: r.index)
         by_index = {job.index: job for job in jobs}
         total_elapsed = 0.0
         for res in results:
             job = by_index[res.index]
-            pairs[(job.init_mhz, job.target_mhz)] = res.pair
+            sm_key = (job.init_mhz, job.target_mhz)
+            key = sm_key if job.memory_mhz is None else sm_key + (job.memory_mhz,)
+            pairs[key] = res.pair
             total_elapsed += res.elapsed_virtual_s
         if total_elapsed > 0.0:
             machine.clock.advance(total_elapsed)
@@ -243,8 +320,12 @@ class CampaignExecutor:
             device_index=config.device_index,
             frequencies=config.frequencies,
             pairs=pairs,
-            phase1=phase1,
+            phase1=phase1_by_memory.get(first),
             wall_virtual_s=machine.clock.now - t_begin,
+            memory_frequencies=config.memory_frequencies,
+            phase1_by_memory=(
+                None if config.memory_frequencies is None else phase1_by_memory
+            ),
         )
         if config.output_dir is not None:
             write_campaign_csvs(config.output_dir, result)

@@ -34,23 +34,39 @@ __all__ = [
 #: children ``make_machine`` spawns from the same root entropy, so pair
 #: streams can never collide with the host/device/machine streams
 _PAIR_STREAM_OFFSET = 0x5041_4952  # "PAIR"
+#: spawn-key marker separating core×memory grid jobs from legacy pair jobs
+_MEMORY_STREAM_OFFSET = 0x4D45_4D00  # "MEM\0"
 
 
 def pair_seed_sequence(
-    blueprint: MachineBlueprint, device_index: int, pair_index: int
+    blueprint: MachineBlueprint,
+    device_index: int,
+    pair_index: int,
+    memory_index: int | None = None,
 ) -> np.random.SeedSequence:
     """The deterministic seed stream of one pair job.
 
     Derived from the campaign machine's root entropy (and spawn key, when
-    the machine itself was seeded with a spawned sequence) plus the pair's
-    position in ``config.pairs()`` — independent of execution order,
-    worker count, and process boundaries.
+    the machine itself was seeded with a spawned sequence) plus the job's
+    position in the campaign grid — independent of execution order, worker
+    count, and process boundaries.  Legacy jobs (``memory_index=None``)
+    keep the exact pre-extension spawn key; core×memory jobs add a marker
+    and the memory-clock coordinate, so no grid job can ever collide with
+    a legacy stream.
     """
-    return np.random.SeedSequence(
-        entropy=blueprint.entropy,
-        spawn_key=blueprint.seed_spawn_key
-        + (_PAIR_STREAM_OFFSET, device_index, pair_index),
-    )
+    if memory_index is None:
+        key = blueprint.seed_spawn_key + (
+            _PAIR_STREAM_OFFSET, device_index, pair_index,
+        )
+    else:
+        key = blueprint.seed_spawn_key + (
+            _PAIR_STREAM_OFFSET,
+            device_index,
+            _MEMORY_STREAM_OFFSET,
+            memory_index,
+            pair_index,
+        )
+    return np.random.SeedSequence(entropy=blueprint.entropy, spawn_key=key)
 
 
 @dataclass(frozen=True)
@@ -58,7 +74,9 @@ class CampaignPayload:
     """Per-campaign state shared by every pair job of one executor run.
 
     Shipped to each worker process exactly once through the pool
-    initializer; the in-process path passes it by reference.
+    initializer; the in-process path passes it by reference.  ``phase1``
+    and ``probe`` are the legacy (or first-facet) inputs; core×memory
+    campaigns additionally carry one phase-1/probe per memory clock.
     """
 
     blueprint: MachineBlueprint
@@ -69,15 +87,37 @@ class CampaignPayload:
     #: right after phase 1 + probe) — common to all jobs so results do not
     #: depend on scheduling
     epoch: float
+    #: per-memory-clock phase-1 results of a core×memory campaign
+    phase1_by_memory: "dict | None" = None
+    #: per-memory-clock probe estimates of a core×memory campaign
+    probe_by_memory: "dict | None" = None
+
+    def phase1_for(self, memory_mhz: float | None) -> Phase1Result:
+        if memory_mhz is None or self.phase1_by_memory is None:
+            return self.phase1
+        return self.phase1_by_memory[memory_mhz]
+
+    def probe_for(self, memory_mhz: float | None) -> ProbeInfo:
+        if memory_mhz is None or self.probe_by_memory is None:
+            return self.probe
+        return self.probe_by_memory[memory_mhz]
 
 
 @dataclass(frozen=True)
 class PairJob:
-    """One frequency pair's measurement work order (intentionally tiny)."""
+    """One grid point's measurement work order (intentionally tiny).
+
+    ``index`` is the job's flat position in ``config.grid_points()`` (for
+    legacy campaigns this equals the pair's position in
+    ``config.pairs()``); the memory coordinate rides along so workers can
+    lock the right P-state and derive the right seed stream.
+    """
 
     index: int
     init_mhz: float
     target_mhz: float
+    memory_mhz: float | None = None
+    memory_index: int | None = None
 
 
 @dataclass

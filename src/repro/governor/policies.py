@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -38,20 +38,21 @@ class LatencyTable:
         cls, result: CampaignResult, statistic: str = "max"
     ) -> "LatencyTable":
         table: dict[tuple[float, float], float] = {}
-        values = []
         for p in result.iter_measured():
             v = p.latencies_s(without_outliers=True)
             if v.size == 0:
                 continue
-            lat = {"max": v.max(), "mean": v.mean(), "min": v.min()}[statistic]
-            table[p.key] = float(lat)
-            values.append(float(lat))
+            lat = float({"max": v.max(), "mean": v.mean(), "min": v.min()}[statistic])
+            # Governor cost models are keyed by SM pair; when a core×memory
+            # campaign measured the pair at several memory clocks, keep the
+            # conservative (largest) per-pair cost instead of last-wins.
+            table[p.key] = max(lat, table.get(p.key, lat))
         if not table:
             raise ConfigError("campaign has no measured pairs")
         return cls(
             frequencies_mhz=tuple(float(f) for f in result.frequencies),
             latency_s=table,
-            default_s=float(np.median(values)),
+            default_s=float(np.median(list(table.values()))),
         )
 
     def lookup(self, init_mhz: float, target_mhz: float) -> float:

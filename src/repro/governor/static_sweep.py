@@ -13,7 +13,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
 
 from repro.errors import ConfigError
 from repro.governor.app_model import PhasedApplication

@@ -16,7 +16,7 @@ behaviour the measurement methodology interacts with:
 """
 
 from repro.gpusim.device import GpuDevice, KernelHandle, KernelLaunchSpec
-from repro.gpusim.dvfs import DvfsClockDomain, TransitionRecord
+from repro.gpusim.dvfs import DvfsClockDomain, MemoryDomainSpec, TransitionRecord
 from repro.gpusim.latency_model import LatencySample, SwitchingLatencyModel
 from repro.gpusim.spec import (
     A100_SXM4,
@@ -41,6 +41,7 @@ __all__ = [
     "SwitchingLatencyModel",
     "LatencySample",
     "DvfsClockDomain",
+    "MemoryDomainSpec",
     "TransitionRecord",
     "ThermalModel",
     "ThermalState",

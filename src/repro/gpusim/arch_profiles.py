@@ -35,6 +35,7 @@ from repro.gpusim.latency_model import ModeSpec, PairLatencyModel, pair_rng
 __all__ = [
     "A100Profile",
     "GH200Profile",
+    "MemoryLatencyProfile",
     "RtxQuadro6000Profile",
     "profile_for",
 ]
@@ -73,6 +74,56 @@ class _UnitPerturbation:
         )
 
 
+class MemoryLatencyProfile:
+    """Memory-domain transition latencies derived from an SM arch profile.
+
+    Memory-clock changes retrain the DRAM interface, which is one to two
+    orders of magnitude slower than an SM PLL relock; each architecture
+    profile supplies the retraining median through
+    ``memory_switch_median_s`` / ``memory_switch_sigma_log``.  Pair-level
+    structure is seeded from a distinct namespace (``<arch>/memory``) so
+    memory pairs can never alias an SM pair with numerically identical
+    frequencies in the per-device model caches.
+    """
+
+    def __init__(self, base) -> None:
+        self.base = base
+        self.name = f"{base.name}/memory"
+        self.bus_delay_median_s = base.bus_delay_median_s
+        self.bus_delay_sigma_log = base.bus_delay_sigma_log
+        # Unused in practice (the memory domain is always powered), kept
+        # for the ArchLatencyProfile protocol.
+        self.wakeup_median_s = base.wakeup_median_s
+        self.wakeup_sigma_log = base.wakeup_sigma_log
+
+    def pair_model(
+        self, init_mhz: float, target_mhz: float, unit_seed: int
+    ) -> PairLatencyModel:
+        srng = pair_rng(self.name, 0, init_mhz, target_mhz)
+        unit = _UnitPerturbation.sample(
+            self.name, unit_seed, init_mhz, target_mhz,
+            base_rel=0.02, tail_rel=0.12,
+        )
+        # Every arch profile must define its retraining parameters; a
+        # missing attribute should fail loudly, not get a generic default.
+        median = self.base.memory_switch_median_s
+        sigma = self.base.memory_switch_sigma_log
+        base = median * (1.0 + 0.15 * float(srng.uniform(-1.0, 1.0)))
+        # Retraining cost grows with the relative clock distance.
+        base *= 1.0 + 0.6 * abs(target_mhz - init_mhz) / max(init_mhz, target_mhz)
+        base *= unit.base_factor
+        tail_scale = 0.2 * median * (0.5 + float(srng.beta(2.0, 2.0)))
+        tail_scale *= unit.tail_factor
+        return PairLatencyModel(
+            modes=(ModeSpec(median_s=base, sigma_log=sigma, weight=1.0),),
+            tail_shape=2.0,
+            tail_scale_s=tail_scale,
+            outlier_prob=0.008,
+            outlier_scale_s=0.05,
+            outlier_floor_s=0.03,
+        )
+
+
 class A100Profile:
     """Ampere A100 SXM-4 latency behaviour."""
 
@@ -81,6 +132,9 @@ class A100Profile:
     bus_delay_sigma_log = 0.25
     wakeup_median_s = 0.12
     wakeup_sigma_log = 0.35
+    #: HBM2 retraining: fast relative to GDDR
+    memory_switch_median_s = 9e-3
+    memory_switch_sigma_log = 0.10
 
     def pair_model(
         self, init_mhz: float, target_mhz: float, unit_seed: int
@@ -135,6 +189,8 @@ class GH200Profile:
     bus_delay_sigma_log = 0.25
     wakeup_median_s = 0.10
     wakeup_sigma_log = 0.35
+    memory_switch_median_s = 7e-3  # HBM3
+    memory_switch_sigma_log = 0.10
 
     #: target-frequency bands with discrete high-latency cluster levels
     SPECIAL_TARGET_BANDS: tuple[tuple[float, float, str], ...] = (
@@ -249,6 +305,8 @@ class RtxQuadro6000Profile:
     bus_delay_sigma_log = 0.35
     wakeup_median_s = 0.20
     wakeup_sigma_log = 0.40
+    memory_switch_median_s = 55e-3  # GDDR6 link retraining is slow
+    memory_switch_sigma_log = 0.18
 
     def pair_model(
         self, init_mhz: float, target_mhz: float, unit_seed: int

@@ -25,14 +25,15 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.errors import CudaError, SimulationError
-from repro.gpusim.arch_profiles import profile_for
-from repro.gpusim.dvfs import DvfsClockDomain, TransitionRecord
+from repro.gpusim.arch_profiles import MemoryLatencyProfile, profile_for
+from repro.gpusim.dvfs import DvfsClockDomain, MemoryDomainSpec, TransitionRecord
 from repro.gpusim.energy import EnergyMeter
 from repro.gpusim.latency_model import SwitchingLatencyModel
 from repro.gpusim.sm import (
     DeviceTimestamps,
     KernelTimestamps,
     PendingIntegration,
+    merge_memory_segments,
     prepare_integration_from_boundaries,
     sample_iteration_cycles,
 )
@@ -66,12 +67,19 @@ class KernelLaunchSpec:
     #: (CLT-matched to the per-iteration sum) and record no per-iteration
     #: timestamps — for filler/warm-load workloads nothing ever reads back
     aggregate: bool = False
+    #: fraction of each iteration's cycle budget that is memory-bound; the
+    #: kernel's iteration time responds to the memory clock through the
+    #: roofline stall model (:func:`repro.gpusim.sm.memory_stall_factor`).
+    #: Irrelevant while the memory clock sits at the spec reference.
+    memory_intensity: float = 0.0
 
     def __post_init__(self) -> None:
         if self.n_iterations <= 0:
             raise CudaError(f"invalid iteration count {self.n_iterations}")
         if self.cycles_per_iteration <= 0:
             raise CudaError("cycles_per_iteration must be positive")
+        if not 0.0 <= self.memory_intensity < 1.0:
+            raise CudaError("memory_intensity must be in [0, 1)")
 
 
 @dataclass
@@ -145,6 +153,26 @@ class GpuDevice:
             idle_timeout_s=idle_timeout_s,
             start_time=clock.now,
         )
+        # The memory clock domain: same state machine on the memory ladder,
+        # always powered (memory holds its P-state without load).  It
+        # shares the device RNG but draws from it only when a memory
+        # transition is actually requested, so campaigns that never touch
+        # the memory clock consume exactly the legacy draw sequence.
+        self.mem_latency_model = SwitchingLatencyModel(
+            MemoryLatencyProfile(self.profile), unit_seed=unit_seed, rng=rng
+        )
+        self.mem_dvfs = DvfsClockDomain(
+            MemoryDomainSpec(spec),
+            self.mem_latency_model,
+            rng,
+            idle_timeout_s=idle_timeout_s,
+            start_time=clock.now,
+            always_powered=True,
+        )
+        #: fast-path flag: no memory-clock request was ever issued, so the
+        #: memory clock sits at the reference and cannot shape kernel
+        #: timing, power, or thermals
+        self._memory_static = True
         self.thermal = thermal if thermal is not None else ThermalModel(spec)
         self.thermal_state: ThermalState = self.thermal.initial_state(clock.now)
         # Thermal and power caps are tracked separately: a cool die must
@@ -155,7 +183,10 @@ class GpuDevice:
         self._cap_applied_mhz: float | None = None
 
         self.energy = EnergyMeter(
-            thermal=self.thermal, dvfs=self.dvfs, start_time=clock.now
+            thermal=self.thermal,
+            dvfs=self.dvfs,
+            start_time=clock.now,
+            mem_dvfs=self.mem_dvfs,
         )
 
         self._pending: list[KernelHandle] = []
@@ -224,7 +255,9 @@ class GpuDevice:
         # events inserted later all lie at or after this completion time,
         # so the deferred inversion sees the exact segments the eager one
         # would have.
-        tb, f_mhz = self.dvfs.compiled_segments(float(starts.min()))
+        tb, f_mhz = self._effective_segments(
+            float(starts.min()), handle.spec.memory_intensity
+        )
         if handle.spec.aggregate:
             completion = self._finalize_aggregate(handle, n_sm, starts, tb, f_mhz)
         else:
@@ -295,6 +328,28 @@ class GpuDevice:
         )
         return pending.completion_true + _KERNEL_EPILOGUE_S
 
+    def _effective_segments(
+        self, t0: float, memory_intensity: float
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """SM segments with the memory-clock stall model folded in.
+
+        While the memory domain is untouched (``_memory_static``) or the
+        kernel is pure compute, this *is* ``dvfs.compiled_segments`` — the
+        legacy hot path, bit for bit.  Otherwise the SM and memory
+        timelines merge into effective integration frequencies
+        (:func:`repro.gpusim.sm.merge_memory_segments`).
+        """
+        tb, f_mhz = self.dvfs.compiled_segments(t0)
+        if self._memory_static or memory_intensity <= 0.0:
+            return tb, f_mhz
+        mem_tb, mem_f = self.mem_dvfs.compiled_segments(t0)
+        if len(mem_f) == 1 and mem_f[0] == self.spec.memory_frequency_mhz:
+            return tb, f_mhz
+        return merge_memory_segments(
+            tb, f_mhz, mem_tb, mem_f, memory_intensity,
+            self.spec.memory_frequency_mhz,
+        )
+
     def read_timestamps(self, handle: KernelHandle) -> DeviceTimestamps:
         """Read the kernel's iteration timestamp buffers (GPU-clock view).
 
@@ -339,8 +394,39 @@ class GpuDevice:
         self._drain_completed(t)
         self.dvfs.reset_locked_clocks(t)
 
+    def set_memory_locked_clocks(self, freq_mhz: float) -> TransitionRecord | None:
+        """Lock the memory clock at ``freq_mhz`` (P-state retraining).
+
+        Kernels whose deterministic completion bound precedes the request
+        are finalized first (their timing cannot be affected); kernels
+        still running see the retraining through their merged segment
+        timeline, exactly like a mid-kernel SM transition.
+        """
+        t = self.clock.now
+        self._drain_completed(t)
+        record = self.mem_dvfs.request_locked_clocks(freq_mhz, t)
+        self._memory_static = False
+        self.tracer.emit(
+            t, "dvfs", "memory-locked-clocks",
+            gpu=self.index, target_mhz=freq_mhz,
+            init_mhz=record.init_mhz if record else None,
+            latency_ms=(
+                round(record.ground_truth_latency_s * 1e3, 3)
+                if record
+                else None
+            ),
+        )
+        return record
+
+    def reset_memory_locked_clocks(self) -> TransitionRecord | None:
+        """Return the memory clock to the spec reference."""
+        return self.set_memory_locked_clocks(self.spec.memory_frequency_mhz)
+
     def current_sm_clock_mhz(self) -> float:
         return self.dvfs.effective_freq_at(self.clock.now)
+
+    def current_memory_clock_mhz(self) -> float:
+        return self.mem_dvfs.effective_freq_at(self.clock.now)
 
     def throttle_reasons(self) -> ThrottleReasons:
         t = self.clock.now
@@ -369,7 +455,10 @@ class GpuDevice:
     def power_usage_w(self) -> float:
         t = self.clock.now
         load = 1.0 if self._busy_at(t) else 0.0
-        return self.thermal.power_watts(self.dvfs.effective_freq_at(t), load)
+        mem_freq = None if self._memory_static else self.mem_dvfs.effective_freq_at(t)
+        return self.thermal.power_watts(
+            self.dvfs.effective_freq_at(t), load, mem_freq
+        )
 
     def total_energy_j(self) -> float:
         """Board energy since device creation (NVML total-energy counter).
@@ -410,6 +499,8 @@ class GpuDevice:
             self.rng.bit_generator.state,
             self.gpu_clock._last_read,
             self.dvfs.snapshot_state(),
+            self.mem_dvfs.snapshot_state(),
+            self._memory_static,
             self._busy_until,
             self._seq,
             replace(self.thermal_state),
@@ -426,6 +517,8 @@ class GpuDevice:
             rng_state,
             gpu_last_read,
             dvfs_state,
+            mem_dvfs_state,
+            memory_static,
             busy_until,
             seq,
             thermal_state,
@@ -437,6 +530,8 @@ class GpuDevice:
         self.rng.bit_generator.state = rng_state
         self.gpu_clock._last_read = gpu_last_read
         self.dvfs.restore_state(dvfs_state)
+        self.mem_dvfs.restore_state(mem_dvfs_state)
+        self._memory_static = memory_static
         self._busy_until = busy_until
         self._seq = seq
         self.thermal_state = replace(thermal_state)
@@ -485,8 +580,12 @@ class GpuDevice:
     def _advance_thermal(self, t: float, load: float) -> None:
         if t < self.thermal_state.last_update:
             return
-        freq = self.dvfs.effective_freq_at(self.thermal_state.last_update)
-        self.thermal.advance(self.thermal_state, t, freq, load)
+        t_from = self.thermal_state.last_update
+        freq = self.dvfs.effective_freq_at(t_from)
+        mem_freq = (
+            None if self._memory_static else self.mem_dvfs.effective_freq_at(t_from)
+        )
+        self.thermal.advance(self.thermal_state, t, freq, load, mem_freq)
         self._update_thermal_cap(t)
 
     def _update_thermal_cap(self, t: float) -> None:

@@ -19,12 +19,19 @@ Timeline semantics:
   the first kernel afterwards pays a *wake-up latency* before the locked
   clock is restored (paper Sec. V, "Wake-up latency").
 * Thermal/power caps clip the planned frequency from above.
+
+The same state machine drives both clock domains of a device: the SM
+domain (constructed on the :class:`~repro.gpusim.spec.GpuSpec` itself) and
+the memory domain (constructed on a :class:`MemoryDomainSpec` ladder
+adapter with ``always_powered=True`` — memory clocks hold their P-state
+regardless of load, so locked-memory-clock requests always transition
+immediately and the domain neither idles nor wakes).
 """
 
 from __future__ import annotations
 
 import bisect
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -33,7 +40,33 @@ from repro.gpusim.latency_model import LatencySample, SwitchingLatencyModel
 from repro.gpusim.spec import GpuSpec
 from repro.gpusim.trajectory import FrequencyTrajectory
 
-__all__ = ["TransitionRecord", "DvfsClockDomain"]
+__all__ = ["TransitionRecord", "DvfsClockDomain", "MemoryDomainSpec"]
+
+
+class MemoryDomainSpec:
+    """Ladder adapter exposing a spec's *memory* clocks to the state machine.
+
+    :class:`DvfsClockDomain` consults its ``spec`` only for ladder lookups
+    and the idle/nominal resume frequencies; this adapter maps those onto
+    the memory-clock ladder.  Memory clocks have no idle drop, so both the
+    idle and nominal attributes are the reference memory clock (the
+    attribute names keep the GpuSpec spelling the domain expects).
+    """
+
+    def __init__(self, spec: GpuSpec) -> None:
+        self.gpu_spec = spec
+        self.name = f"{spec.name} memory"
+        self.idle_sm_frequency_mhz = spec.memory_frequency_mhz
+        self.nominal_sm_frequency_mhz = spec.memory_frequency_mhz
+
+    def validate_clock(self, freq_mhz: float, tolerance_mhz: float = 0.5) -> float:
+        return self.gpu_spec.validate_memory_clock(freq_mhz, tolerance_mhz)
+
+    def nearest_supported_clock(self, freq_mhz: float) -> float:
+        return self.gpu_spec.nearest_supported_memory_clock(freq_mhz)
+
+    def nearest_supported_clocks(self, freqs_mhz: np.ndarray) -> np.ndarray:
+        return self.gpu_spec.nearest_supported_memory_clocks(freqs_mhz)
 
 #: interior points of linspace(0, 1, n+2) for the handful of ramp step
 #: counts the staircase can draw — rebuilt arrays dominated ramp cost
@@ -74,16 +107,18 @@ class DvfsClockDomain:
 
     def __init__(
         self,
-        spec: GpuSpec,
+        spec: "GpuSpec | MemoryDomainSpec",
         latency_model: SwitchingLatencyModel,
         rng: np.random.Generator,
         idle_timeout_s: float = 0.050,
         start_time: float = 0.0,
+        always_powered: bool = False,
     ) -> None:
         self.spec = spec
         self.latency_model = latency_model
         self.rng = rng
         self.idle_timeout_s = idle_timeout_s
+        self.always_powered = always_powered
 
         self.locked_mhz: float | None = None
         self.records: list[TransitionRecord] = []
@@ -95,6 +130,12 @@ class DvfsClockDomain:
         self._active_kernels = 0
         self._last_kernel_end: float | None = None
         self._ever_active = False
+        if always_powered:
+            # The domain behaves as permanently loaded: requests always
+            # transition immediately and the clocks never drop to idle.
+            # Kernel start/end notifications are never routed here.
+            self._active_kernels = 1
+            self._ever_active = True
 
         # Planned frequency events: sorted (time, freq_mhz).  The device
         # starts idle.

@@ -47,6 +47,10 @@ class EnergyMeter:
     thermal: ThermalModel
     dvfs: "DvfsClockDomain"  # noqa: F821 - avoid import cycle
     start_time: float = 0.0
+    #: memory clock domain; its transitions shift board power, so its
+    #: events become integration boundaries too.  ``None`` (or a domain
+    #: that never left its start event) integrates exactly as before.
+    mem_dvfs: "DvfsClockDomain | None" = None  # noqa: F821
     _energy_j: float = 0.0
     _integrated_until: float = field(default=None)  # type: ignore[assignment]
     _busy: list[_BusyInterval] = field(default_factory=list)
@@ -76,6 +80,10 @@ class EnergyMeter:
                 break
         return 0.0
 
+    def _mem_active(self) -> bool:
+        """True when the memory domain has events that can shape power."""
+        return self.mem_dvfs is not None and len(self.mem_dvfs._event_times) > 1
+
     def _boundaries(self, t0: float, t1: float) -> list[float]:
         points = {t0, t1}
         for interval in self._busy:
@@ -87,6 +95,10 @@ class EnergyMeter:
         for seg in trajectory.segments:
             if t0 < seg.t_start < t1:
                 points.add(seg.t_start)
+        if self._mem_active():
+            for seg in self.mem_dvfs.trajectory(t0).segments:
+                if t0 < seg.t_start < t1:
+                    points.add(seg.t_start)
         return sorted(points)
 
     def integrate_to(self, t: float) -> float:
@@ -96,13 +108,18 @@ class EnergyMeter:
             raise SimulationError("energy meter cannot run backwards")
         if t <= t0:
             return self._energy_j
-        for lo, hi in zip(
-            self._boundaries(t0, t), self._boundaries(t0, t)[1:]
-        ):
+        mem_active = self._mem_active()
+        boundaries = self._boundaries(t0, t)
+        for lo, hi in zip(boundaries, boundaries[1:]):
             mid = 0.5 * (lo + hi)
             freq = self.dvfs.effective_freq_at(mid)
             load = self._load_at(mid)
-            self._energy_j += self.thermal.power_watts(freq, load) * (hi - lo)
+            mem_freq = (
+                self.mem_dvfs.effective_freq_at(mid) if mem_active else None
+            )
+            self._energy_j += self.thermal.power_watts(freq, load, mem_freq) * (
+                hi - lo
+            )
         self._integrated_until = t
         return self._energy_j
 

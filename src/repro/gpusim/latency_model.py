@@ -23,7 +23,7 @@ what creates the manufacturing variability analysed in paper Figs. 7-9.
 from __future__ import annotations
 
 import zlib
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from functools import cached_property
 from typing import Protocol
 

@@ -46,10 +46,63 @@ __all__ = [
     "PendingIntegration",
     "integrate_iterations",
     "integrate_iterations_reference",
+    "memory_stall_factor",
+    "merge_memory_segments",
     "prepare_integration",
     "prepare_integration_from_boundaries",
     "sample_iteration_cycles",
 ]
+
+
+def memory_stall_factor(
+    mem_freq_mhz: np.ndarray | float,
+    mem_ref_mhz: float,
+    memory_intensity: float,
+) -> np.ndarray | float:
+    """Cycle-cost multiplier of running at ``mem_freq_mhz`` vs the reference.
+
+    A roofline-style decomposition: a fraction ``memory_intensity`` of each
+    iteration's cycle budget covers memory traffic whose wall time scales
+    inversely with the memory clock, the rest is pure compute.  The
+    effective SM frequency the integrator should consume cycles at is then
+    ``f_sm / stall`` with ``stall = (1 - β) + β * f_ref / f_mem``.  At the
+    reference memory clock the factor is *exactly* 1.0 (explicitly pinned —
+    ``(1-β)+β`` is not bit-exact in floats), preserving the legacy
+    single-memory-clock timeline to the last bit.
+    """
+    mem_freq_mhz = np.asarray(mem_freq_mhz, dtype=np.float64)
+    stall = (1.0 - memory_intensity) + memory_intensity * (
+        mem_ref_mhz / mem_freq_mhz
+    )
+    return np.where(mem_freq_mhz == mem_ref_mhz, 1.0, stall)
+
+
+def merge_memory_segments(
+    tb: np.ndarray,
+    f_mhz: np.ndarray,
+    mem_tb: np.ndarray,
+    mem_f_mhz: np.ndarray,
+    memory_intensity: float,
+    mem_ref_mhz: float,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Fold a memory-clock timeline into SM segments as effective frequencies.
+
+    Inputs are two compiled segment timelines in the
+    :meth:`~repro.gpusim.dvfs.DvfsClockDomain.compiled_segments` form
+    (boundaries with a trailing ``+inf``, per-segment MHz).  The result is
+    the union timeline whose per-segment frequency is the SM clock divided
+    by the :func:`memory_stall_factor` of the concurrent memory clock —
+    exactly what the piecewise cycle integrator needs for kernels whose
+    iteration time responds to both domains.
+    """
+    t_all = np.union1d(tb[:-1], mem_tb[:-1])
+    i_sm = np.clip(np.searchsorted(tb, t_all, side="right") - 1, 0, len(f_mhz) - 1)
+    i_mem = np.clip(
+        np.searchsorted(mem_tb, t_all, side="right") - 1, 0, len(mem_f_mhz) - 1
+    )
+    stall = memory_stall_factor(mem_f_mhz[i_mem], mem_ref_mhz, memory_intensity)
+    out_tb = np.append(t_all, np.inf)
+    return out_tb, f_mhz[i_sm] / stall
 
 
 @dataclass

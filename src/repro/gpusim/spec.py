@@ -3,7 +3,10 @@
 A :class:`GpuSpec` carries everything the simulator and the NVML layer need:
 the SM count, the supported SM clock ladder for the default memory clock,
 the idle clock the device falls back to without load, and the device timer
-granularity.
+granularity.  Since the core×memory extension it also carries the supported
+*memory*-clock ladder: ``memory_frequency_mhz`` stays the reference (boot)
+memory clock the paper's Table I reports, and ``memory_clocks_mhz`` lists
+the lockable memory P-states (defaulting to just the reference clock).
 
 The three concrete specs reproduce Table I of the paper:
 
@@ -22,7 +25,7 @@ SM clock steps         120           81          110
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from functools import cached_property
 
 import numpy as np
@@ -69,6 +72,9 @@ class GpuSpec:
     shutdown_temp_c: float = 95.0
     # Per-SM execution noise (fractional std-dev of per-iteration cycles)
     iteration_noise_rel: float = 0.002
+    #: lockable memory clocks (P-states); empty means only the reference
+    #: clock ``memory_frequency_mhz`` exists (the paper's fixed-memory setup)
+    memory_clocks_mhz: tuple[float, ...] = ()
 
     def __post_init__(self) -> None:
         if self.sm_count <= 0:
@@ -81,6 +87,10 @@ class GpuSpec:
             raise ConfigError(f"{self.name}: inconsistent SM frequency range")
         if self.sm_frequency_steps < 2:
             raise ConfigError(f"{self.name}: need at least two frequency steps")
+        if self.memory_frequency_mhz <= 0:
+            raise ConfigError(f"{self.name}: memory clock must be positive")
+        if any(f <= 0 for f in self.memory_clocks_mhz):
+            raise ConfigError(f"{self.name}: memory ladder clocks must be positive")
 
     @cached_property
     def supported_clocks_mhz(self) -> tuple[float, ...]:
@@ -162,6 +172,49 @@ class GpuSpec:
         idx = np.linspace(0, len(clocks) - 1, count).round().astype(int)
         return tuple(float(c) for c in clocks[np.unique(idx)])
 
+    # ------------------------------------------------------------------
+    # memory-clock domain
+    # ------------------------------------------------------------------
+    @cached_property
+    def supported_memory_clocks_mhz(self) -> tuple[float, ...]:
+        """The memory clock ladder, descending (NVML ordering).
+
+        Always contains the reference clock ``memory_frequency_mhz``; the
+        other entries come from ``memory_clocks_mhz``.  Memory ladders are
+        short, discrete P-state lists rather than 15 MHz staircases.
+        """
+        clocks = {float(self.memory_frequency_mhz)}
+        clocks.update(float(f) for f in self.memory_clocks_mhz)
+        return tuple(sorted(clocks, reverse=True))
+
+    @cached_property
+    def _memory_ladder_array(self) -> np.ndarray:
+        return np.asarray(self.supported_memory_clocks_mhz)
+
+    def nearest_supported_memory_clock(self, freq_mhz: float) -> float:
+        """Snap ``freq_mhz`` to the closest memory-ladder entry."""
+        clocks = self._memory_ladder_array
+        return float(clocks[np.argmin(np.abs(clocks - freq_mhz))])
+
+    def nearest_supported_memory_clocks(self, freqs_mhz: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`nearest_supported_memory_clock`."""
+        clocks = self._memory_ladder_array
+        freqs_mhz = np.asarray(freqs_mhz, dtype=np.float64)
+        idx = np.abs(clocks[None, :] - freqs_mhz[:, None]).argmin(axis=1)
+        return clocks[idx]
+
+    def validate_memory_clock(
+        self, freq_mhz: float, tolerance_mhz: float = 0.5
+    ) -> float:
+        """Return the memory-ladder entry matching ``freq_mhz`` or raise."""
+        nearest = self.nearest_supported_memory_clock(freq_mhz)
+        if abs(nearest - freq_mhz) > tolerance_mhz:
+            raise ConfigError(
+                f"{self.name}: {freq_mhz} MHz is not a supported memory clock "
+                f"(nearest: {nearest} MHz)"
+            )
+        return nearest
+
 
 RTX_QUADRO_6000 = GpuSpec(
     name="RTX Quadro 6000",
@@ -176,6 +229,9 @@ RTX_QUADRO_6000 = GpuSpec(
     idle_sm_frequency_mhz=300.0,
     tdp_watts=260.0,
     idle_power_watts=30.0,
+    # GDDR6 exposes a real multi-entry memory ladder (nvidia-smi -q -d
+    # SUPPORTED_CLOCKS on Turing Quadro parts).
+    memory_clocks_mhz=(7001.0, 6251.0, 5001.0, 810.0, 405.0),
 )
 
 A100_SXM4 = GpuSpec(
@@ -191,6 +247,10 @@ A100_SXM4 = GpuSpec(
     idle_sm_frequency_mhz=210.0,
     tdp_watts=400.0,
     idle_power_watts=55.0,
+    # HBM2 boots locked at 1215 MHz; the lower entries model the reduced
+    # P-states the 2-D core×memory campaigns sweep (paper Sec. VII names
+    # the memory domain as the next measurement axis).
+    memory_clocks_mhz=(1215.0, 810.0, 405.0),
 )
 
 GH200 = GpuSpec(
@@ -206,6 +266,7 @@ GH200 = GpuSpec(
     idle_sm_frequency_mhz=345.0,
     tdp_watts=700.0,
     idle_power_watts=75.0,
+    memory_clocks_mhz=(2619.0, 1593.0, 810.0),
 )
 
 GPU_MODELS: dict[str, GpuSpec] = {

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import enum
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.gpusim.spec import GpuSpec
 
@@ -76,6 +76,9 @@ class ThermalModel:
     tau_s: float = 35.0
     power_limit_w: float | None = None
     enabled: bool = False
+    #: share of the dynamic power band attributed to the memory subsystem;
+    #: scales roughly linearly with the memory clock around the reference
+    memory_power_fraction: float = 0.18
 
     def __post_init__(self) -> None:
         if self.power_limit_w is None:
@@ -85,24 +88,48 @@ class ThermalModel:
     def initial_state(self, t: float) -> ThermalState:
         return ThermalState(temperature_c=self.ambient_c, last_update=t)
 
-    def power_watts(self, freq_mhz: float, load: float) -> float:
+    def power_watts(
+        self, freq_mhz: float, load: float, mem_freq_mhz: float | None = None
+    ) -> float:
         """Board power at ``freq_mhz`` under fractional SM ``load``.
 
         Dynamic power scales ~ f * V(f)^2; with the near-linear V-f curves
         of these parts that is well approximated by f^2.4 normalized to TDP
-        at the maximum clock.
+        at the maximum clock.  ``mem_freq_mhz`` (when given and away from
+        the reference memory clock) adds the memory subsystem's roughly
+        linear clock sensitivity: downclocked memory returns power to the
+        budget, overclocked memory spends it.  At the reference clock the
+        term is skipped outright, so single-memory-clock campaigns see
+        bit-identical power and energy numbers.
         """
         f_rel = freq_mhz / self.spec.max_sm_frequency_mhz
         dynamic = (self.spec.tdp_watts - self.spec.idle_power_watts) * (
             f_rel**2.4
         )
-        return self.spec.idle_power_watts + load * dynamic
+        power = self.spec.idle_power_watts + load * dynamic
+        if (
+            mem_freq_mhz is not None
+            and mem_freq_mhz != self.spec.memory_frequency_mhz
+        ):
+            mem_rel = mem_freq_mhz / self.spec.memory_frequency_mhz
+            delta = (
+                self.memory_power_fraction
+                * (self.spec.tdp_watts - self.spec.idle_power_watts)
+                * (mem_rel - 1.0)
+            )
+            power = max(power + delta, 0.2 * self.spec.idle_power_watts)
+        return power
 
     def steady_temperature(self, power_w: float) -> float:
         return self.ambient_c + self.resistance_c_per_w * power_w
 
     def advance(
-        self, state: ThermalState, t: float, freq_mhz: float, load: float
+        self,
+        state: ThermalState,
+        t: float,
+        freq_mhz: float,
+        load: float,
+        mem_freq_mhz: float | None = None,
     ) -> ThermalState:
         """Evolve ``state`` to time ``t`` under constant (freq, load)."""
         dt = t - state.last_update
@@ -112,7 +139,7 @@ class ThermalModel:
             state.last_update = t
             state.reasons = ThrottleReasons.NONE
             return state
-        power = self.power_watts(freq_mhz, load)
+        power = self.power_watts(freq_mhz, load, mem_freq_mhz)
         t_inf = self.steady_temperature(power)
         decay = math.exp(-dt / self.tau_s)
         state.temperature_c = t_inf + (state.temperature_c - t_inf) * decay

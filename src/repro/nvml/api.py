@@ -16,7 +16,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.errors import NvmlError
+from repro.errors import ConfigError, NvmlError
 from repro.gpusim.device import GpuDevice
 from repro.gpusim.dvfs import TransitionRecord
 from repro.gpusim.thermal import ThrottleReasons
@@ -109,9 +109,10 @@ class NvmlDeviceHandle:
 
     # -- clocks --------------------------------------------------------
     def supported_memory_clocks(self) -> tuple[float, ...]:
+        """Memory P-state ladder, descending (NVML order)."""
         self.session._check()
         self.session._spend()
-        return (self.device.spec.memory_frequency_mhz,)
+        return self.device.spec.supported_memory_clocks_mhz
 
     def supported_graphics_clocks(
         self, memory_clock_mhz: float | None = None
@@ -120,15 +121,33 @@ class NvmlDeviceHandle:
         self.session._check()
         self.session._spend()
         spec = self.device.spec
-        if (
-            memory_clock_mhz is not None
-            and abs(memory_clock_mhz - spec.memory_frequency_mhz) > 0.5
-        ):
+        if memory_clock_mhz is not None:
+            try:
+                spec.validate_memory_clock(memory_clock_mhz)
+            except ConfigError:
+                raise NvmlError(
+                    "NVML_ERROR_INVALID_ARGUMENT",
+                    f"unsupported memory clock {memory_clock_mhz} MHz",
+                ) from None
+        return spec.supported_clocks_mhz
+
+    def set_memory_locked_clocks(
+        self, min_mhz: float, max_mhz: float
+    ) -> TransitionRecord | None:
+        """Lock the memory clock (``nvmlDeviceSetMemoryLockedClocks``)."""
+        self.session._check()
+        if min_mhz > max_mhz:
             raise NvmlError(
                 "NVML_ERROR_INVALID_ARGUMENT",
-                f"unsupported memory clock {memory_clock_mhz} MHz",
+                f"min {min_mhz} MHz exceeds max {max_mhz} MHz",
             )
-        return spec.supported_clocks_mhz
+        self.session._spend("set")
+        return self.device.set_memory_locked_clocks(max_mhz)
+
+    def reset_memory_locked_clocks(self) -> None:
+        self.session._check()
+        self.session._spend("set")
+        self.device.reset_memory_locked_clocks()
 
     def set_gpu_locked_clocks(
         self, min_mhz: float, max_mhz: float
@@ -158,6 +177,11 @@ class NvmlDeviceHandle:
         self.session._check()
         self.session._spend()
         return self.device.current_sm_clock_mhz()
+
+    def clock_info_mem_mhz(self) -> float:
+        self.session._check()
+        self.session._spend()
+        return self.device.current_memory_clock_mhz()
 
     # -- sensors -------------------------------------------------------
     def current_clocks_throttle_reasons(self) -> ThrottleReasons:

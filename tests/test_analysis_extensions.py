@@ -1,7 +1,6 @@
 """Tests for the analysis extensions: advisor, validation, report,
 and the device energy meter."""
 
-import numpy as np
 import pytest
 
 from repro.analysis.advisor import RuntimeAdvisor
@@ -177,7 +176,6 @@ class TestEnergyMeter:
         assert energies[705.0] < energies[1410.0]
 
     def test_meter_rejects_backwards_time(self):
-        from repro.gpusim.energy import EnergyMeter
         from repro.errors import SimulationError
 
         machine = make_machine("A100", seed=9)

@@ -12,6 +12,21 @@ class TestArgumentParsing:
     def test_whitespace_tolerated(self):
         assert parse_frequencies("705, 1095") == (705.0, 1095.0)
 
+    def test_negative_frequency_exits(self):
+        with pytest.raises(SystemExit):
+            parse_frequencies("705,-1410")
+
+    def test_zero_frequency_exits(self):
+        with pytest.raises(SystemExit):
+            parse_frequencies("0,1410")
+
+    def test_duplicate_frequencies_exit(self):
+        with pytest.raises(SystemExit):
+            parse_frequencies("705,1410,705")
+
+    def test_memory_frequency_list_single_allowed(self):
+        assert parse_frequencies("1215", minimum=1) == (1215.0,)
+
     def test_invalid_frequency_exits(self):
         with pytest.raises(SystemExit):
             parse_frequencies("705,abc")
@@ -61,6 +76,45 @@ class TestMain:
         out = capsys.readouterr().out
         assert "min switching latencies" in out
         assert "max switching latencies" in out
+
+    def test_memory_frequencies_run(self, tmp_path, capsys):
+        out_dir = tmp_path / "csv"
+        code = main(
+            [
+                "705,1410",
+                "--memory-frequencies", "1215,810",
+                "--sm-count", "4",
+                "--min-measurements", "4",
+                "--max-measurements", "6",
+                "--seed", "3",
+                "--heatmaps",
+                "--quiet",
+                "--output-dir", str(out_dir),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        # one heatmap facet per memory clock, labelled
+        assert "@ mem 1215 MHz" in out
+        assert "@ mem 810 MHz" in out
+        names = {p.name for p in out_dir.glob("swlatm_*.csv")}
+        assert any("_1215_" in n for n in names)
+        assert any("_810_" in n for n in names)
+
+    def test_unsupported_memory_frequency_fails(self, capsys):
+        code = main(
+            [
+                "705,1410",
+                "--memory-frequencies", "999",
+                "--sm-count", "4",
+                "--min-measurements", "4",
+                "--max-measurements", "6",
+                "--seed", "3",
+                "--quiet",
+            ]
+        )
+        assert code == 1
+        assert "memory clock" in capsys.readouterr().err
 
     def test_output_dir_written(self, tmp_path, capsys):
         out_dir = tmp_path / "csv"

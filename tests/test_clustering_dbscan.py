@@ -6,7 +6,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.clustering.dbscan import NOISE, DbscanResult, dbscan
+from repro.clustering.dbscan import NOISE, dbscan
 from repro.errors import ConfigError
 
 

@@ -37,6 +37,31 @@ class TestKdist:
         with pytest.raises(ConfigError):
             knee_point([1.0, 2.0])
 
+    def test_knee_flat_curve(self):
+        # Degenerate flat curve: every point sits on the chord, so the
+        # max-distance construction falls back to the first point.
+        idx, value = knee_point(np.full(10, 3.5))
+        assert idx == 0
+        assert value == 3.5
+
+    def test_knee_three_point_minimum(self):
+        idx, value = knee_point([0.0, 1.0, 1.0])
+        assert idx == 1
+        assert value == 1.0
+
+    def test_knee_linear_curve_no_spurious_interior(self):
+        # A perfectly linear curve has zero chord distance everywhere;
+        # argmax ties resolve to index 0 rather than a random interior.
+        idx, _ = knee_point(np.linspace(0.0, 9.0, 10))
+        assert idx == 0
+
+    def test_knee_zero_chord_identical_endpoints(self):
+        # Endpoints equal but interior varies: chord is horizontal, the
+        # knee is the farthest interior point.
+        idx, value = knee_point([1.0, 5.0, 1.0])
+        assert idx == 1
+        assert value == 5.0
+
     def test_mean_kdist_ratio_small_for_clustered_data(self):
         """The paper's observation: for min_pts in the 2-4 % range the
         mean k-NN distance stays below ~20 % of the 5-95 quantile range."""

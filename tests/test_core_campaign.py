@@ -4,8 +4,7 @@ skip paths, CSV emission."""
 import numpy as np
 import pytest
 
-from repro import LatestConfig, make_machine, run_campaign
-from repro.core.campaign import LatestBenchmark
+from repro import make_machine, run_campaign
 from repro.gpusim.thermal import ThrottleReasons
 from tests.conftest import fast_config
 

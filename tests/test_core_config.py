@@ -49,6 +49,21 @@ class TestValidation:
         with pytest.raises(ConfigError):
             config(delay_iterations=0)
 
+    def test_non_positive_frequencies_rejected(self):
+        with pytest.raises(ConfigError):
+            LatestConfig(frequencies=(705.0, -1410.0))
+        with pytest.raises(ConfigError):
+            LatestConfig(frequencies=(0.0, 1410.0))
+
+    def test_memory_frequency_invariants(self):
+        with pytest.raises(ConfigError):
+            config(memory_frequencies=())
+        with pytest.raises(ConfigError):
+            config(memory_frequencies=(1215.0, 1215.0))
+        with pytest.raises(ConfigError):
+            config(memory_frequencies=(1215.0, -810.0))
+        assert config(memory_frequencies=(1215.0,)).memory_frequencies == (1215.0,)
+
 
 class TestHelpers:
     def test_pairs_ordered_and_complete(self):
@@ -75,3 +90,31 @@ class TestHelpers:
     def test_with_frequencies(self):
         cfg = config().with_frequencies((840.0, 975.0))
         assert cfg.frequencies == (840.0, 975.0)
+
+    def test_memory_plan_legacy_sentinel(self):
+        assert config().memory_plan() == (None,)
+        assert config(
+            memory_frequencies=(1215.0, 810.0)
+        ).memory_plan() == (1215.0, 810.0)
+
+    def test_grid_points_memory_major(self):
+        cfg = config(memory_frequencies=(1215.0, 810.0))
+        points = cfg.grid_points()
+        assert len(points) == 2 * len(cfg.pairs())
+        # memory-major: the first facet's pairs come first, in pair order
+        assert points[: len(cfg.pairs())] == [
+            (a, b, 1215.0) for a, b in cfg.pairs()
+        ]
+        assert points[len(cfg.pairs()):] == [
+            (a, b, 810.0) for a, b in cfg.pairs()
+        ]
+
+    def test_grid_points_legacy(self):
+        assert config().grid_points() == [
+            (a, b, None) for a, b in config().pairs()
+        ]
+
+    def test_with_memory_frequencies(self):
+        cfg = config().with_memory_frequencies((1215.0, 810.0))
+        assert cfg.memory_frequencies == (1215.0, 810.0)
+        assert cfg.with_memory_frequencies(None).memory_frequencies is None

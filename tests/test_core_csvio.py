@@ -5,11 +5,26 @@ import pytest
 
 from repro.core.csvio import (
     pair_csv_name,
+    parse_pair_csv_name,
     read_pair_csv,
+    sanitize_hostname,
     write_campaign_csvs,
     write_pair_csv,
 )
+from repro.core.results import PairResult, SwitchingLatencyMeasurement
 from repro.errors import MeasurementError
+
+
+def _measurement(latency_s, gt=None):
+    return SwitchingLatencyMeasurement(
+        latency_s=latency_s,
+        ts_acc=1.25,
+        te_acc=1.25 + latency_s,
+        n_valid_sm=8,
+        window_iterations=400,
+        ground_truth_s=gt,
+        ground_truth_outlier=False,
+    )
 
 
 class TestNaming:
@@ -19,6 +34,61 @@ class TestNaming:
 
     def test_fractional_frequencies(self):
         assert "swlat_1417.5_" in pair_csv_name(1417.5, 705.0, "h", 0)
+
+    def test_memory_coordinate_field(self):
+        name = pair_csv_name(705.0, 1410.0, "karolina23", 2, memory_mhz=810.0)
+        assert name == "swlatm_705_1410_810_karolina23_gpu2.csv"
+        assert parse_pair_csv_name(name) == (705.0, 1410.0, 810.0)
+
+    def test_legacy_name_parses_without_memory(self):
+        assert parse_pair_csv_name("swlat_705_1410_karolina23_gpu2.csv") == (
+            705.0, 1410.0, None,
+        )
+
+    def test_legacy_mem_prefixed_hostname_not_misparsed(self):
+        # A pre-extension archive whose (unsanitized) hostname starts with
+        # "mem<digits>_" must not be mistaken for a memory-clock field:
+        # only the swlatm_ prefix introduces one.
+        assert parse_pair_csv_name("swlat_900_1200_mem5_node_gpu0.csv") == (
+            900.0, 1200.0, None,
+        )
+
+    def test_grid_name_requires_memory_field(self):
+        with pytest.raises(MeasurementError):
+            parse_pair_csv_name("swlatm_705_1410_karolina23_gpu2.csv")
+
+    def test_hostname_with_underscores_still_parses(self):
+        name = pair_csv_name(705.0, 1410.0, "node_a_b", 0)
+        # sanitization maps "_" to "-", so the field layout stays unambiguous
+        assert parse_pair_csv_name(name) == (705.0, 1410.0, None)
+
+
+class TestHostnameSanitization:
+    def test_path_separators_removed(self):
+        assert "/" not in sanitize_hostname("evil/../../etc")
+        assert not sanitize_hostname("../../escape").startswith(".")
+
+    def test_safe_hostname_untouched(self):
+        assert sanitize_hostname("karolina23.it4i.cz") == "karolina23.it4i.cz"
+
+    def test_empty_falls_back(self):
+        assert sanitize_hostname("") == "host"
+        assert sanitize_hostname("///") != ""
+
+    def test_write_stays_inside_output_dir(self, tmp_path):
+        pair = PairResult(
+            init_mhz=705.0, target_mhz=1410.0,
+            measurements=[_measurement(0.005)],
+        )
+        path = write_pair_csv(tmp_path, pair, "../../escape/attempt", 0)
+        assert path.parent == tmp_path
+        assert path.exists()
+
+    def test_malformed_name_validated_on_read(self, tmp_path):
+        bad = tmp_path / "swlat_705_notafreq_gpu0.csv"
+        bad.write_text("latency_ms\n1.0\n")
+        with pytest.raises(MeasurementError):
+            read_pair_csv(bad)
 
 
 class TestRoundTrip:
@@ -51,6 +121,57 @@ class TestRoundTrip:
         bad.write_text("latency_ms\n1.0\n")
         with pytest.raises(MeasurementError):
             read_pair_csv(bad)
+
+    def test_outlier_labels_restored(self, small_a100_campaign, tmp_path):
+        pair = next(
+            p for p in small_a100_campaign.iter_measured()
+            if p.outliers is not None
+        )
+        path = write_pair_csv(tmp_path, pair, "h", 0)
+        loaded = read_pair_csv(path)
+        assert loaded.outliers is not None
+        np.testing.assert_array_equal(
+            loaded.outliers.labels, pair.outliers.labels
+        )
+        np.testing.assert_array_equal(
+            loaded.outliers.kept_mask, pair.outliers.kept_mask
+        )
+        # The docstring promise: outlier filtering works on the round trip.
+        np.testing.assert_allclose(
+            loaded.latencies_s(without_outliers=True),
+            pair.latencies_s(without_outliers=True),
+            rtol=1e-6,
+        )
+
+    def test_write_read_write_byte_stable(self, small_a100_campaign, tmp_path):
+        for pair in small_a100_campaign.iter_measured():
+            first = write_pair_csv(tmp_path / "a", pair, "h", 0)
+            loaded = read_pair_csv(first)
+            second = write_pair_csv(tmp_path / "b", loaded, "h", 0)
+            assert first.name == second.name
+            assert first.read_bytes() == second.read_bytes()
+
+    def test_empty_pair_roundtrip(self, tmp_path):
+        pair = PairResult(init_mhz=705.0, target_mhz=1410.0)
+        first = write_pair_csv(tmp_path, pair, "h", 0)
+        loaded = read_pair_csv(first)
+        assert loaded.n_measurements == 0
+        assert loaded.outliers is None
+        second = write_pair_csv(tmp_path / "again", loaded, "h", 0)
+        assert first.read_bytes() == second.read_bytes()
+
+    def test_memory_coordinate_roundtrip(self, tmp_path):
+        pair = PairResult(
+            init_mhz=705.0, target_mhz=1410.0, memory_mhz=810.0,
+            measurements=[_measurement(0.0052, gt=0.0051)],
+        )
+        path = write_pair_csv(tmp_path, pair, "h", 0)
+        assert path.name.startswith("swlatm_705_1410_810_")
+        loaded = read_pair_csv(path)
+        assert loaded.memory_mhz == 810.0
+        assert loaded.measurements[0].ground_truth_s == pytest.approx(
+            0.0051, rel=1e-6
+        )
 
 
 class TestCampaignOutput:

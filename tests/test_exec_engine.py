@@ -12,7 +12,7 @@ from pathlib import Path
 import numpy as np
 import pytest
 
-from repro import LatestConfig, make_machine, run_campaign
+from repro import make_machine, run_campaign
 from repro.errors import ConfigError
 from repro.exec import CampaignExecutor
 from repro.exec.jobs import pair_seed_sequence

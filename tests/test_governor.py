@@ -1,6 +1,5 @@
 """Tests for the latency-aware governor extension."""
 
-import numpy as np
 import pytest
 
 from repro.errors import ConfigError

@@ -1,13 +1,12 @@
 """Tests for the GpuDevice facade: kernel lifecycle, lazy finalization,
 mid-kernel DVFS, throttling surface."""
 
-import numpy as np
 import pytest
 
 from repro.errors import CudaError
 from repro.gpusim.device import GpuDevice, KernelLaunchSpec
 from repro.gpusim.spec import A100_SXM4
-from repro.gpusim.thermal import ThermalModel, ThrottleReasons
+from repro.gpusim.thermal import ThrottleReasons
 from repro.machine import make_machine
 
 

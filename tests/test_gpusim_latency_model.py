@@ -13,7 +13,6 @@ from repro.gpusim.arch_profiles import (
 from repro.gpusim.latency_model import (
     ModeSpec,
     PairLatencyModel,
-    SwitchingLatencyModel,
     pair_rng,
 )
 

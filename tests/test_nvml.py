@@ -54,7 +54,10 @@ class TestDeviceHandle:
         assert handle.driver_version() == A100_SXM4.driver_version
 
     def test_supported_memory_clocks(self, handle):
-        assert handle.supported_memory_clocks() == (1215.0,)
+        clocks = handle.supported_memory_clocks()
+        assert clocks == A100_SXM4.supported_memory_clocks_mhz
+        assert clocks[0] == 1215.0  # reference clock leads (NVML descending)
+        assert list(clocks) == sorted(clocks, reverse=True)
 
     def test_supported_graphics_clocks_descending(self, handle):
         clocks = handle.supported_graphics_clocks()

@@ -1,6 +1,5 @@
 """Tests for virtual and hardware clocks."""
 
-import math
 
 import numpy as np
 import pytest

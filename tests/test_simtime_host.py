@@ -4,8 +4,7 @@ import numpy as np
 import pytest
 
 from repro.errors import ClockError
-from repro.simtime.clock import VirtualClock
-from repro.simtime.host import HostCpu, SleepModel
+from repro.simtime.host import SleepModel
 
 
 class TestSleepModel:

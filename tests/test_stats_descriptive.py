@@ -10,7 +10,6 @@ from hypothesis import strategies as st
 from repro.errors import ConfigError
 from repro.stats.descriptive import (
     OnlineStats,
-    SampleStats,
     quantile_range,
     summarize,
 )

@@ -1,13 +1,12 @@
 """Tests for the IEEE-1588-style timer synchronization."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.errors import SimulationError
 from repro.machine import make_machine
-from repro.timesync.ptp import PtpLink, SyncResult, synchronize_timers
+from repro.timesync.ptp import PtpLink, synchronize_timers
 
 
 class TestSyncAccuracy:

@@ -3,7 +3,7 @@ governor."""
 
 import pytest
 
-from repro import LatestConfig, make_machine
+from repro import make_machine
 from repro.core.sweep import sweep_devices, sweep_models
 from repro.errors import ConfigError
 from repro.governor import (
