@@ -9,9 +9,32 @@ bands (GH200 1170/1260/1875 MHz; RTX 930/990 and the mid-band plateau).
 
 from __future__ import annotations
 
+import json
+from pathlib import Path
+
 import pytest
 
 from repro import LatestConfig, make_machine, run_campaign
+
+#: the shared benchmark-results file at the repository root
+BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_campaign.json"
+
+
+def update_bench_json(entries: dict) -> None:
+    """Merge ``entries`` into ``BENCH_campaign.json``.
+
+    Several benchmarks record into the same file (campaign throughput,
+    the memory-intensity ablation, ...); merging instead of overwriting
+    lets them run in any order — and CI runs them as separate steps.
+    """
+    payload: dict = {}
+    if BENCH_JSON.exists():
+        try:
+            payload = json.loads(BENCH_JSON.read_text())
+        except json.JSONDecodeError:
+            payload = {}
+    payload.update(entries)
+    BENCH_JSON.write_text(json.dumps(payload, indent=2) + "\n")
 
 #: subsets of the paper's Fig. 3 heatmap axes
 BENCH_FREQUENCIES = {

@@ -25,16 +25,12 @@ Reference points on the original seed code (single CPU container):
 
 from __future__ import annotations
 
-import json
 import os
 import time
 from dataclasses import replace
-from pathlib import Path
 
+from benchmarks.conftest import update_bench_json
 from repro import LatestConfig, make_machine, run_campaign
-
-_REPO_ROOT = Path(__file__).resolve().parents[1]
-_OUTPUT = _REPO_ROOT / "BENCH_campaign.json"
 
 _SEED = 42
 _FREQUENCIES = (705.0, 975.0, 1215.0, 1410.0)
@@ -141,7 +137,7 @@ def test_campaign_throughput_baseline():
             "should track measurements_per_s over time instead"
         ),
     }
-    _OUTPUT.write_text(json.dumps(payload, indent=2) + "\n")
+    update_bench_json(payload)
 
     # Guardrails rather than tight bounds (CI boxes vary): a campaign
     # should finish in seconds and sustain hundreds of measurements/s.

@@ -28,6 +28,16 @@ class HeatmapGrid:
     gpu_name: str
     #: memory clock the grid was measured at (None: legacy fixed memory)
     memory_mhz: float | None = None
+    #: swept clock domain the row/column frequencies belong to
+    #: (:mod:`repro.core.axis`); ``"memory"`` grids hold memory-clock pairs
+    axis: str = "sm_core"
+
+    @property
+    def facet_label(self) -> str:
+        """Short label of the facet this grid was measured at ('' if none)."""
+        if self.memory_mhz is not None:
+            return f"@ mem {self.memory_mhz:g} MHz"
+        return ""
 
     def value(self, init_mhz: float, target_mhz: float) -> float:
         i = self.frequencies_mhz.index(float(init_mhz))
@@ -113,6 +123,7 @@ def heatmap_from_campaign(
         statistic=statistic,
         gpu_name=result.gpu_name,
         memory_mhz=memory_mhz,
+        axis=result.axis,
     )
 
 

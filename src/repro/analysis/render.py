@@ -7,7 +7,12 @@ import numpy as np
 from repro.analysis.heatmap import HeatmapGrid
 from repro.analysis.summary import Table2Row
 
-__all__ = ["render_heatmap", "render_table2", "render_matrix"]
+__all__ = [
+    "render_heatmap",
+    "render_facet_grid",
+    "render_table2",
+    "render_matrix",
+]
 
 
 def render_matrix(
@@ -32,8 +37,12 @@ def render_matrix(
 
 def render_heatmap(grid: HeatmapGrid) -> str:
     """Fig. 3-style text heatmap (initial freq in rows, target in columns)."""
-    mem = f" @ mem {grid.memory_mhz:g} MHz" if grid.memory_mhz is not None else ""
-    title = f"{grid.gpu_name}{mem} — {grid.statistic} switching latencies [ms]"
+    mem = f" {grid.facet_label}" if grid.facet_label else ""
+    axis = " (memory-clock pairs)" if grid.axis == "memory" else ""
+    title = (
+        f"{grid.gpu_name}{mem}{axis} — "
+        f"{grid.statistic} switching latencies [ms]"
+    )
     body = render_matrix(
         grid.values_ms,
         grid.frequencies_mhz,
@@ -43,10 +52,56 @@ def render_heatmap(grid: HeatmapGrid) -> str:
     return f"{title}\n{body}"
 
 
+def render_facet_grid(
+    grids: "dict[float | None, HeatmapGrid]",
+    gap: str = "   |   ",
+) -> str:
+    """All facet heatmaps side by side in one fixed-width text block.
+
+    One panel per facet (campaign sweep order preserved), each headed by
+    its facet label — the memory clocks of a core×memory grid compare at
+    a glance instead of scrolling through per-facet sections.  Legacy
+    single-facet campaigns render one untitled panel, identical in body
+    to :func:`render_matrix`.
+    """
+    panels: list[list[str]] = []
+    for grid in grids.values():
+        body = render_matrix(
+            grid.values_ms,
+            grid.frequencies_mhz,
+            grid.frequencies_mhz,
+            corner="init\\tgt",
+        )
+        lines = body.split("\n")
+        if grid.facet_label:
+            lines = [grid.facet_label, *lines]
+        panels.append(lines)
+    height = max(len(p) for p in panels)
+    widths = [max(len(line) for line in p) for p in panels]
+    rows = []
+    for i in range(height):
+        cells = (
+            (p[i] if i < len(p) else "").ljust(w)
+            for p, w in zip(panels, widths)
+        )
+        rows.append(gap.join(cells).rstrip())
+    return "\n".join(rows)
+
+
 def render_table2(rows: list[Table2Row]) -> str:
-    """Table II-style summary across GPUs."""
+    """Table II-style summary across GPUs.
+
+    Non-default-axis rows are tagged (e.g. ``[memory]``) so a
+    memory-clock pair table can never be mistaken for SM relocks.
+    """
     lines = ["Summary of switching latencies across GPUs"]
-    header = f"{'':28} " + " ".join(f"{r.gpu_name:>18}" for r in rows)
+
+    def name(r: Table2Row) -> str:
+        if r.axis != "sm_core":
+            return f"{r.gpu_name} [{r.axis}]"
+        return r.gpu_name
+
+    header = f"{'':28} " + " ".join(f"{name(r):>18}" for r in rows)
     lines.append(header)
 
     def block(title: str, attr: str) -> None:

@@ -17,7 +17,7 @@ from repro.analysis.advisor import RuntimeAdvisor
 from repro.analysis.clusters import cluster_report
 from repro.analysis.distributions import split_by_direction
 from repro.analysis.heatmap import heatmaps_by_memory
-from repro.analysis.render import render_matrix
+from repro.analysis.render import render_facet_grid
 from repro.analysis.summary import summarize_campaign
 from repro.analysis.validation import score_recovery
 from repro.core.results import CampaignResult
@@ -27,27 +27,19 @@ __all__ = ["campaign_report", "write_campaign_report"]
 
 
 def _heatmap_section(result: CampaignResult, statistic: str) -> list[str]:
-    """One grid per memory facet (a single facet for legacy campaigns)."""
-    lines: list[str] = []
-    for mem, grid in heatmaps_by_memory(result, statistic).items():
-        body = render_matrix(
-            grid.values_ms,
-            grid.frequencies_mhz,
-            grid.frequencies_mhz,
-            corner="init\\tgt",
-        )
-        facet = f" @ mem {mem:g} MHz" if mem is not None else ""
-        lines.extend(
-            [
-                f"### {statistic.capitalize()} switching latencies [ms]{facet}",
-                "",
-                "```",
-                body,
-                "```",
-                "",
-            ]
-        )
-    return lines
+    """One side-by-side facet grid (a single panel for legacy campaigns)."""
+    grids = heatmaps_by_memory(result, statistic)
+    header = f"### {statistic.capitalize()} switching latencies [ms]"
+    if len(grids) > 1:
+        header += " — one panel per memory clock"
+    return [
+        header,
+        "",
+        "```",
+        render_facet_grid(grids),
+        "```",
+        "",
+    ]
 
 
 def _summary_section(result: CampaignResult) -> list[str]:
@@ -160,11 +152,20 @@ def _recovery_section(result: CampaignResult) -> list[str]:
 
 def campaign_report(result: CampaignResult) -> str:
     """Render the full markdown report for one campaign."""
+    swept = (
+        f"- swept axis: {result.swept_label}"
+        + (
+            f" (SM clock locked at {result.locked_sm_mhz:g} MHz)"
+            if result.locked_sm_mhz is not None
+            else ""
+        )
+    )
     lines = [
         f"# Switching-latency campaign report — {result.gpu_name}",
         "",
         f"- host: `{result.hostname}`, GPU index {result.device_index}"
         f" ({result.architecture})",
+        swept,
         f"- frequencies: {', '.join(f'{f:g}' for f in result.frequencies)} MHz",
         f"- measured pairs: {result.n_measured_pairs}"
         f" (skipped: {len(result.skipped_pairs)})",

@@ -40,12 +40,17 @@ class CaseSummary:
 
 @dataclass(frozen=True)
 class Table2Row:
-    """One GPU's row block of Table II."""
+    """One GPU's row block of Table II.
+
+    ``axis`` labels the swept clock domain the pair frequencies belong to
+    (:mod:`repro.core.axis`).
+    """
 
     gpu_name: str
     worst: CaseSummary
     best: CaseSummary
     n_pairs: int
+    axis: str = "sm_core"
 
 
 def _case_summary(values_ms: np.ndarray, pairs: list) -> CaseSummary:
@@ -88,6 +93,7 @@ def summarize_campaign(
         worst=_case_summary(np.asarray(worst_ms), pairs),
         best=_case_summary(np.asarray(best_ms), pairs),
         n_pairs=len(pairs),
+        axis=result.axis,
     )
 
 

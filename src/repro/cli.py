@@ -13,7 +13,11 @@ import argparse
 import sys
 
 from repro.analysis.heatmap import heatmaps_by_memory
-from repro.analysis.render import render_heatmap, render_table2
+from repro.analysis.render import (
+    render_facet_grid,
+    render_heatmap,
+    render_table2,
+)
 from repro.analysis.summary import summarize_campaign
 from repro.core.campaign import run_campaign
 from repro.core.config import LatestConfig
@@ -33,8 +37,35 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "frequencies",
-        help="comma-separated SM frequencies to benchmark, in MHz "
-        "(e.g. 705,1095,1410)",
+        help="comma-separated swept-axis frequencies to benchmark, in MHz "
+        "(SM clocks by default, e.g. 705,1095,1410; memory clocks with "
+        "--axis memory)",
+    )
+    parser.add_argument(
+        "--axis",
+        choices=("sm", "memory"),
+        default="sm",
+        help="clock domain to sweep: 'sm' (the paper's setup, default) "
+        "or 'memory' (memory-clock pair switching latency at a locked "
+        "SM clock)",
+    )
+    parser.add_argument(
+        "--locked-sm",
+        type=float,
+        default=None,
+        metavar="MHZ",
+        help="SM clock a memory-axis campaign locks for its whole "
+        "duration (default: the device's maximum SM frequency); only "
+        "valid with --axis memory",
+    )
+    parser.add_argument(
+        "--kernel-memory-intensity",
+        type=float,
+        default=None,
+        metavar="BETA",
+        help="memory-bound fraction of the benchmark kernel in [0, 1); "
+        "default: the swept axis's own default (0.30 for --axis sm, "
+        "0.70 for --axis memory)",
     )
     parser.add_argument(
         "--device", type=int, default=0, help="GPU index (default 0)"
@@ -157,7 +188,19 @@ def parse_frequencies(
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    freqs = parse_frequencies(args.frequencies)
+    axis = {"sm": "sm_core", "memory": "memory"}[args.axis]
+    freqs = parse_frequencies(
+        args.frequencies,
+        label="memory frequency" if axis == "memory" else "frequency",
+    )
+    if axis == "memory" and args.memory_frequencies is not None:
+        raise SystemExit(
+            "--memory-frequencies (core×memory grid facets) only applies "
+            "to --axis sm; the memory axis sweeps memory clocks through "
+            "the positional frequency list"
+        )
+    if args.locked_sm is not None and axis != "memory":
+        raise SystemExit("--locked-sm only applies to --axis memory")
     mem_freqs = (
         parse_frequencies(
             args.memory_frequencies, minimum=1, label="memory frequency"
@@ -172,17 +215,23 @@ def main(argv: list[str] | None = None) -> int:
         seed=args.seed,
         hostname=args.hostname,
     )
-    config = LatestConfig(
-        frequencies=freqs,
-        memory_frequencies=mem_freqs,
-        device_index=args.device,
-        rse_threshold=args.rse,
-        min_measurements=args.min_measurements,
-        max_measurements=args.max_measurements,
-        record_sm_count=args.sm_count,
-        output_dir=args.output_dir,
-        pass_block_size=args.pass_block if args.pass_block > 0 else None,
-    )
+    try:
+        config = LatestConfig(
+            frequencies=freqs,
+            axis=axis,
+            locked_sm_mhz=args.locked_sm,
+            kernel_memory_intensity=args.kernel_memory_intensity,
+            memory_frequencies=mem_freqs,
+            device_index=args.device,
+            rse_threshold=args.rse,
+            min_measurements=args.min_measurements,
+            max_measurements=args.max_measurements,
+            record_sm_count=args.sm_count,
+            output_dir=args.output_dir,
+            pass_block_size=args.pass_block if args.pass_block > 0 else None,
+        )
+    except ReproError as exc:
+        raise SystemExit(f"error: {exc}")
     profiler = None
     if args.profile:
         import cProfile
@@ -201,6 +250,11 @@ def main(argv: list[str] | None = None) -> int:
             print(f"profile written to {args.profile}", file=sys.stderr)
 
     if not args.quiet:
+        if result.locked_sm_mhz is not None:
+            print(
+                f"{result.axis}-axis campaign: {result.swept_label} pairs "
+                f"at locked SM {result.locked_sm_mhz:g} MHz"
+            )
         for pair in result.pairs.values():
             mem = (
                 f" @ mem {pair.memory_mhz:7g} MHz"
@@ -227,9 +281,18 @@ def main(argv: list[str] | None = None) -> int:
     print(render_table2([summarize_campaign(result)]))
     if args.heatmaps:
         for stat in ("min", "max"):
-            for grid in heatmaps_by_memory(result, stat).values():
+            grids = heatmaps_by_memory(result, stat)
+            if len(grids) == 1:
                 print()
-                print(render_heatmap(grid))
+                print(render_heatmap(next(iter(grids.values()))))
+                continue
+            # Faceted campaign: all memory clocks side by side.
+            print()
+            print(
+                f"{result.gpu_name} — {stat} switching latencies [ms] "
+                f"(one panel per memory clock)"
+            )
+            print(render_facet_grid(grids))
     if args.report:
         from repro.analysis.report import write_campaign_report
 

@@ -15,6 +15,7 @@ Public entry points:
   estimation procedure of Sec. V.
 """
 
+from repro.core.axis import AXES, MeasurementAxis, axis_by_name
 from repro.core.campaign import LatestBenchmark, measure_pair, run_campaign
 from repro.core.config import LatestConfig
 from repro.core.phase1 import FrequencyCharacterization, Phase1Result, run_phase1
@@ -24,6 +25,9 @@ from repro.core.results import CampaignResult, PairKey, PairResult
 from repro.core.wakeup import WakeupEstimate, estimate_wakeup_latency
 
 __all__ = [
+    "AXES",
+    "MeasurementAxis",
+    "axis_by_name",
     "LatestConfig",
     "LatestBenchmark",
     "measure_pair",

@@ -1,6 +1,8 @@
 """The LATEST campaign loop (paper Sec. VI).
 
-Orchestrates the three phases over every requested frequency pair:
+Orchestrates the three phases over every requested frequency pair of the
+campaign's swept axis (:mod:`repro.core.axis` — SM clocks by default,
+memory clocks with ``config.axis="memory"``):
 
 * phase 1 once per campaign (with workload growth for indistinguishable
   pairs),
@@ -23,6 +25,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.clustering.adaptive import adaptive_dbscan
+from repro.core.axis import SM_CORE
 from repro.core.config import LatestConfig
 from repro.core.context import BenchContext
 from repro.core.csvio import write_campaign_csvs
@@ -50,23 +53,28 @@ __all__ = [
 _MIN_FOR_OUTLIER_FILTER = 12
 
 #: skip reason recorded when a facet's memory P-state cannot be reached
-MEMORY_NEVER_SETTLED = "memory-clock-never-settled"
+#: (single-sourced from the axis registry: the memory clock is the SM
+#: axis's facet)
+MEMORY_NEVER_SETTLED = SM_CORE.facet_fail_reason
 
 
 def facet_skip_reason(
     phase1: "Phase1Result | None",
     sm_key: tuple[float, float],
     valid: set,
+    facet_fail_reason: str = MEMORY_NEVER_SETTLED,
 ) -> str | None:
     """Why a grid point cannot be measured at its facet (None = measurable).
 
     The single source of truth for skip semantics shared by the serial
     loop and the execution engine.  ``phase1=None`` means the facet's
-    memory clock never settled; ``valid`` is the caller's precomputed
+    clock never settled — the locked memory clock of a grid campaign, or
+    the locked SM clock of a memory-axis campaign, named by
+    ``facet_fail_reason``; ``valid`` is the caller's precomputed
     ``set(phase1.valid_pairs)`` so dense grids stay O(P).
     """
     if phase1 is None:
-        return MEMORY_NEVER_SETTLED
+        return facet_fail_reason
     if sm_key in valid:
         return None
     return (
@@ -103,13 +111,17 @@ class LatestBenchmark:
         repeat that loop once per memory clock: lock+settle the memory
         P-state, re-characterize (iteration times respond to the memory
         clock), then measure the full SM pair grid at that clock.
+        Memory-axis campaigns run the single-facet loop with the roles
+        reversed: the SM clock is locked once (``prepare_facet``) and the
+        phases sweep memory pairs.
         """
         t_begin = self.machine.clock.now
+        axis = self.bench.axis
         mem_plan = self.config.memory_plan()
         pairs: dict = {}
         phase1_by_memory: dict = {}
         for mem in mem_plan:
-            if mem is not None and not self.bench.set_memory_clock(mem):
+            if not self.bench.prepare_facet_clock(mem):
                 phase1 = None
                 probe = None
             else:
@@ -127,7 +139,9 @@ class LatestBenchmark:
             for init, target in self.config.pairs():
                 sm_key = (float(init), float(target))
                 key = sm_key if mem is None else sm_key + (float(mem),)
-                reason = facet_skip_reason(phase1, sm_key, valid)
+                reason = facet_skip_reason(
+                    phase1, sm_key, valid, axis.facet_fail_reason
+                )
                 if reason is not None:
                     pairs[key] = PairResult(
                         init_mhz=sm_key[0],
@@ -135,6 +149,7 @@ class LatestBenchmark:
                         skipped=True,
                         skip_reason=reason,
                         memory_mhz=mem,
+                        axis=axis.name,
                     )
                     continue
                 pair = self.measure_pair(sm_key[0], sm_key[1], phase1, probe)
@@ -155,6 +170,8 @@ class LatestBenchmark:
                 None if self.config.memory_frequencies is None
                 else phase1_by_memory
             ),
+            axis=axis.name,
+            locked_sm_mhz=axis.locked_complement_mhz(self.bench),
         )
         if self.config.output_dir is not None:
             write_campaign_csvs(self.config.output_dir, result)
@@ -191,7 +208,7 @@ class LatestBenchmark:
             window_s = cfg.probe_window_s
             latency = None
             for _ in range(cfg.max_window_retries + 1):
-                iters = _iters_for_window(window_s, init, target, kernel)
+                iters = _iters_for_window(self.bench, window_s, init, target, kernel)
                 try:
                     raw = run_switch_benchmark(self.bench, init, target, kernel, iters)
                 except MeasurementError:
@@ -227,14 +244,15 @@ class LatestBenchmark:
 
 
 def _iters_for_window(
-    window_s: float, init: float, target: float, kernel
+    bench: BenchContext, window_s: float, init: float, target: float, kernel
 ) -> int:
     """Iterations needed to keep measuring for ``window_s``.
 
     Sized with the *shortest* iteration duration of the pair (highest
-    frequency) so the window never undershoots in time.
+    frequency — the axis contract guarantees duration is decreasing in
+    the swept clock) so the window never undershoots in time.
     """
-    iter_s = kernel.iteration_duration_s(max(init, target))
+    iter_s = bench.axis.iteration_duration_s(bench, kernel, max(init, target))
     return max(50, int(math.ceil(window_s / iter_s)))
 
 
@@ -252,7 +270,7 @@ def _initial_window_iters(
         else probe.median_latency_s
     )
     window_s = max(cfg.switch_window_factor * base, 2e-3)
-    return _iters_for_window(window_s, init_mhz, target_mhz, kernel)
+    return _iters_for_window(bench, window_s, init_mhz, target_mhz, kernel)
 
 
 def measure_pair(
@@ -305,7 +323,9 @@ def measure_pair_reference(
     target_stats = phase1.stats_for(target_mhz)
     rule = cfg.stopping_rule()
 
-    pair = PairResult(init_mhz=float(init_mhz), target_mhz=float(target_mhz))
+    pair = PairResult(
+        init_mhz=float(init_mhz), target_mhz=float(target_mhz), axis=cfg.axis
+    )
     window_iters = _initial_window_iters(bench, init_mhz, target_mhz, probe, kernel)
     growths = 0
     consecutive_failures = 0

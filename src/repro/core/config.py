@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 
 from repro.clustering.adaptive import AdaptiveDbscanConfig
+from repro.core.axis import MeasurementAxis, axis_by_name
 from repro.errors import ConfigError
 from repro.stats.rse import RseStoppingRule
 
@@ -23,7 +24,20 @@ class LatestConfig:
     """Full configuration of a switching-latency campaign."""
 
     # ----- the tool's CLI surface (paper Sec. VI) ---------------------
+    #: the *swept axis* ladder: SM clocks for the default ``sm_core``
+    #: axis, memory clocks for the ``memory`` axis
     frequencies: tuple[float, ...]
+    #: which clock domain the campaign sweeps (:mod:`repro.core.axis`);
+    #: ``"sm_core"`` is the paper's setup and stays bit-identical to the
+    #: pre-axis pipeline
+    axis: str = "sm_core"
+    #: SM clock the memory axis locks for the whole campaign (``None``:
+    #: the device's maximum SM frequency); only valid with ``axis="memory"``
+    locked_sm_mhz: float | None = None
+    #: memory-bound fraction of the benchmark kernel; ``None`` uses the
+    #: swept axis's default (0.30 for ``sm_core`` — the legacy value —
+    #: and 0.70 for ``memory``, which must *see* the memory clock)
+    kernel_memory_intensity: float | None = None
     device_index: int = 0
     rse_threshold: float = 0.05
     min_measurements: int = 25
@@ -123,6 +137,26 @@ class LatestConfig:
     output_dir: str | None = None
 
     def __post_init__(self) -> None:
+        axis_by_name(self.axis)  # validates the axis name
+        if self.axis != "sm_core":
+            if self.memory_frequencies is not None:
+                raise ConfigError(
+                    "memory_frequencies (core×memory grid facets) only "
+                    "apply to the sm_core axis; the memory axis sweeps "
+                    "memory clocks through `frequencies`"
+                )
+        if self.locked_sm_mhz is not None:
+            if self.axis != "memory":
+                raise ConfigError(
+                    "locked_sm_mhz only applies to the memory axis (the "
+                    "sm_core axis sweeps the SM clock itself)"
+                )
+            if self.locked_sm_mhz <= 0:
+                raise ConfigError("locked_sm_mhz must be positive")
+        if self.kernel_memory_intensity is not None and not (
+            0.0 <= self.kernel_memory_intensity < 1.0
+        ):
+            raise ConfigError("kernel_memory_intensity must be in [0, 1)")
         if len(self.frequencies) < 2:
             raise ConfigError("need at least two benchmark frequencies")
         if len(set(self.frequencies)) != len(self.frequencies):
@@ -157,6 +191,16 @@ class LatestConfig:
             raise ConfigError("pass_block_size must be >= 1 (or None)")
 
     # ------------------------------------------------------------------
+    def swept_axis(self) -> MeasurementAxis:
+        """The campaign's swept-axis object (:mod:`repro.core.axis`)."""
+        return axis_by_name(self.axis)
+
+    def resolved_kernel_intensity(self) -> float:
+        """Kernel memory-bound fraction: explicit value or axis default."""
+        if self.kernel_memory_intensity is not None:
+            return self.kernel_memory_intensity
+        return self.swept_axis().default_kernel_intensity
+
     def stopping_rule(self) -> RseStoppingRule:
         return RseStoppingRule(
             threshold=self.rse_threshold,
@@ -166,7 +210,9 @@ class LatestConfig:
         )
 
     def pairs(self) -> list[tuple[float, float]]:
-        """All ordered SM frequency pairs (latencies are non-symmetric)."""
+        """All ordered swept-axis frequency pairs (latencies are
+        non-symmetric); SM pairs on the default axis, memory pairs on the
+        memory axis."""
         return [
             (a, b)
             for a in self.frequencies

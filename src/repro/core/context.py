@@ -1,9 +1,19 @@
-"""Shared execution context for the methodology phases."""
+"""Shared execution context for the methodology phases.
+
+:class:`BenchContext` bundles the machine/runtime/driver handles and
+exposes both the concrete per-domain clock operations (``set_frequency``
+/ ``settle_on`` for the SM clock, ``set_memory_clock`` for the memory
+clock) and the *axis-generic* dispatchers (``set_swept_clock`` /
+``settle_swept`` / ``prepare_facet``) the phases call — which domain
+those act on is decided by ``config.axis`` through
+:mod:`repro.core.axis`.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.core.axis import MeasurementAxis
 from repro.core.config import LatestConfig
 from repro.cuda.kernel import MicrobenchmarkKernel
 from repro.cuda.runtime import CudaContext
@@ -36,13 +46,25 @@ class BenchContext:
     def host(self):
         return self.machine.host
 
+    @property
+    def axis(self) -> MeasurementAxis:
+        """The campaign's swept axis (:mod:`repro.core.axis`)."""
+        return self.config.swept_axis()
+
     def base_kernel(self) -> MicrobenchmarkKernel:
-        """The campaign's microbenchmark sized per configuration."""
+        """The campaign's microbenchmark sized per configuration.
+
+        The kernel's memory-bound fraction comes from the swept axis (or
+        an explicit ``kernel_memory_intensity``): the memory axis needs a
+        memory-bound workload so iteration times respond to the swept
+        clock at all, while the default matches the legacy kernel exactly.
+        """
         return MicrobenchmarkKernel.sized_for(
             self.device.spec,
             iteration_duration_s=self.config.iteration_duration_s,
             total_duration_s=self.config.measure_kernel_duration_s,
             sm_count=self.record_sm_count(),
+            memory_intensity=self.config.resolved_kernel_intensity(),
         )
 
     def record_sm_count(self) -> int:
@@ -53,6 +75,45 @@ class BenchContext:
     def set_frequency(self, freq_mhz: float):
         """Lock the SM clock; returns the ground-truth transition record."""
         return self.handle.set_gpu_locked_clocks(freq_mhz, freq_mhz)
+
+    # ------------------------------------------------------------------
+    # axis-generic operations (dispatch through config.axis)
+    # ------------------------------------------------------------------
+    def set_swept_clock(self, freq_mhz: float):
+        """Issue the swept-axis clock change; returns the ground truth."""
+        return self.axis.set_clock(self, freq_mhz)
+
+    def settle_swept(self, freq_mhz: float) -> bool:
+        """Settle the swept-axis clock on ``freq_mhz`` under load."""
+        return self.axis.settle(self, freq_mhz)
+
+    def prepare_facet(self) -> bool:
+        """Lock the complementary (non-swept) clock domain, if any.
+
+        A no-op for the default axis (legacy campaigns touch nothing;
+        grid campaigns lock their memory facets through
+        :meth:`set_memory_clock`); the memory axis locks and settles the
+        SM clock at :meth:`facet_sm_mhz`.
+        """
+        return self.axis.prepare_facet(self)
+
+    def prepare_facet_clock(self, memory_mhz: float | None) -> bool:
+        """Lock the facet clock for one campaign facet.
+
+        The single dispatch shared by the serial loop, the engine driver
+        and engine workers: a set memory coordinate is a core×memory grid
+        facet (lock that P-state), ``None`` defers to the swept axis's
+        own facet preparation.
+        """
+        if memory_mhz is not None:
+            return self.set_memory_clock(memory_mhz)
+        return self.prepare_facet()
+
+    def facet_sm_mhz(self) -> float:
+        """The SM clock a memory-axis campaign runs at."""
+        if self.config.locked_sm_mhz is not None:
+            return float(self.config.locked_sm_mhz)
+        return float(self.device.spec.max_sm_frequency_mhz)
 
     def set_memory_clock(self, mem_mhz: float) -> bool:
         """Lock the memory clock and wait (under load) until it settles.

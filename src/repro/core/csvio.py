@@ -11,6 +11,13 @@ The distinct prefix keeps parsing unambiguous in both directions: a
 archives whose unsanitized hostname happens to start with ``mem<digits>_``),
 and a ``swlatm_`` name always carries one.
 
+Memory-*axis* campaigns (:mod:`repro.core.axis`) reuse the same
+prefix convention: ``swlatmem_`` files carry memory-clock pairs in the
+frequency fields (the locked SM clock lives in the campaign summary, not
+the file name).  The prefix family — ``swlat`` / ``swlatm`` / ``swlatmem``
+— is the axis tag, so every name round-trips to the right
+:class:`~repro.core.results.PairResult` axis without side-band metadata.
+
 Hostnames are sanitized on write (only ``[A-Za-z0-9.-]`` survives — a
 hostname containing ``/`` or leading dots must not be able to escape the
 output directory or collide with the ``swlat_`` field layout) and names are
@@ -23,6 +30,7 @@ from __future__ import annotations
 
 import csv
 import re
+from dataclasses import dataclass
 from pathlib import Path
 
 import numpy as np
@@ -36,8 +44,10 @@ from repro.core.results import (
 from repro.errors import MeasurementError
 
 __all__ = [
+    "PairCsvName",
     "pair_csv_name",
     "parse_pair_csv_name",
+    "parse_pair_csv_name_full",
     "sanitize_hostname",
     "write_pair_csv",
     "read_pair_csv",
@@ -62,10 +72,13 @@ _FIELDS = [
 _HOST_UNSAFE_RE = re.compile(r"[^A-Za-z0-9.-]")
 
 #: the full naming convention; the host part is greedy so hostnames may
-#: contain underscores (the frequency fields sit at fixed positions), and
-#: the memory field exists exactly when the prefix is ``swlatm``
+#: contain underscores (the frequency fields sit at fixed positions), the
+#: memory field exists exactly when the prefix is ``swlatm``, and the
+#: ``swlatmem`` prefix marks memory-axis pairs (frequency fields are
+#: memory clocks, no extra field)
 _NAME_RE = re.compile(
-    r"^swlat(?P<grid>m)?_(?P<init>[0-9.eE+-]+)_(?P<target>[0-9.eE+-]+)"
+    r"^swlat(?:(?P<axismem>mem)|(?P<grid>m))?"
+    r"_(?P<init>[0-9.eE+-]+)_(?P<target>[0-9.eE+-]+)"
     r"(?(grid)_(?P<mem>[0-9.eE+-]+))"
     r"_(?P<host>.+)_gpu(?P<index>\d+)$"
 )
@@ -88,10 +101,24 @@ def pair_csv_name(
     hostname: str,
     device_index: int,
     memory_mhz: float | None = None,
+    axis: str = "sm_core",
 ) -> str:
-    """Standardized per-pair file name (hostname sanitized)."""
-    prefix = "swlat" if memory_mhz is None else "swlatm"
-    mem = "" if memory_mhz is None else f"{memory_mhz:g}_"
+    """Standardized per-pair file name (hostname sanitized).
+
+    The prefix encodes the axis/facet kind: ``swlat`` for legacy SM
+    pairs, ``swlatm`` for SM pairs at a locked memory clock (the extra
+    field), ``swlatmem`` for memory-axis pairs.
+    """
+    if axis == "memory":
+        if memory_mhz is not None:
+            raise MeasurementError(
+                "memory-axis pairs carry no memory facet field (their "
+                "frequencies *are* memory clocks)"
+            )
+        prefix, mem = "swlatmem", ""
+    else:
+        prefix = "swlat" if memory_mhz is None else "swlatm"
+        mem = "" if memory_mhz is None else f"{memory_mhz:g}_"
     return (
         f"{prefix}_{init_mhz:g}_{target_mhz:g}_{mem}"
         f"{sanitize_hostname(hostname)}_gpu{device_index}.csv"
@@ -109,7 +136,7 @@ def write_pair_csv(
     directory.mkdir(parents=True, exist_ok=True)
     path = directory / pair_csv_name(
         pair.init_mhz, pair.target_mhz, hostname, device_index,
-        memory_mhz=pair.memory_mhz,
+        memory_mhz=pair.memory_mhz, axis=pair.axis,
     )
     labels = (
         pair.outliers.labels
@@ -141,8 +168,18 @@ def write_pair_csv(
     return path
 
 
-def parse_pair_csv_name(name: str) -> tuple[float, float, float | None]:
-    """Recover ``(init, target, memory)`` from a pair CSV file name.
+@dataclass(frozen=True)
+class PairCsvName:
+    """Every field recovered from a standardized pair CSV file name."""
+
+    init_mhz: float
+    target_mhz: float
+    memory_mhz: float | None
+    axis: str
+
+
+def parse_pair_csv_name_full(name: str) -> PairCsvName:
+    """Recover all fields (including the axis) from a pair CSV file name.
 
     Raises :class:`MeasurementError` when the name does not follow the
     convention — silent misparses would attribute measurements to wrong
@@ -159,7 +196,24 @@ def parse_pair_csv_name(name: str) -> tuple[float, float, float | None]:
         raise MeasurementError(
             f"malformed frequency fields in pair CSV name: {name}"
         ) from None
-    return init_mhz, target_mhz, memory_mhz
+    axis = "memory" if match["axismem"] is not None else "sm_core"
+    return PairCsvName(
+        init_mhz=init_mhz,
+        target_mhz=target_mhz,
+        memory_mhz=memory_mhz,
+        axis=axis,
+    )
+
+
+def parse_pair_csv_name(name: str) -> tuple[float, float, float | None]:
+    """Recover ``(init, target, memory)`` from a pair CSV file name.
+
+    The tuple form predates measurement axes; use
+    :func:`parse_pair_csv_name_full` to also recover the axis a
+    ``swlatmem_`` name carries.
+    """
+    parsed = parse_pair_csv_name_full(name)
+    return parsed.init_mhz, parsed.target_mhz, parsed.memory_mhz
 
 
 def read_pair_csv(path: str | Path) -> PairResult:
@@ -178,7 +232,7 @@ def read_pair_csv(path: str | Path) -> PairResult:
     filtered latencies, and re-written bytes are identical either way.
     """
     path = Path(path)
-    init_mhz, target_mhz, memory_mhz = parse_pair_csv_name(path.name)
+    parsed = parse_pair_csv_name_full(path.name)
 
     measurements: list[SwitchingLatencyMeasurement] = []
     labels: list[int] = []
@@ -203,11 +257,12 @@ def read_pair_csv(path: str | Path) -> PairResult:
         else None
     )
     return PairResult(
-        init_mhz=init_mhz,
-        target_mhz=target_mhz,
+        init_mhz=parsed.init_mhz,
+        target_mhz=parsed.target_mhz,
         measurements=measurements,
         outliers=outliers,
-        memory_mhz=memory_mhz,
+        memory_mhz=parsed.memory_mhz,
+        axis=parsed.axis,
     )
 
 
@@ -224,8 +279,10 @@ def write_campaign_csvs(directory: str | Path, result: CampaignResult) -> list[P
 def write_summary_csv(directory: str | Path, result: CampaignResult) -> Path:
     """One row per pair: status and headline statistics.
 
-    Core×memory campaigns add a ``memory_mhz`` column; legacy campaigns
-    keep the original column set byte for byte.
+    Core×memory campaigns add a ``memory_mhz`` column; non-default-axis
+    campaigns add an ``axis`` column (and a ``#locked_sm_mhz`` metadata
+    footer, grid-CSV style); legacy campaigns keep the original column
+    set byte for byte.
     """
     directory = Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
@@ -234,9 +291,12 @@ def write_summary_csv(directory: str | Path, result: CampaignResult) -> Path:
         f"_gpu{result.device_index}.csv"
     )
     has_memory = result.memory_frequencies is not None
+    tagged_axis = result.axis != "sm_core"
     with path.open("w", newline="") as fh:
         writer = csv.writer(fh)
         header = ["init_mhz", "target_mhz"]
+        if tagged_axis:
+            header.append("axis")
         if has_memory:
             header.append("memory_mhz")
         header += [
@@ -251,6 +311,8 @@ def write_summary_csv(directory: str | Path, result: CampaignResult) -> Path:
         writer.writerow(header)
         for pair in result.pairs.values():
             prefix = [f"{pair.init_mhz:g}", f"{pair.target_mhz:g}"]
+            if tagged_axis:
+                prefix.append(pair.axis)
             if has_memory:
                 prefix.append(
                     f"{pair.memory_mhz:g}" if pair.memory_mhz is not None else ""
@@ -278,4 +340,6 @@ def write_summary_csv(directory: str | Path, result: CampaignResult) -> Path:
                     pair.n_clusters,
                 ]
             )
+        if tagged_axis and result.locked_sm_mhz is not None:
+            writer.writerow(["#locked_sm_mhz", f"{result.locked_sm_mhz:g}"])
     return path

@@ -160,7 +160,9 @@ def measure_pair_blocked(
     target_stats = phase1.stats_for(target_mhz)
     rule = cfg.stopping_rule()
 
-    pair = PairResult(init_mhz=float(init_mhz), target_mhz=float(target_mhz))
+    pair = PairResult(
+        init_mhz=float(init_mhz), target_mhz=float(target_mhz), axis=cfg.axis
+    )
     window_iters = _initial_window_iters(bench, init_mhz, target_mhz, probe, kernel)
     growths = 0
     consecutive_failures = 0

@@ -33,7 +33,7 @@ __all__ = ["FrequencyCharacterization", "Phase1Result", "run_phase1"]
 
 @dataclass(frozen=True)
 class FrequencyCharacterization:
-    """Iteration-time statistics for one locked SM frequency."""
+    """Iteration-time statistics for one locked swept-axis frequency."""
 
     freq_mhz: float
     stats: SampleStats
@@ -80,9 +80,10 @@ def characterize_frequency(
     later phase depends on.
     """
     cfg = bench.config
-    if not bench.settle_on(freq_mhz):
+    if not bench.settle_swept(freq_mhz):
         raise MeasurementError(
-            f"SM clock did not settle on {freq_mhz:g} MHz during phase 1"
+            f"{bench.axis.pretty} clock did not settle on {freq_mhz:g} MHz "
+            f"during phase 1"
         )
     for _ in range(cfg.warmup_kernels):
         bench.run_filler(cfg.warmup_kernel_duration_s, freq_mhz)

@@ -11,6 +11,11 @@ Per measurement:
    the frequency change to the target,
 5. synchronize the device and read back the per-iteration timestamps.
 
+Which clock domain steps 2 and 4 act on is the campaign's *swept axis*
+(:mod:`repro.core.axis`): the SM clock for the paper's setup, the memory
+clock for memory-pair campaigns.  Everything else — timer sync, kernel
+shape, timestamp readback — is axis-agnostic.
+
 ``t_s`` is converted into the accelerator timebase with the sync result,
 exactly as Algorithm 2 line 6 (``clock_gettime() - cpu_sync + acc_sync``).
 """
@@ -93,6 +98,10 @@ def build_benchmark_kernel(
         cycles_per_iteration=base.cycles_per_iteration,
         sm_count=bench.record_sm_count(),
         label=f"switch-{init_mhz:g}-{target_mhz:g}",
+        # Inherited so phase-2 iteration times answer to the same clocks
+        # as the phase-1 statistics they are tested against (the memory
+        # axis runs a deliberately memory-bound workload).
+        memory_intensity=base.memory_intensity,
     )
 
 
@@ -126,10 +135,10 @@ def run_switch_benchmark(
     )
 
     # (2) settle on the initial frequency under sustained load
-    if not settle_on_frequency(bench, init_mhz):
+    if not bench.settle_swept(init_mhz):
         raise MeasurementError(
-            f"SM clock did not settle on {init_mhz:g} MHz within "
-            f"{cfg.max_settle_s:g} s of load"
+            f"{bench.axis.pretty} clock did not settle on {init_mhz:g} MHz "
+            f"within {cfg.max_settle_s:g} s of load"
         )
 
     # (3) benchmark kernel: delay + window + confirmation iterations
@@ -139,10 +148,12 @@ def run_switch_benchmark(
     launched = bench.cuda.launch(kernel)
 
     # (4) delay period on the initial frequency, then the change call
-    delay_s = cfg.delay_iterations * base_kernel.iteration_duration_s(init_mhz)
+    delay_s = cfg.delay_iterations * bench.axis.iteration_duration_s(
+        bench, base_kernel, init_mhz
+    )
     bench.host.sleep(delay_s)
     ts_cpu = bench.host.clock_gettime()
-    record = bench.set_frequency(target_mhz)
+    record = bench.set_swept_clock(target_mhz)
 
     # Throttle reasons are polled while the benchmark kernel is still
     # running (the tool checks them *during* execution; a post-drain poll

@@ -81,10 +81,14 @@ class SwitchingLatencyMeasurement:
 
 @dataclass
 class PairResult:
-    """Everything measured for one (initial, target) SM frequency pair.
+    """Everything measured for one (initial, target) swept-clock pair.
 
-    ``memory_mhz`` is the locked memory clock the pair was measured at
-    (``None`` in legacy fixed-memory campaigns).
+    ``axis`` names the swept clock domain the pair belongs to
+    (:mod:`repro.core.axis`): ``init_mhz``/``target_mhz`` are SM clocks on
+    the default ``"sm_core"`` axis and memory clocks on the ``"memory"``
+    axis.  ``memory_mhz`` is the locked memory clock an *SM-axis* pair was
+    measured at (``None`` in legacy fixed-memory campaigns and on the
+    memory axis, whose locked complement is the campaign-level SM clock).
     """
 
     init_mhz: float
@@ -97,6 +101,7 @@ class PairResult:
     n_throttle_discards: int = 0
     n_window_growths: int = 0
     memory_mhz: float | None = None
+    axis: str = "sm_core"
 
     # ------------------------------------------------------------------
     @property
@@ -164,7 +169,10 @@ class CampaignResult:
     Legacy fixed-memory campaigns key ``pairs`` by ``(init, target)``;
     core×memory campaigns (``memory_frequencies`` set) key the dict by
     ``(init, target, memory)`` and carry one full SM pair grid per memory
-    clock.
+    clock.  ``axis`` names the swept clock domain
+    (:mod:`repro.core.axis`): on the ``"memory"`` axis ``frequencies``
+    and all pair keys are memory clocks, measured at the locked SM clock
+    ``locked_sm_mhz``.
     """
 
     gpu_name: str
@@ -179,6 +187,18 @@ class CampaignResult:
     #: per-memory-clock phase-1 characterizations of core×memory campaigns
     #: (``phase1`` stays the first facet's result)
     phase1_by_memory: "dict | None" = None
+    #: swept clock domain of the campaign (:mod:`repro.core.axis`)
+    axis: str = "sm_core"
+    #: SM clock a memory-axis campaign was locked at (``None`` otherwise)
+    locked_sm_mhz: float | None = None
+
+    # ------------------------------------------------------------------
+    @property
+    def swept_label(self) -> str:
+        """Human label of the swept clock domain (for reports/CLI)."""
+        from repro.core.axis import axis_by_name
+
+        return axis_by_name(self.axis).describe()
 
     # ------------------------------------------------------------------
     def _resolve_memory(self, memory_mhz: float | None) -> float | None:

@@ -45,7 +45,6 @@ import multiprocessing
 from concurrent.futures import ProcessPoolExecutor, as_completed
 
 from repro.core.campaign import (
-    MEMORY_NEVER_SETTLED,
     LatestBenchmark,
     facet_skip_reason,
     measure_pair,
@@ -119,6 +118,7 @@ def run_pair_job(
         payload.config.device_index,
         job.index,
         job.memory_index,
+        job.axis,
     )
     machine = payload.blueprint.build(seed=seed, start_time=payload.epoch)
     if skeleton is not None:
@@ -134,12 +134,16 @@ def run_pair_job(
             )
     bench = BenchContext(machine, payload.config)
     t0 = machine.clock.now
-    if job.memory_mhz is not None and not bench.set_memory_clock(job.memory_mhz):
+    # The facet clock first: the locked memory P-state of a grid job, or
+    # the locked SM clock of a memory-axis job (a fresh replica machine
+    # boots unlocked, so every worker must restore the campaign facet).
+    if not bench.prepare_facet_clock(job.memory_mhz):
         pair = PairResult(
             init_mhz=float(job.init_mhz),
             target_mhz=float(job.target_mhz),
             skipped=True,
-            skip_reason=MEMORY_NEVER_SETTLED,
+            skip_reason=bench.axis.facet_fail_reason,
+            axis=job.axis,
         )
     else:
         pair = measure_pair(
@@ -196,6 +200,7 @@ class CampaignExecutor:
         position in ``config.pairs()`` — the seed-stream contract of PR 1
         is untouched.
         """
+        axis = self.config.swept_axis()
         mem_plan = self.config.memory_plan()
         sm_pairs = self.config.pairs()
 
@@ -207,7 +212,9 @@ class CampaignExecutor:
             for pair_index, (init, target) in enumerate(sm_pairs):
                 sm_key = (float(init), float(target))
                 key = sm_key if mem is None else sm_key + (float(mem),)
-                reason = facet_skip_reason(phase1, sm_key, valid)
+                reason = facet_skip_reason(
+                    phase1, sm_key, valid, axis.facet_fail_reason
+                )
                 if reason is not None:
                     pairs[key] = PairResult(
                         init_mhz=sm_key[0],
@@ -215,6 +222,7 @@ class CampaignExecutor:
                         skipped=True,
                         skip_reason=reason,
                         memory_mhz=mem,
+                        axis=axis.name,
                     )
                     continue
                 pairs[key] = None  # placeholder, filled by the job result
@@ -225,6 +233,7 @@ class CampaignExecutor:
                         target_mhz=sm_key[1],
                         memory_mhz=mem,
                         memory_index=None if mem is None else mem_index,
+                        axis=axis.name,
                     )
                 )
         return jobs, pairs
@@ -240,11 +249,18 @@ class CampaignExecutor:
         # costliest job never starts last and the pool drains evenly.
         # ``as_completed`` keeps the driver free to merge early finishers;
         # ordering cannot affect results (the merge is index-keyed).
-        model = ProbeCostModel(payload.probe)
+        # Each facet gets the cost model built from *its own* probe
+        # latencies — iteration times (and thus pair costs) respond to the
+        # locked memory clock, so ranking a k≥2-facet grid with the first
+        # facet's probes would misorder whole facets.
+        models: dict[float | None, ProbeCostModel] = {
+            mem: ProbeCostModel(payload.probe_for(mem))
+            for mem in {job.memory_mhz for job in jobs}
+        }
         ordered = sorted(
             jobs,
             key=lambda job: (
-                -model.cost(job.init_mhz, job.target_mhz),
+                -models[job.memory_mhz].cost(job.init_mhz, job.target_mhz),
                 job.index,
             ),
         )
@@ -272,7 +288,7 @@ class CampaignExecutor:
         phase1_by_memory: dict = {}
         probe_by_memory: dict = {}
         for mem in mem_plan:
-            if mem is not None and not bench_driver.bench.set_memory_clock(mem):
+            if not bench_driver.bench.prepare_facet_clock(mem):
                 continue
             phase1 = run_phase1(bench_driver.bench)
             phase1_by_memory[mem] = phase1
@@ -325,6 +341,10 @@ class CampaignExecutor:
             memory_frequencies=config.memory_frequencies,
             phase1_by_memory=(
                 None if config.memory_frequencies is None else phase1_by_memory
+            ),
+            axis=config.axis,
+            locked_sm_mhz=config.swept_axis().locked_complement_mhz(
+                bench_driver.bench
             ),
         )
         if config.output_dir is not None:

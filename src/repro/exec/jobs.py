@@ -36,6 +36,9 @@ __all__ = [
 _PAIR_STREAM_OFFSET = 0x5041_4952  # "PAIR"
 #: spawn-key marker separating core×memory grid jobs from legacy pair jobs
 _MEMORY_STREAM_OFFSET = 0x4D45_4D00  # "MEM\0"
+#: spawn-key marker separating non-default measurement axes from the
+#: (marker-free) legacy sm_core streams
+_AXIS_STREAM_OFFSET = 0x4158_4953  # "AXIS"
 
 
 def pair_seed_sequence(
@@ -43,18 +46,31 @@ def pair_seed_sequence(
     device_index: int,
     pair_index: int,
     memory_index: int | None = None,
+    axis: str = "sm_core",
 ) -> np.random.SeedSequence:
     """The deterministic seed stream of one pair job.
 
     Derived from the campaign machine's root entropy (and spawn key, when
     the machine itself was seeded with a spawned sequence) plus the job's
     position in the campaign grid — independent of execution order, worker
-    count, and process boundaries.  Legacy jobs (``memory_index=None``)
-    keep the exact pre-extension spawn key; core×memory jobs add a marker
-    and the memory-clock coordinate, so no grid job can ever collide with
-    a legacy stream.
+    count, and process boundaries.  Legacy jobs (``memory_index=None``,
+    default axis) keep the exact pre-extension spawn key; core×memory
+    jobs add a marker and the memory-clock coordinate; non-default-axis
+    jobs add the axis marker and the axis's registry id
+    (:func:`repro.core.axis.axis_stream_id`) — no stream of one kind can
+    ever collide with another.
     """
-    if memory_index is None:
+    if axis != "sm_core":
+        from repro.core.axis import axis_stream_id
+
+        key = blueprint.seed_spawn_key + (
+            _PAIR_STREAM_OFFSET,
+            device_index,
+            _AXIS_STREAM_OFFSET,
+            axis_stream_id(axis),
+            pair_index,
+        )
+    elif memory_index is None:
         key = blueprint.seed_spawn_key + (
             _PAIR_STREAM_OFFSET, device_index, pair_index,
         )
@@ -110,7 +126,8 @@ class PairJob:
     ``index`` is the job's flat position in ``config.grid_points()`` (for
     legacy campaigns this equals the pair's position in
     ``config.pairs()``); the memory coordinate rides along so workers can
-    lock the right P-state and derive the right seed stream.
+    lock the right P-state and derive the right seed stream, and ``axis``
+    names the swept clock domain the frequencies belong to.
     """
 
     index: int
@@ -118,6 +135,7 @@ class PairJob:
     target_mhz: float
     memory_mhz: float | None = None
     memory_index: int | None = None
+    axis: str = "sm_core"
 
 
 @dataclass

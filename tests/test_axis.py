@@ -1,0 +1,383 @@
+"""Tests for the axis-generic measurement pipeline (:mod:`repro.core.axis`).
+
+Covers the axis registry and config validation, the memory-axis campaign
+end to end against the simulator's ``MemoryLatencyProfile`` ground truth,
+axis-tagged CSV naming and byte-stable round-trips, engine worker-count
+identity on the memory axis, the axis-marked seed streams, and the
+**legacy-equivalence regression**: default-axis campaigns are pinned to
+the exact CSV bytes and virtual wall clock the pre-axis pipeline
+produced (serial, engine×1 and engine×2).
+"""
+
+import hashlib
+
+import numpy as np
+import pytest
+
+from repro import LatestConfig, make_machine, run_campaign
+from repro.core.axis import (
+    AXES,
+    MEMORY,
+    SM_CORE,
+    axis_by_name,
+    axis_stream_id,
+)
+from repro.core.csvio import (
+    pair_csv_name,
+    parse_pair_csv_name,
+    parse_pair_csv_name_full,
+    read_pair_csv,
+    write_campaign_csvs,
+    write_pair_csv,
+)
+from repro.errors import ConfigError, MeasurementError
+from repro.exec.jobs import pair_seed_sequence
+from tests.conftest import fast_config
+
+
+def memory_axis_config(frequencies=(1215.0, 810.0, 405.0), **over):
+    return fast_config(frequencies, axis="memory", **over)
+
+
+# ----------------------------------------------------------------------
+# registry + config surface
+# ----------------------------------------------------------------------
+class TestAxisRegistry:
+    def test_known_axes(self):
+        assert set(AXES) == {"sm_core", "memory"}
+        assert axis_by_name("sm_core") is SM_CORE
+        assert axis_by_name("memory") is MEMORY
+
+    def test_unknown_axis_rejected(self):
+        with pytest.raises(ConfigError):
+            axis_by_name("pstate")
+
+    def test_stream_ids_stable(self):
+        # Registry order is the seed-spawn-key id: append-only contract.
+        assert axis_stream_id("sm_core") == 0
+        assert axis_stream_id("memory") == 1
+
+    def test_csv_prefixes_distinct(self):
+        prefixes = [axis.csv_prefix for axis in AXES.values()]
+        assert len(set(prefixes)) == len(prefixes)
+
+
+class TestAxisConfig:
+    def test_default_axis(self):
+        cfg = fast_config((705.0, 1410.0))
+        assert cfg.axis == "sm_core"
+        assert cfg.swept_axis() is SM_CORE
+        assert cfg.resolved_kernel_intensity() == 0.30
+
+    def test_memory_axis_intensity_default(self):
+        cfg = memory_axis_config()
+        assert cfg.swept_axis() is MEMORY
+        assert cfg.resolved_kernel_intensity() == 0.70
+
+    def test_explicit_intensity_wins(self):
+        cfg = memory_axis_config(kernel_memory_intensity=0.5)
+        assert cfg.resolved_kernel_intensity() == 0.5
+
+    def test_unknown_axis_rejected(self):
+        with pytest.raises(ConfigError):
+            fast_config((705.0, 1410.0), axis="pstate")
+
+    def test_memory_axis_rejects_grid_facets(self):
+        with pytest.raises(ConfigError):
+            memory_axis_config(memory_frequencies=(1215.0,))
+
+    def test_locked_sm_requires_memory_axis(self):
+        with pytest.raises(ConfigError):
+            fast_config((705.0, 1410.0), locked_sm_mhz=1410.0)
+
+    def test_locked_sm_must_be_positive(self):
+        with pytest.raises(ConfigError):
+            memory_axis_config(locked_sm_mhz=-5.0)
+
+    def test_intensity_bounds(self):
+        with pytest.raises(ConfigError):
+            fast_config((705.0, 1410.0), kernel_memory_intensity=1.0)
+
+
+# ----------------------------------------------------------------------
+# CSV naming + round-trip
+# ----------------------------------------------------------------------
+class TestAxisCsvNaming:
+    def test_memory_axis_prefix(self):
+        name = pair_csv_name(1215.0, 810.0, "karolina23", 2, axis="memory")
+        assert name == "swlatmem_1215_810_karolina23_gpu2.csv"
+
+    def test_memory_axis_full_parse(self):
+        parsed = parse_pair_csv_name_full(
+            "swlatmem_1215_810_karolina23_gpu2.csv"
+        )
+        assert parsed.init_mhz == 1215.0
+        assert parsed.target_mhz == 810.0
+        assert parsed.memory_mhz is None
+        assert parsed.axis == "memory"
+
+    def test_tuple_parser_stays_compatible(self):
+        assert parse_pair_csv_name(
+            "swlatmem_1215_810_karolina23_gpu2.csv"
+        ) == (1215.0, 810.0, None)
+        legacy = parse_pair_csv_name_full("swlat_705_1410_h_gpu0.csv")
+        assert legacy.axis == "sm_core"
+        grid = parse_pair_csv_name_full("swlatm_705_1410_810_h_gpu0.csv")
+        assert grid.axis == "sm_core" and grid.memory_mhz == 810.0
+
+    def test_memory_axis_rejects_facet_field(self):
+        with pytest.raises(MeasurementError):
+            pair_csv_name(1215.0, 810.0, "h", 0, memory_mhz=810.0, axis="memory")
+
+    def test_mem_prefixed_hostname_still_unambiguous(self):
+        # "swlatmem_" must never be confused with a swlatm_ file whose
+        # memory field ran into an unsanitized hostname.
+        parsed = parse_pair_csv_name_full("swlatm_705_1410_810_mem5-node_gpu0.csv")
+        assert parsed.axis == "sm_core"
+        assert parsed.memory_mhz == 810.0
+
+
+# ----------------------------------------------------------------------
+# memory-axis campaign vs simulator ground truth
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def memory_campaign():
+    machine = make_machine("A100", seed=7)
+    return run_campaign(machine, memory_axis_config())
+
+
+class TestMemoryAxisCampaign:
+    def test_all_memory_pairs_measured(self, memory_campaign):
+        res = memory_campaign
+        assert res.axis == "memory"
+        assert res.locked_sm_mhz == 1410.0  # A100 max SM clock by default
+        assert len(res.pairs) == 6  # 3 memory clocks, ordered pairs
+        for pair in res.pairs.values():
+            assert not pair.skipped
+            assert pair.axis == "memory"
+            assert pair.memory_mhz is None  # facet is the SM clock
+            assert pair.n_measurements >= 4
+
+    def test_latencies_in_memory_retraining_range(self, memory_campaign):
+        # A100 HBM retraining: ~9 ms base median, scaled by clock
+        # distance; everything should sit well above SM relock times
+        # and well below a second.
+        lats = memory_campaign.all_latencies_s()
+        assert lats.min() > 2e-3
+        assert lats.max() < 0.5
+
+    def test_medians_track_ground_truth(self, memory_campaign):
+        """Filtered medians agree with the injected memory transitions."""
+        for pair in memory_campaign.iter_measured():
+            measured = float(np.median(pair.latencies_s()))
+            truth = float(np.nanmedian(pair.ground_truths_s()))
+            assert measured == pytest.approx(truth, rel=0.25), pair.key
+
+    def test_medians_track_arch_profile_scale(self, memory_campaign):
+        """Order-of-magnitude agreement with ``MemoryLatencyProfile``."""
+        from repro.gpusim.arch_profiles import A100Profile
+
+        base = A100Profile.memory_switch_median_s
+        for pair in memory_campaign.iter_measured():
+            measured = float(np.median(pair.latencies_s()))
+            # distance scaling tops out at 1.6x; adaptation/quantization
+            # and tail mass push the measured median above the base draw
+            assert 0.5 * base < measured < 5.0 * base
+
+    def test_phase1_separates_memory_clocks(self, memory_campaign):
+        chars = memory_campaign.phase1.characterizations
+        assert set(chars) == {1215.0, 810.0, 405.0}
+        # Iteration time grows monotonically as the memory clock drops
+        # (the roofline stall model at the locked SM clock).
+        means = [chars[f].stats.mean for f in (1215.0, 810.0, 405.0)]
+        assert means[0] < means[1] < means[2]
+
+    def test_locked_sm_override(self):
+        machine = make_machine("A100", seed=13)
+        res = run_campaign(
+            machine,
+            memory_axis_config(
+                frequencies=(1215.0, 810.0), locked_sm_mhz=1095.0,
+                min_measurements=2, max_measurements=4,
+            ),
+        )
+        assert res.locked_sm_mhz == 1095.0
+        assert res.n_measured_pairs == 2
+
+    def test_csv_round_trip_byte_stable(self, memory_campaign, tmp_path):
+        paths = write_campaign_csvs(tmp_path, memory_campaign)
+        pair_paths = [p for p in paths if p.name.startswith("swlatmem_")]
+        assert len(pair_paths) == 6
+        for path in pair_paths:
+            restored = read_pair_csv(path)
+            assert restored.axis == "memory"
+            rewritten = write_pair_csv(
+                tmp_path / "again", restored,
+                memory_campaign.hostname, memory_campaign.device_index,
+            )
+            assert rewritten.name == path.name
+            assert rewritten.read_bytes() == path.read_bytes()
+
+    def test_summary_tags_axis(self, memory_campaign, tmp_path):
+        write_campaign_csvs(tmp_path, memory_campaign)
+        summary = (tmp_path / "summary_simnode01_gpu0.csv").read_text()
+        lines = summary.splitlines()
+        assert lines[0].startswith("init_mhz,target_mhz,axis,")
+        assert ",memory,ok," in lines[1]
+        assert lines[-1] == "#locked_sm_mhz,1410"
+
+    def test_report_labels_memory_axis(self, memory_campaign):
+        from repro.analysis.report import campaign_report
+
+        report = campaign_report(memory_campaign)
+        assert "swept axis: memory clock" in report
+        assert "SM clock locked at 1410 MHz" in report
+
+    def test_table2_tags_axis(self, memory_campaign):
+        from repro.analysis.render import render_table2
+        from repro.analysis.summary import summarize_campaign
+
+        out = render_table2([summarize_campaign(memory_campaign)])
+        assert "A100 SXM-4 [memory]" in out
+
+
+# ----------------------------------------------------------------------
+# engine on the memory axis
+# ----------------------------------------------------------------------
+class TestMemoryAxisEngine:
+    @pytest.fixture(scope="class")
+    def engine_results(self, tmp_path_factory):
+        results = {}
+        for workers in (1, 2):
+            out = tmp_path_factory.mktemp(f"mem_engine_{workers}")
+            machine = make_machine("A100", seed=7)
+            cfg = memory_axis_config(
+                frequencies=(1215.0, 810.0), output_dir=str(out)
+            )
+            results[workers] = (run_campaign(machine, cfg, workers=workers), out)
+        return results
+
+    @staticmethod
+    def _csv_bytes(directory):
+        return {
+            p.name: p.read_bytes() for p in sorted(directory.iterdir())
+        }
+
+    def test_bit_identical_across_worker_counts(self, engine_results):
+        r1, d1 = engine_results[1]
+        r2, d2 = engine_results[2]
+        m1 = {k: [m.latency_s for m in p.measurements] for k, p in r1.pairs.items()}
+        m2 = {k: [m.latency_s for m in p.measurements] for k, p in r2.pairs.items()}
+        assert m1 == m2
+        assert r1.wall_virtual_s == r2.wall_virtual_s
+        assert self._csv_bytes(d1) == self._csv_bytes(d2)
+
+    def test_engine_agrees_with_ground_truth(self, engine_results):
+        result, _ = engine_results[1]
+        assert result.axis == "memory"
+        for pair in result.iter_measured():
+            measured = float(np.median(pair.latencies_s()))
+            truth = float(np.nanmedian(pair.ground_truths_s()))
+            assert measured == pytest.approx(truth, rel=0.30), pair.key
+
+    def test_serial_and_engine_same_scale(self, engine_results, memory_campaign):
+        """Serial and engine replicas measure the same physical model.
+
+        The engine's per-pair replica machines draw from their own seed
+        streams, so results differ numerically from the serial timeline —
+        but both must recover the same retraining-latency scale for the
+        shared pairs.
+        """
+        engine_result, _ = engine_results[1]
+        for key, pair in engine_result.pairs.items():
+            serial_pair = memory_campaign.pairs[key]
+            a = float(np.median(pair.latencies_s()))
+            b = float(np.median(serial_pair.latencies_s()))
+            assert a == pytest.approx(b, rel=0.5), key
+
+
+class TestAxisSeedStreams:
+    def test_memory_axis_stream_differs_from_legacy(self):
+        machine = make_machine("A100", seed=0)
+        legacy = pair_seed_sequence(machine.blueprint, 0, 3)
+        tagged = pair_seed_sequence(machine.blueprint, 0, 3, axis="memory")
+        assert legacy.spawn_key != tagged.spawn_key
+        assert not np.array_equal(
+            legacy.generate_state(4), tagged.generate_state(4)
+        )
+
+    def test_default_axis_is_the_legacy_stream(self):
+        machine = make_machine("A100", seed=0)
+        implicit = pair_seed_sequence(machine.blueprint, 0, 3)
+        explicit = pair_seed_sequence(machine.blueprint, 0, 3, axis="sm_core")
+        assert implicit.spawn_key == explicit.spawn_key
+
+    def test_memory_axis_and_grid_marker_disjoint(self):
+        machine = make_machine("A100", seed=0)
+        grid = pair_seed_sequence(machine.blueprint, 0, 3, memory_index=1)
+        axis = pair_seed_sequence(machine.blueprint, 0, 3, axis="memory")
+        assert grid.spawn_key != axis.spawn_key
+
+
+# ----------------------------------------------------------------------
+# the legacy-equivalence regression (CI-gated: must never be skipped)
+# ----------------------------------------------------------------------
+def _golden_config(outdir):
+    return LatestConfig(
+        frequencies=(705.0, 1095.0, 1410.0),
+        record_sm_count=4,
+        min_measurements=4,
+        max_measurements=8,
+        rse_check_every=2,
+        warmup_kernels=1,
+        warmup_kernel_duration_s=0.05,
+        measure_kernel_duration_s=0.08,
+        delay_iterations=150,
+        confirm_iterations=150,
+        probe_window_s=0.4,
+        settle_chunk_s=0.08,
+        output_dir=str(outdir),
+    )
+
+
+def _campaign_digest(directory):
+    digest = hashlib.sha256()
+    for path in sorted(directory.iterdir()):
+        digest.update(path.name.encode())
+        digest.update(path.read_bytes())
+    return digest.hexdigest()
+
+
+class TestLegacyEquivalence:
+    """Default-axis output is pinned to the pre-axis pipeline, byte for byte.
+
+    The golden hashes were captured from the pipeline *before* the axis
+    refactor landed (PR 4); any default-axis divergence — CSV bytes or
+    virtual wall clock, serial or engine, any worker count — fails here.
+    This test is a CI gate: the workflow fails if it is skipped.
+    """
+
+    GOLDEN = {
+        None: (
+            "de68405246615fb6026ac141f096db231c33f27dc430ece2d2c0b0afde1ef824",
+            14.965697494749792,
+        ),
+        1: (
+            "bb69b2b0a267cb44d20a4cd8a6fc838726d123d4bb82ed16d0186040c3cfedfe",
+            19.595053604329145,
+        ),
+        2: (
+            "bb69b2b0a267cb44d20a4cd8a6fc838726d123d4bb82ed16d0186040c3cfedfe",
+            19.595053604329145,
+        ),
+    }
+
+    @pytest.mark.parametrize("workers", [None, 1, 2])
+    def test_default_axis_output_pinned(self, workers, tmp_path):
+        machine = make_machine("A100", seed=2718)
+        result = run_campaign(
+            machine, _golden_config(tmp_path), workers=workers
+        )
+        golden_digest, golden_wall = self.GOLDEN[workers]
+        assert _campaign_digest(tmp_path) == golden_digest
+        assert result.wall_virtual_s == golden_wall

@@ -101,6 +101,37 @@ class TestMain:
         assert any("_1215_" in n for n in names)
         assert any("_810_" in n for n in names)
 
+    def test_memory_axis_run(self, tmp_path, capsys):
+        out_dir = tmp_path / "csv"
+        code = main(
+            [
+                "1215,810",
+                "--axis", "memory",
+                "--sm-count", "4",
+                "--min-measurements", "4",
+                "--max-measurements", "6",
+                "--seed", "3",
+                "--output-dir", str(out_dir),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "memory-axis campaign" in out
+        assert "locked SM 1410 MHz" in out
+        names = {p.name for p in out_dir.glob("swlatmem_*.csv")}
+        assert names == {
+            "swlatmem_1215_810_simnode01_gpu0.csv",
+            "swlatmem_810_1215_simnode01_gpu0.csv",
+        }
+
+    def test_memory_axis_rejects_grid_facets(self):
+        with pytest.raises(SystemExit):
+            main(["1215,810", "--axis", "memory", "--memory-frequencies", "810"])
+
+    def test_locked_sm_requires_memory_axis(self):
+        with pytest.raises(SystemExit):
+            main(["705,1410", "--locked-sm", "1410"])
+
     def test_unsupported_memory_frequency_fails(self, capsys):
         code = main(
             [
