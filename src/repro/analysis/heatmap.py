@@ -29,14 +29,20 @@ class HeatmapGrid:
     #: memory clock the grid was measured at (None: legacy fixed memory)
     memory_mhz: float | None = None
     #: swept clock domain the row/column frequencies belong to
-    #: (:mod:`repro.core.axis`); ``"memory"`` grids hold memory-clock pairs
+    #: (:mod:`repro.core.axis`); ``"memory"`` grids hold memory-clock
+    #: pairs, ``"power"`` grids power-limit pairs in watts
     axis: str = "sm_core"
+    #: locked-SM facet of a multi-facet swept-axis campaign (None: single
+    #: facet)
+    locked_sm_mhz: float | None = None
 
     @property
     def facet_label(self) -> str:
         """Short label of the facet this grid was measured at ('' if none)."""
         if self.memory_mhz is not None:
             return f"@ mem {self.memory_mhz:g} MHz"
+        if self.locked_sm_mhz is not None:
+            return f"@ SM {self.locked_sm_mhz:g} MHz"
         return ""
 
     def value(self, init_mhz: float, target_mhz: float) -> float:
@@ -103,18 +109,28 @@ def heatmap_from_campaign(
     statistic: str = "max",
     without_outliers: bool = True,
     memory_mhz: "float | None" = ...,
+    locked_sm_mhz: "float | None" = ...,
 ) -> HeatmapGrid:
     """Build the Fig. 3-style grid from a campaign.
 
-    ``memory_mhz`` selects one facet of a core×memory campaign (required
-    when several memory clocks were swept); the default covers legacy and
-    single-memory-clock campaigns.
+    ``memory_mhz`` selects one facet of a core×memory campaign,
+    ``locked_sm_mhz`` one locked-SM facet of a multi-facet swept-axis
+    campaign (required when several facets were swept); the defaults
+    cover legacy and single-facet campaigns.
     """
-    grid_s = result.latency_matrix(statistic, without_outliers, memory_mhz)
+    grid_s = result.latency_matrix(
+        statistic, without_outliers, memory_mhz, locked_sm_mhz
+    )
     if memory_mhz is ...:
         memory_mhz = (
             result.memory_frequencies[0]
             if result.memory_frequencies is not None
+            else None
+        )
+    if locked_sm_mhz is ...:
+        locked_sm_mhz = (
+            result.locked_sm_frequencies[0]
+            if result.locked_sm_frequencies is not None
             else None
         )
     return HeatmapGrid(
@@ -124,6 +140,7 @@ def heatmap_from_campaign(
         gpu_name=result.gpu_name,
         memory_mhz=memory_mhz,
         axis=result.axis,
+        locked_sm_mhz=locked_sm_mhz,
     )
 
 
@@ -132,10 +149,19 @@ def heatmaps_by_memory(
     statistic: str = "max",
     without_outliers: bool = True,
 ) -> dict[float | None, HeatmapGrid]:
-    """One Fig. 3-style grid per memory clock, in campaign sweep order.
+    """One Fig. 3-style grid per campaign facet, in sweep order.
 
-    Legacy campaigns return a single entry keyed ``None``.
+    Facets are the memory clocks of a core×memory campaign or the locked
+    SM clocks of a multi-facet swept-axis campaign; legacy and
+    single-facet campaigns return a single entry keyed ``None``.
     """
+    if result.locked_sm_frequencies is not None:
+        return {
+            sm: heatmap_from_campaign(
+                result, statistic, without_outliers, locked_sm_mhz=sm
+            )
+            for sm in result.locked_sm_frequencies
+        }
     plan = result.memory_frequencies or (None,)
     return {
         mem: heatmap_from_campaign(result, statistic, without_outliers, mem)

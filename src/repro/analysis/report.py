@@ -31,7 +31,7 @@ def _heatmap_section(result: CampaignResult, statistic: str) -> list[str]:
     grids = heatmaps_by_memory(result, statistic)
     header = f"### {statistic.capitalize()} switching latencies [ms]"
     if len(grids) > 1:
-        header += " — one panel per memory clock"
+        header += f" — one panel per {result.facet_kind}"
     return [
         header,
         "",
@@ -152,21 +152,25 @@ def _recovery_section(result: CampaignResult) -> list[str]:
 
 def campaign_report(result: CampaignResult) -> str:
     """Render the full markdown report for one campaign."""
-    swept = (
-        f"- swept axis: {result.swept_label}"
-        + (
-            f" (SM clock locked at {result.locked_sm_mhz:g} MHz)"
-            if result.locked_sm_mhz is not None
-            else ""
-        )
-    )
+    from repro.core.axis import axis_by_name
+
+    if result.locked_sm_mhz is not None:
+        locked = f" (SM clock locked at {result.locked_sm_mhz:g} MHz)"
+    elif result.locked_sm_frequencies is not None:
+        clocks = ", ".join(f"{f:g}" for f in result.locked_sm_frequencies)
+        locked = f" (one facet per locked SM clock: {clocks} MHz)"
+    else:
+        locked = ""
+    swept = f"- swept axis: {result.swept_label}{locked}"
+    unit = axis_by_name(result.axis).unit
     lines = [
         f"# Switching-latency campaign report — {result.gpu_name}",
         "",
         f"- host: `{result.hostname}`, GPU index {result.device_index}"
         f" ({result.architecture})",
         swept,
-        f"- frequencies: {', '.join(f'{f:g}' for f in result.frequencies)} MHz",
+        f"- swept values: "
+        f"{', '.join(f'{f:g}' for f in result.frequencies)} {unit}",
         f"- measured pairs: {result.n_measured_pairs}"
         f" (skipped: {len(result.skipped_pairs)})",
         f"- simulated device time: {result.wall_virtual_s:.1f} s",

@@ -69,17 +69,19 @@ def summarize_campaign(
     result: CampaignResult,
     without_outliers: bool = True,
     memory_mhz: "float | None" = ...,
+    locked_sm_mhz: "float | None" = ...,
 ) -> Table2Row:
     """Compute the Table II row block for one campaign.
 
     ``memory_mhz`` restricts the summary to one memory facet of a
-    core×memory campaign; the default aggregates across every facet
-    (per-pair extremes are still per (init, target, memory) point).
+    core×memory campaign, ``locked_sm_mhz`` to one locked-SM facet of a
+    multi-facet swept-axis campaign; the default aggregates across every
+    facet (per-pair extremes are still per grid point).
     """
     pairs = []
     worst_ms = []
     best_ms = []
-    for p in result.iter_measured(memory_mhz):
+    for p in result.iter_measured(memory_mhz, locked_sm_mhz):
         values = p.latencies_s(without_outliers)
         if values.size == 0:
             continue
@@ -100,14 +102,25 @@ def summarize_campaign(
 def summarize_by_memory(
     result: CampaignResult, without_outliers: bool = True
 ) -> dict[float | None, Table2Row]:
-    """One Table II row block per memory clock, in campaign sweep order.
+    """One Table II row block per campaign facet, in sweep order.
 
-    Legacy campaigns return a single entry keyed ``None``.  Facets whose
-    pairs were all skipped (e.g. a memory clock that never settled) are
-    omitted rather than raising.
+    Facets are the memory clocks of a core×memory campaign or the locked
+    SM clocks of a multi-facet swept-axis campaign; legacy campaigns
+    return a single entry keyed ``None``.  Facets whose pairs were all
+    skipped (e.g. a memory clock that never settled) are omitted rather
+    than raising.
     """
-    plan = result.memory_frequencies or (None,)
     out: dict[float | None, Table2Row] = {}
+    if result.locked_sm_frequencies is not None:
+        for sm in result.locked_sm_frequencies:
+            try:
+                out[sm] = summarize_campaign(
+                    result, without_outliers, locked_sm_mhz=sm
+                )
+            except MeasurementError:
+                continue
+        return out
+    plan = result.memory_frequencies or (None,)
     for mem in plan:
         try:
             out[mem] = summarize_campaign(result, without_outliers, mem)

@@ -37,26 +37,38 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "frequencies",
-        help="comma-separated swept-axis frequencies to benchmark, in MHz "
-        "(SM clocks by default, e.g. 705,1095,1410; memory clocks with "
-        "--axis memory)",
+        nargs="?",
+        default=None,
+        help="comma-separated swept-axis values to benchmark: SM clocks "
+        "in MHz by default (e.g. 705,1095,1410), memory clocks with "
+        "--axis memory, power limits in W with --axis power (where "
+        "--power-limits may supply them instead)",
     )
     parser.add_argument(
         "--axis",
-        choices=("sm", "memory"),
+        choices=("sm", "memory", "power"),
         default="sm",
-        help="clock domain to sweep: 'sm' (the paper's setup, default) "
-        "or 'memory' (memory-clock pair switching latency at a locked "
-        "SM clock)",
+        help="actuator to sweep: 'sm' (the paper's setup, default), "
+        "'memory' (memory-clock pair switching latency at a locked SM "
+        "clock) or 'power' (board power-limit switching latency at a "
+        "locked SM clock)",
+    )
+    parser.add_argument(
+        "--power-limits",
+        default=None,
+        metavar="LIST",
+        help="comma-separated board power limits in W to sweep (each must "
+        "be on the device's settable ladder); alternative to the "
+        "positional list with --axis power",
     )
     parser.add_argument(
         "--locked-sm",
-        type=float,
         default=None,
-        metavar="MHZ",
-        help="SM clock a memory-axis campaign locks for its whole "
-        "duration (default: the device's maximum SM frequency); only "
-        "valid with --axis memory",
+        metavar="MHZ[,MHZ...]",
+        help="SM clock a memory- or power-axis campaign locks for its "
+        "whole duration (default: the device's maximum SM frequency); a "
+        "comma-separated list runs the full pair grid once per locked SM "
+        "clock (facet sweep — the transpose of the core×memory grid)",
     )
     parser.add_argument(
         "--kernel-memory-intensity",
@@ -188,19 +200,41 @@ def parse_frequencies(
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    axis = {"sm": "sm_core", "memory": "memory"}[args.axis]
-    freqs = parse_frequencies(
-        args.frequencies,
-        label="memory frequency" if axis == "memory" else "frequency",
-    )
-    if axis == "memory" and args.memory_frequencies is not None:
+    axis = {"sm": "sm_core", "memory": "memory", "power": "power"}[args.axis]
+    if args.power_limits is not None and axis != "power":
+        raise SystemExit("--power-limits only applies to --axis power")
+    if axis == "power":
+        if args.power_limits is not None and args.frequencies is not None:
+            raise SystemExit(
+                "give the power-limit ladder once: either positionally or "
+                "via --power-limits, not both"
+            )
+        source = args.power_limits or args.frequencies
+        if source is None:
+            raise SystemExit(
+                "the power axis needs a power-limit ladder (positional or "
+                "--power-limits), e.g. 400,330,270"
+            )
+        freqs = parse_frequencies(source, label="power limit")
+    else:
+        if args.frequencies is None:
+            raise SystemExit("a comma-separated frequency list is required")
+        freqs = parse_frequencies(
+            args.frequencies,
+            label="memory frequency" if axis == "memory" else "frequency",
+        )
+    if axis != "sm_core" and args.memory_frequencies is not None:
         raise SystemExit(
             "--memory-frequencies (core×memory grid facets) only applies "
-            "to --axis sm; the memory axis sweeps memory clocks through "
-            "the positional frequency list"
+            "to --axis sm; other axes sweep their own values through "
+            "the positional list"
         )
-    if args.locked_sm is not None and axis != "memory":
-        raise SystemExit("--locked-sm only applies to --axis memory")
+    if args.locked_sm is not None and axis == "sm_core":
+        raise SystemExit("--locked-sm only applies to --axis memory/power")
+    locked_sm: "float | tuple[float, ...] | None" = None
+    if args.locked_sm is not None:
+        plan = parse_frequencies(args.locked_sm, minimum=1, label="locked-SM")
+        locked_sm = plan[0] if len(plan) == 1 else plan
     mem_freqs = (
         parse_frequencies(
             args.memory_frequencies, minimum=1, label="memory frequency"
@@ -219,7 +253,7 @@ def main(argv: list[str] | None = None) -> int:
         config = LatestConfig(
             frequencies=freqs,
             axis=axis,
-            locked_sm_mhz=args.locked_sm,
+            locked_sm_mhz=locked_sm,
             kernel_memory_intensity=args.kernel_memory_intensity,
             memory_frequencies=mem_freqs,
             device_index=args.device,
@@ -250,26 +284,36 @@ def main(argv: list[str] | None = None) -> int:
             print(f"profile written to {args.profile}", file=sys.stderr)
 
     if not args.quiet:
+        from repro.core.axis import axis_by_name
+
+        unit = axis_by_name(result.axis).unit
         if result.locked_sm_mhz is not None:
             print(
                 f"{result.axis}-axis campaign: {result.swept_label} pairs "
                 f"at locked SM {result.locked_sm_mhz:g} MHz"
             )
-        for pair in result.pairs.values():
-            mem = (
-                f" @ mem {pair.memory_mhz:7g} MHz"
-                if pair.memory_mhz is not None
-                else ""
+        elif result.locked_sm_frequencies is not None:
+            clocks = ", ".join(f"{f:g}" for f in result.locked_sm_frequencies)
+            print(
+                f"{result.axis}-axis campaign: {result.swept_label} pairs "
+                f"once per locked SM clock ({clocks} MHz)"
             )
+        for pair in result.pairs.values():
+            if pair.memory_mhz is not None:
+                facet = f" @ mem {pair.memory_mhz:7g} MHz"
+            elif pair.locked_sm_mhz is not None:
+                facet = f" @ SM {pair.locked_sm_mhz:7g} MHz"
+            else:
+                facet = ""
             if pair.skipped:
                 print(
-                    f"{pair.init_mhz:7g} -> {pair.target_mhz:7g} MHz{mem}: "
+                    f"{pair.init_mhz:7g} -> {pair.target_mhz:7g} {unit}{facet}: "
                     f"skipped ({pair.skip_reason})"
                 )
                 continue
             stats = pair.stats(without_outliers=True)
             print(
-                f"{pair.init_mhz:7g} -> {pair.target_mhz:7g} MHz{mem}: "
+                f"{pair.init_mhz:7g} -> {pair.target_mhz:7g} {unit}{facet}: "
                 f"n={pair.n_measurements:4d}  "
                 f"min={stats.minimum * 1e3:8.3f} ms  "
                 f"mean={stats.mean * 1e3:8.3f} ms  "
@@ -286,11 +330,11 @@ def main(argv: list[str] | None = None) -> int:
                 print()
                 print(render_heatmap(next(iter(grids.values()))))
                 continue
-            # Faceted campaign: all memory clocks side by side.
+            # Faceted campaign: all facets side by side.
             print()
             print(
                 f"{result.gpu_name} — {stat} switching latencies [ms] "
-                f"(one panel per memory clock)"
+                f"(one panel per {result.facet_kind})"
             )
             print(render_facet_grid(grids))
     if args.report:

@@ -21,12 +21,15 @@ about one swept clock domain:
   locked SM clock),
 * naming (CSV prefix, human label, skip-reason strings).
 
-Two axes ship today — :data:`SM_CORE` (the paper's setup, and the
-default) and :data:`MEMORY` (memory-clock pair switching latency, against
-the simulator's ``MemoryLatencyProfile`` ground truth).  The default axis
-is guaranteed **bit-identical** to the pre-axis pipeline: every
-``SM_CORE`` hook delegates to exactly the calls the hard-coded loop made,
-with no extra RNG draws or float operations.
+Three axes ship today — :data:`SM_CORE` (the paper's setup, and the
+default), :data:`MEMORY` (memory-clock pair switching latency, against
+the simulator's ``MemoryLatencyProfile`` ground truth) and
+:data:`POWER_CAP` (board power-limit switching latency, against
+``PowerCapLatencyProfile``; the swept "frequencies" are limits in watts
+and the observable is the sustainable-clock cap the limit enforces).  The
+default axis is guaranteed **bit-identical** to the pre-axis pipeline:
+every ``SM_CORE`` hook delegates to exactly the calls the hard-coded loop
+made, with no extra RNG draws or float operations.
 
 Adding an axis means subclassing :class:`MeasurementAxis`, implementing
 the five driver hooks, and registering the instance in :data:`AXES`; the
@@ -37,13 +40,16 @@ labels all pick it up through the registry.
 from __future__ import annotations
 
 from repro.errors import ConfigError
+from repro.gpusim.thermal import ThrottleReasons
 
 __all__ = [
     "MeasurementAxis",
     "SmCoreAxis",
     "MemoryAxis",
+    "PowerCapAxis",
     "SM_CORE",
     "MEMORY",
+    "POWER_CAP",
     "AXES",
     "axis_by_name",
     "axis_stream_id",
@@ -70,6 +76,17 @@ class MeasurementAxis:
     default_kernel_intensity: float
     #: skip reason recorded when this axis's *facet* clock never settles
     facet_fail_reason: str
+    #: throttle reasons that are an *expected signal* on this axis rather
+    #: than a hazard: the power-cap axis deliberately drives the device
+    #: into ``SW_POWER_CAP``, so the campaign's power-throttle skip rule
+    #: must ignore it there (and only there)
+    benign_throttle: ThrottleReasons = ThrottleReasons.NONE
+    #: True when the axis locks the SM clock as its campaign facet (and
+    #: therefore supports multi-facet ``locked_sm_mhz`` sweeps)
+    locks_sm_facet: bool = False
+    #: unit of the swept coordinate (clock domains sweep MHz; the
+    #: power-cap axis sweeps watts)
+    unit: str = "MHz"
 
     # -- driver operations --------------------------------------------
     def set_clock(self, bench, freq_mhz: float):
@@ -170,6 +187,7 @@ class MemoryAxis(MeasurementAxis):
     #: memory workload would make the compute term vanish entirely)
     default_kernel_intensity = 0.70
     facet_fail_reason = "locked-sm-clock-never-settled"
+    locks_sm_facet = True
 
     def set_clock(self, bench, freq_mhz: float):
         return bench.handle.set_memory_locked_clocks(freq_mhz, freq_mhz)
@@ -212,14 +230,79 @@ class MemoryAxis(MeasurementAxis):
         return kernel.iteration_duration_s(bench.facet_sm_mhz()) * stall
 
 
+class PowerCapAxis(MeasurementAxis):
+    """Sweep the board power limit at a locked SM clock.
+
+    The swept "frequencies" are power limits in watts.  A limit below the
+    locked clock's draw caps the sustainable SM clock (the
+    ``SW_POWER_CAP`` throttle path), so iteration times respond to the
+    enforced limit through the clock itself — the capped-clock roofline.
+    Ground truth is the simulator's ``PowerCapLatencyProfile``: the span
+    from the limit write to the power controller enforcing the new cap.
+
+    Driving the device into ``SW_POWER_CAP`` is the whole point here, so
+    that reason is *benign* on this axis: the campaign's power-throttle
+    skip rule (paper Sec. VI) must not abandon pairs over the very signal
+    being measured.
+    """
+
+    name = "power"
+    pretty = "power-limit"
+    csv_prefix = "swlatpow"
+    #: the cap acts on the SM clock, so the legacy compute-bound workload
+    #: already responds to it; no memory-bound bias needed
+    default_kernel_intensity = 0.30
+    facet_fail_reason = "power-axis-sm-clock-never-settled"
+    benign_throttle = ThrottleReasons.SW_POWER_CAP
+    locks_sm_facet = True
+    unit = "W"
+
+    def set_clock(self, bench, limit_w: float):
+        return bench.handle.set_power_limit(limit_w)
+
+    def clock_info_mhz(self, bench) -> float:
+        """Readback of the swept coordinate: the *enforced* limit in W."""
+        return bench.handle.enforced_power_limit_w()
+
+    def settle(self, bench, limit_w: float) -> bool:
+        """Set the limit and wait (under load) for the cap to be enforced."""
+        return bench.set_power_limit(limit_w)
+
+    def prepare_facet(self, bench) -> bool:
+        """Lock and settle the SM clock the whole campaign runs at."""
+        return bench.settle_on(bench.facet_sm_mhz())
+
+    def locked_complement_mhz(self, bench) -> float:
+        return bench.facet_sm_mhz()
+
+    def iteration_duration_s(self, bench, kernel, limit_w: float) -> float:
+        """Iteration duration at the clock the limit sustains.
+
+        The capped-clock roofline: the effective SM clock is the locked
+        facet clock clipped by the limit's sustainable clock, so duration
+        decreases monotonically in ``limit_w`` — the window-sizing
+        contract (watts play the role of the swept frequency).
+        """
+        capped = min(
+            bench.facet_sm_mhz(),
+            float(bench.device.thermal.sustainable_clock_mhz(limit_w)),
+        )
+        return kernel.iteration_duration_s(capped)
+
+    def describe(self) -> str:
+        return "board power limit"
+
+
 SM_CORE = SmCoreAxis()
 MEMORY = MemoryAxis()
+POWER_CAP = PowerCapAxis()
 
 #: axis registry, in declaration order; the position is also the axis's
 #: stable id inside engine seed spawn keys — append-only
 AXES: dict[str, MeasurementAxis] = {
     SM_CORE.name: SM_CORE,
     MEMORY.name: MEMORY,
+    POWER_CAP.name: POWER_CAP,
 }
 
 

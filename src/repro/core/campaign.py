@@ -111,22 +111,27 @@ class LatestBenchmark:
         repeat that loop once per memory clock: lock+settle the memory
         P-state, re-characterize (iteration times respond to the memory
         clock), then measure the full SM pair grid at that clock.
-        Memory-axis campaigns run the single-facet loop with the roles
-        reversed: the SM clock is locked once (``prepare_facet``) and the
-        phases sweep memory pairs.
+        Memory- and power-axis campaigns run the single-facet loop with
+        the roles reversed: the SM clock is locked once
+        (``prepare_facet``) and the phases sweep the axis's pairs.
+        Multi-facet sweeps (``locked_sm_mhz`` as a tuple) repeat that loop
+        once per locked SM clock — the transpose of the core×memory grid,
+        through the same per-facet machinery.
         """
         t_begin = self.machine.clock.now
         axis = self.bench.axis
-        mem_plan = self.config.memory_plan()
+        facet_plan = self.config.facet_plan()
+        grid = self.config.memory_frequencies is not None
+        sm_facets = self.config.locked_sm_plan()
         pairs: dict = {}
-        phase1_by_memory: dict = {}
-        for mem in mem_plan:
-            if not self.bench.prepare_facet_clock(mem):
+        phase1_by_facet: dict = {}
+        for facet in facet_plan:
+            if not self.bench.prepare_facet_clock(facet):
                 phase1 = None
                 probe = None
             else:
                 phase1 = run_phase1(self.bench)
-                phase1_by_memory[mem] = phase1
+                phase1_by_facet[facet] = phase1
                 # Power caps or too-coarse workloads can leave no
                 # distinguishable pair at all; the campaign then reports
                 # every pair as skipped rather than failing (the tool's
@@ -138,7 +143,7 @@ class LatestBenchmark:
             valid = set(phase1.valid_pairs) if phase1 is not None else set()
             for init, target in self.config.pairs():
                 sm_key = (float(init), float(target))
-                key = sm_key if mem is None else sm_key + (float(mem),)
+                key = sm_key if facet is None else sm_key + (float(facet),)
                 reason = facet_skip_reason(
                     phase1, sm_key, valid, axis.facet_fail_reason
                 )
@@ -148,12 +153,17 @@ class LatestBenchmark:
                         target_mhz=sm_key[1],
                         skipped=True,
                         skip_reason=reason,
-                        memory_mhz=mem,
+                        memory_mhz=facet if grid else None,
+                        locked_sm_mhz=(
+                            None if grid or facet is None else float(facet)
+                        ),
                         axis=axis.name,
                     )
                     continue
                 pair = self.measure_pair(sm_key[0], sm_key[1], phase1, probe)
-                pair.memory_mhz = mem
+                pair.memory_mhz = facet if grid else None
+                if not grid and facet is not None:
+                    pair.locked_sm_mhz = float(facet)
                 pairs[key] = pair
 
         result = CampaignResult(
@@ -163,15 +173,19 @@ class LatestBenchmark:
             device_index=self.config.device_index,
             frequencies=self.config.frequencies,
             pairs=pairs,
-            phase1=phase1_by_memory.get(mem_plan[0]),
+            phase1=phase1_by_facet.get(facet_plan[0]),
             wall_virtual_s=self.machine.clock.now - t_begin,
             memory_frequencies=self.config.memory_frequencies,
             phase1_by_memory=(
-                None if self.config.memory_frequencies is None
-                else phase1_by_memory
+                None if facet_plan == (None,) else phase1_by_facet
             ),
             axis=axis.name,
-            locked_sm_mhz=axis.locked_complement_mhz(self.bench),
+            locked_sm_mhz=(
+                None
+                if sm_facets is not None
+                else axis.locked_complement_mhz(self.bench)
+            ),
+            locked_sm_frequencies=sm_facets,
         )
         if self.config.output_dir is not None:
             write_campaign_csvs(self.config.output_dir, result)
@@ -346,10 +360,14 @@ def measure_pair_reference(
             continue
         passes += 1
 
-        # Throttle handling (paper Sec. VI): every five passes.
+        # Throttle handling (paper Sec. VI): every five passes.  On the
+        # power-cap axis SW_POWER_CAP is the measured signal itself
+        # (axis.benign_throttle), not a reason to abandon the pair.
         if passes % cfg.throttle_check_every == 0:
             reasons = raw.throttle_reasons
-            if reasons & ThrottleReasons.SW_POWER_CAP:
+            if reasons & (
+                ThrottleReasons.SW_POWER_CAP & ~bench.axis.benign_throttle
+            ):
                 pair.skipped = True
                 pair.skip_reason = "power-throttled"
                 break

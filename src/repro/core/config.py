@@ -25,15 +25,20 @@ class LatestConfig:
 
     # ----- the tool's CLI surface (paper Sec. VI) ---------------------
     #: the *swept axis* ladder: SM clocks for the default ``sm_core``
-    #: axis, memory clocks for the ``memory`` axis
+    #: axis, memory clocks for the ``memory`` axis, power limits in watts
+    #: for the ``power`` axis
     frequencies: tuple[float, ...]
     #: which clock domain the campaign sweeps (:mod:`repro.core.axis`);
     #: ``"sm_core"`` is the paper's setup and stays bit-identical to the
     #: pre-axis pipeline
     axis: str = "sm_core"
-    #: SM clock the memory axis locks for the whole campaign (``None``:
-    #: the device's maximum SM frequency); only valid with ``axis="memory"``
-    locked_sm_mhz: float | None = None
+    #: SM clock(s) a memory- or power-axis campaign locks.  A scalar (or
+    #: ``None``, meaning the device's maximum SM frequency) runs the
+    #: single-facet campaign; a tuple runs the full swept-axis pair grid
+    #: once per locked SM clock — the transpose of the core×memory grid.
+    #: Only valid with axes that lock the SM clock as their facet
+    #: (``memory``, ``power``).
+    locked_sm_mhz: "float | tuple[float, ...] | None" = None
     #: memory-bound fraction of the benchmark kernel; ``None`` uses the
     #: swept axis's default (0.30 for ``sm_core`` — the legacy value —
     #: and 0.70 for ``memory``, which must *see* the memory clock)
@@ -146,12 +151,25 @@ class LatestConfig:
                     "memory clocks through `frequencies`"
                 )
         if self.locked_sm_mhz is not None:
-            if self.axis != "memory":
+            if not self.swept_axis().locks_sm_facet:
                 raise ConfigError(
-                    "locked_sm_mhz only applies to the memory axis (the "
-                    "sm_core axis sweeps the SM clock itself)"
+                    "locked_sm_mhz only applies to axes that lock the SM "
+                    "clock as their campaign facet (memory, power); the "
+                    "sm_core axis sweeps the SM clock itself"
                 )
-            if self.locked_sm_mhz <= 0:
+            if isinstance(self.locked_sm_mhz, (tuple, list)):
+                plan = tuple(float(f) for f in self.locked_sm_mhz)
+                object.__setattr__(self, "locked_sm_mhz", plan)
+                if not plan:
+                    raise ConfigError(
+                        "locked_sm_mhz facet tuple must be non-empty (or a "
+                        "scalar for the single-facet campaign)"
+                    )
+                if any(f <= 0 for f in plan):
+                    raise ConfigError("locked_sm_mhz clocks must be positive")
+                if len(set(plan)) != len(plan):
+                    raise ConfigError("duplicate locked_sm_mhz clocks")
+            elif self.locked_sm_mhz <= 0:
                 raise ConfigError("locked_sm_mhz must be positive")
         if self.kernel_memory_intensity is not None and not (
             0.0 <= self.kernel_memory_intensity < 1.0
@@ -229,6 +247,32 @@ class LatestConfig:
         if self.memory_frequencies is None:
             return (None,)
         return self.memory_frequencies
+
+    def locked_sm_plan(self) -> tuple[float, ...] | None:
+        """Locked-SM facet plan of a multi-facet swept-axis campaign.
+
+        ``None`` for single-facet campaigns (scalar or unset
+        ``locked_sm_mhz``); a tuple — even of length one — opts into the
+        faceted result layout (facet-keyed pairs, facet-tagged CSV names).
+        """
+        if isinstance(self.locked_sm_mhz, tuple):
+            return self.locked_sm_mhz
+        return None
+
+    def facet_plan(self) -> tuple[float | None, ...]:
+        """Facet coordinates the campaign visits, in order.
+
+        The locked memory clocks of a core×memory grid campaign, the
+        locked SM clocks of a multi-facet swept-axis campaign, or
+        ``(None,)`` — the single implicit facet every other campaign has
+        (whatever the swept axis's ``prepare_facet`` establishes).
+        """
+        if self.memory_frequencies is not None:
+            return self.memory_frequencies
+        plan = self.locked_sm_plan()
+        if plan is not None:
+            return plan
+        return (None,)
 
     def grid_points(self) -> list[tuple[float, float, float | None]]:
         """The full core×memory campaign grid, memory-major.

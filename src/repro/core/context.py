@@ -34,6 +34,10 @@ class BenchContext:
     cuda: CudaContext = field(init=False)
     nvml: NvmlSession = field(init=False)
     handle: NvmlDeviceHandle = field(init=False)
+    #: the locked SM clock of the *current* facet of a multi-facet
+    #: swept-axis campaign (set by :meth:`prepare_facet_clock`); ``None``
+    #: outside facet sweeps
+    current_locked_sm: float | None = field(default=None, init=False)
 
     def __post_init__(self) -> None:
         self.device = self.machine.device(self.config.device_index)
@@ -97,22 +101,38 @@ class BenchContext:
         """
         return self.axis.prepare_facet(self)
 
-    def prepare_facet_clock(self, memory_mhz: float | None) -> bool:
+    def prepare_facet_clock(self, facet: float | None) -> bool:
         """Lock the facet clock for one campaign facet.
 
         The single dispatch shared by the serial loop, the engine driver
-        and engine workers: a set memory coordinate is a core×memory grid
-        facet (lock that P-state), ``None`` defers to the swept axis's
-        own facet preparation.
+        and engine workers.  A set facet coordinate is either a core×memory
+        grid facet (``memory_frequencies`` campaigns lock that memory
+        P-state) or one locked SM clock of a multi-facet swept-axis sweep
+        (lock and settle the SM clock there); ``None`` defers to the swept
+        axis's own facet preparation.
         """
-        if memory_mhz is not None:
-            return self.set_memory_clock(memory_mhz)
+        if facet is not None:
+            if self.config.memory_frequencies is not None:
+                return self.set_memory_clock(facet)
+            self.current_locked_sm = float(facet)
+            return self.settle_on(float(facet))
         return self.prepare_facet()
 
     def facet_sm_mhz(self) -> float:
-        """The SM clock a memory-axis campaign runs at."""
-        if self.config.locked_sm_mhz is not None:
-            return float(self.config.locked_sm_mhz)
+        """The SM clock a memory- or power-axis campaign runs at.
+
+        Multi-facet sweeps resolve to the facet
+        :meth:`prepare_facet_clock` most recently locked.
+        """
+        if self.current_locked_sm is not None:
+            return self.current_locked_sm
+        locked = self.config.locked_sm_mhz
+        if locked is not None and not isinstance(locked, tuple):
+            return float(locked)
+        if isinstance(locked, tuple):
+            # Facet sweep before any facet was prepared: the first facet
+            # is the campaign's entry point.
+            return float(locked[0])
         return float(self.device.spec.max_sm_frequency_mhz)
 
     def set_memory_clock(self, mem_mhz: float) -> bool:
@@ -124,17 +144,36 @@ class BenchContext:
         chunks alternate with NVML memory-clock polls, bounded by
         ``max_settle_s`` of busy time.
         """
-        cfg = self.config
         self.handle.set_memory_locked_clocks(mem_mhz, mem_mhz)
         if abs(self.handle.clock_info_mem_mhz() - mem_mhz) < 1.0:
             return True
-        waited = 0.0
-        while waited < cfg.max_settle_s:
-            self.run_filler(cfg.settle_chunk_s, mem_mhz)
-            waited += cfg.settle_chunk_s
-            if abs(self.handle.clock_info_mem_mhz() - mem_mhz) < 1.0:
-                return True
-        return False
+        return self._poll_settle(self.handle.clock_info_mem_mhz, mem_mhz)
+
+    def power_capped_sm_mhz(self, limit_w: float) -> float:
+        """Effective SM clock once ``limit_w`` is enforced.
+
+        The locked facet clock clipped by the limit's sustainable clock —
+        the settle target (and the capped-clock roofline input) of the
+        power-cap axis.
+        """
+        cap = float(self.device.thermal.sustainable_clock_mhz(limit_w))
+        return min(self.facet_sm_mhz(), cap)
+
+    def set_power_limit(self, limit_w: float) -> bool:
+        """Set the board power limit and wait until the cap is enforced.
+
+        The power controller re-targets the sustainable clock only after
+        its sensing-window latency, so the campaign must not characterize
+        or measure before the cap actually arrived.  Mirrors
+        :meth:`settle_on`: filler chunks alternate with NVML SM-clock
+        polls (the enforced cap is observable as the effective clock),
+        bounded by ``max_settle_s`` of busy time.
+        """
+        self.handle.set_power_limit(limit_w)
+        expected = self.power_capped_sm_mhz(limit_w)
+        if abs(self.handle.clock_info_sm_mhz() - expected) < 1.0:
+            return True
+        return self._poll_settle(self.handle.clock_info_sm_mhz, expected)
 
     def settle_on(self, freq_mhz: float) -> bool:
         """Bring the SM clock to ``freq_mhz`` under sustained load.
@@ -152,11 +191,23 @@ class BenchContext:
         if cfg.init_settle_s is not None:
             self.run_filler(cfg.init_settle_s, freq_mhz)
             return True
+        return self._poll_settle(self.handle.clock_info_sm_mhz, freq_mhz)
+
+    def _poll_settle(self, read_mhz, target: float) -> bool:
+        """Filler chunks alternating with NVML polls until the readback
+        reaches ``target``, bounded by ``max_settle_s`` of busy time.
+
+        The shared settle loop of every clock actuator (SM lock, memory
+        P-state, enforced power cap — the latter observed through the
+        effective SM clock); callers differ only in the set call, the
+        readback and any immediate pre-check.
+        """
+        cfg = self.config
         waited = 0.0
         while waited < cfg.max_settle_s:
-            self.run_filler(cfg.settle_chunk_s, freq_mhz)
+            self.run_filler(cfg.settle_chunk_s, target)
             waited += cfg.settle_chunk_s
-            if abs(self.handle.clock_info_sm_mhz() - freq_mhz) < 1.0:
+            if abs(read_mhz() - target) < 1.0:
                 return True
         return False
 

@@ -11,12 +11,18 @@ The distinct prefix keeps parsing unambiguous in both directions: a
 archives whose unsanitized hostname happens to start with ``mem<digits>_``),
 and a ``swlatm_`` name always carries one.
 
-Memory-*axis* campaigns (:mod:`repro.core.axis`) reuse the same
-prefix convention: ``swlatmem_`` files carry memory-clock pairs in the
-frequency fields (the locked SM clock lives in the campaign summary, not
-the file name).  The prefix family — ``swlat`` / ``swlatm`` / ``swlatmem``
-— is the axis tag, so every name round-trips to the right
-:class:`~repro.core.results.PairResult` axis without side-band metadata.
+Non-default *axis* campaigns (:mod:`repro.core.axis`) reuse the same
+prefix convention: each registered axis owns a prefix (``swlatmem_`` for
+memory-clock pairs, ``swlatpow_`` for power-limit pairs in watts); the
+locked SM clock of a single-facet campaign lives in the campaign summary,
+not the file name.  Multi-facet sweeps (several locked SM clocks) append
+``f`` to the axis prefix and carry the facet clock as an extra field —
+mirroring how ``swlatm_`` extends ``swlat_``: ``swlatmemf_1215_810_1410_…``
+is the 1215→810 MHz memory pair measured at a locked 1410 MHz SM clock.
+The prefix family is the axis/facet tag, so every name round-trips to the
+right :class:`~repro.core.results.PairResult` axis without side-band
+metadata; the prefix table is built from the axis registry, so a new axis
+gets a parseable name family for free.
 
 Hostnames are sanitized on write (only ``[A-Za-z0-9.-]`` survives — a
 hostname containing ``/`` or leading dots must not be able to escape the
@@ -35,6 +41,7 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.core.axis import AXES, axis_by_name
 from repro.core.results import (
     CampaignResult,
     OutlierLabels,
@@ -71,17 +78,40 @@ _FIELDS = [
 #: characters allowed to survive in a hostname embedded in a file name
 _HOST_UNSAFE_RE = re.compile(r"[^A-Za-z0-9.-]")
 
-#: the full naming convention; the host part is greedy so hostnames may
-#: contain underscores (the frequency fields sit at fixed positions), the
-#: memory field exists exactly when the prefix is ``swlatm``, and the
-#: ``swlatmem`` prefix marks memory-axis pairs (frequency fields are
-#: memory clocks, no extra field)
-_NAME_RE = re.compile(
-    r"^swlat(?:(?P<axismem>mem)|(?P<grid>m))?"
-    r"_(?P<init>[0-9.eE+-]+)_(?P<target>[0-9.eE+-]+)"
-    r"(?(grid)_(?P<mem>[0-9.eE+-]+))"
-    r"_(?P<host>.+)_gpu(?P<index>\d+)$"
+#: a frequency/limit field of a pair CSV name
+_FIELD = r"[0-9.eE+-]+"
+#: name body after the prefix; the host part is greedy so hostnames may
+#: contain underscores (the numeric fields sit at fixed positions)
+_PAIR_BODY_RE = re.compile(
+    rf"^(?P<init>{_FIELD})_(?P<target>{_FIELD})"
+    rf"_(?P<host>.+)_gpu(?P<index>\d+)$"
 )
+#: body of prefixes that carry a facet field (``swlatm`` grid names, and
+#: every ``<axis prefix>f`` multi-facet name)
+_FACET_BODY_RE = re.compile(
+    rf"^(?P<init>{_FIELD})_(?P<target>{_FIELD})_(?P<facet>{_FIELD})"
+    rf"_(?P<host>.+)_gpu(?P<index>\d+)$"
+)
+
+
+def _prefix_table() -> dict[str, tuple[str, bool]]:
+    """``prefix -> (axis name, carries facet field)``, registry-driven.
+
+    Built on demand from :data:`repro.core.axis.AXES` so a newly
+    registered axis parses without touching this module.  The two legacy
+    prefixes keep their historical meaning: ``swlat`` (fixed-memory SM
+    pairs) and ``swlatm`` (SM pairs at a locked memory clock).
+    """
+    table: dict[str, tuple[str, bool]] = {
+        "swlat": ("sm_core", False),
+        "swlatm": ("sm_core", True),
+    }
+    for ax in AXES.values():
+        if ax.is_default:
+            continue
+        table[ax.csv_prefix] = (ax.name, False)
+        table[ax.csv_prefix + "f"] = (ax.name, True)
+    return table
 
 
 def sanitize_hostname(hostname: str) -> str:
@@ -102,25 +132,37 @@ def pair_csv_name(
     device_index: int,
     memory_mhz: float | None = None,
     axis: str = "sm_core",
+    locked_sm_mhz: float | None = None,
 ) -> str:
     """Standardized per-pair file name (hostname sanitized).
 
     The prefix encodes the axis/facet kind: ``swlat`` for legacy SM
     pairs, ``swlatm`` for SM pairs at a locked memory clock (the extra
-    field), ``swlatmem`` for memory-axis pairs.
+    field), the axis's own prefix (``swlatmem``, ``swlatpow``, ...) for
+    non-default-axis pairs — with an ``f`` suffix and the locked-SM facet
+    as the extra field when the pair belongs to a multi-facet sweep.
     """
-    if axis == "memory":
+    if axis != "sm_core":
         if memory_mhz is not None:
             raise MeasurementError(
-                "memory-axis pairs carry no memory facet field (their "
-                "frequencies *are* memory clocks)"
+                f"{axis}-axis pairs carry no memory facet field (the "
+                "locked complement is the SM clock)"
             )
-        prefix, mem = "swlatmem", ""
+        prefix = axis_by_name(axis).csv_prefix
+        facet = ""
+        if locked_sm_mhz is not None:
+            prefix += "f"
+            facet = f"{locked_sm_mhz:g}_"
     else:
+        if locked_sm_mhz is not None:
+            raise MeasurementError(
+                "locked-SM facet fields only apply to non-default axes "
+                "(the sm_core axis sweeps the SM clock itself)"
+            )
         prefix = "swlat" if memory_mhz is None else "swlatm"
-        mem = "" if memory_mhz is None else f"{memory_mhz:g}_"
+        facet = "" if memory_mhz is None else f"{memory_mhz:g}_"
     return (
-        f"{prefix}_{init_mhz:g}_{target_mhz:g}_{mem}"
+        f"{prefix}_{init_mhz:g}_{target_mhz:g}_{facet}"
         f"{sanitize_hostname(hostname)}_gpu{device_index}.csv"
     )
 
@@ -137,6 +179,7 @@ def write_pair_csv(
     path = directory / pair_csv_name(
         pair.init_mhz, pair.target_mhz, hostname, device_index,
         memory_mhz=pair.memory_mhz, axis=pair.axis,
+        locked_sm_mhz=pair.locked_sm_mhz,
     )
     labels = (
         pair.outliers.labels
@@ -176,6 +219,9 @@ class PairCsvName:
     target_mhz: float
     memory_mhz: float | None
     axis: str
+    #: locked-SM facet of a multi-facet swept-axis name (``None`` for
+    #: single-facet and default-axis names)
+    locked_sm_mhz: float | None = None
 
 
 def parse_pair_csv_name_full(name: str) -> PairCsvName:
@@ -185,23 +231,30 @@ def parse_pair_csv_name_full(name: str) -> PairCsvName:
     convention — silent misparses would attribute measurements to wrong
     frequencies downstream.
     """
-    match = _NAME_RE.match(Path(name).stem)
+    stem = Path(name).stem
+    prefix, sep, body = stem.partition("_")
+    kind = _prefix_table().get(prefix)
+    if not sep or kind is None:
+        raise MeasurementError(f"not a pair CSV: {name}")
+    axis, has_facet = kind
+    match = (_FACET_BODY_RE if has_facet else _PAIR_BODY_RE).match(body)
     if match is None:
         raise MeasurementError(f"not a pair CSV: {name}")
     try:
         init_mhz = float(match["init"])
         target_mhz = float(match["target"])
-        memory_mhz = float(match["mem"]) if match["mem"] is not None else None
+        facet = float(match["facet"]) if has_facet else None
     except ValueError:
         raise MeasurementError(
             f"malformed frequency fields in pair CSV name: {name}"
         ) from None
-    axis = "memory" if match["axismem"] is not None else "sm_core"
+    grid = axis == "sm_core" and has_facet
     return PairCsvName(
         init_mhz=init_mhz,
         target_mhz=target_mhz,
-        memory_mhz=memory_mhz,
+        memory_mhz=facet if grid else None,
         axis=axis,
+        locked_sm_mhz=facet if (has_facet and not grid) else None,
     )
 
 
@@ -263,6 +316,7 @@ def read_pair_csv(path: str | Path) -> PairResult:
         outliers=outliers,
         memory_mhz=parsed.memory_mhz,
         axis=parsed.axis,
+        locked_sm_mhz=parsed.locked_sm_mhz,
     )
 
 
@@ -280,9 +334,10 @@ def write_summary_csv(directory: str | Path, result: CampaignResult) -> Path:
     """One row per pair: status and headline statistics.
 
     Core×memory campaigns add a ``memory_mhz`` column; non-default-axis
-    campaigns add an ``axis`` column (and a ``#locked_sm_mhz`` metadata
-    footer, grid-CSV style); legacy campaigns keep the original column
-    set byte for byte.
+    campaigns add an ``axis`` column (and, single-facet, a
+    ``#locked_sm_mhz`` metadata footer, grid-CSV style); multi-facet
+    sweeps add a ``locked_sm_mhz`` column instead; legacy campaigns keep
+    the original column set byte for byte.
     """
     directory = Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
@@ -291,6 +346,7 @@ def write_summary_csv(directory: str | Path, result: CampaignResult) -> Path:
         f"_gpu{result.device_index}.csv"
     )
     has_memory = result.memory_frequencies is not None
+    has_sm_facets = result.locked_sm_frequencies is not None
     tagged_axis = result.axis != "sm_core"
     with path.open("w", newline="") as fh:
         writer = csv.writer(fh)
@@ -299,6 +355,8 @@ def write_summary_csv(directory: str | Path, result: CampaignResult) -> Path:
             header.append("axis")
         if has_memory:
             header.append("memory_mhz")
+        if has_sm_facets:
+            header.append("locked_sm_mhz")
         header += [
             "status",
             "n_measurements",
@@ -316,6 +374,12 @@ def write_summary_csv(directory: str | Path, result: CampaignResult) -> Path:
             if has_memory:
                 prefix.append(
                     f"{pair.memory_mhz:g}" if pair.memory_mhz is not None else ""
+                )
+            if has_sm_facets:
+                prefix.append(
+                    f"{pair.locked_sm_mhz:g}"
+                    if pair.locked_sm_mhz is not None
+                    else ""
                 )
             if pair.skipped or pair.n_measurements == 0:
                 writer.writerow(

@@ -196,10 +196,13 @@ def measure_pair_blocked(
 
             # Throttle handling (paper Sec. VI) depends only on the NVML
             # poll taken during the pass — nothing deferred — so it runs
-            # eagerly at the exact scalar cadence.
+            # eagerly at the exact scalar cadence.  SW_POWER_CAP is masked
+            # on the power-cap axis (it is the measured signal there).
             if spec_passes % cfg.throttle_check_every == 0:
                 reasons = raw.throttle_reasons
-                if reasons & ThrottleReasons.SW_POWER_CAP:
+                if reasons & (
+                    ThrottleReasons.SW_POWER_CAP & ~bench.axis.benign_throttle
+                ):
                     events.append(
                         _BlockEvent("throttle-power", raw, machine.checkpoint())
                     )

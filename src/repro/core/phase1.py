@@ -82,8 +82,8 @@ def characterize_frequency(
     cfg = bench.config
     if not bench.settle_swept(freq_mhz):
         raise MeasurementError(
-            f"{bench.axis.pretty} clock did not settle on {freq_mhz:g} MHz "
-            f"during phase 1"
+            f"{bench.axis.describe()} did not settle on {freq_mhz:g} "
+            f"{bench.axis.unit} during phase 1"
         )
     for _ in range(cfg.warmup_kernels):
         bench.run_filler(cfg.warmup_kernel_duration_s, freq_mhz)
@@ -139,7 +139,13 @@ def run_phase1(bench: BenchContext) -> Phase1Result:
                 )
             except MeasurementError:
                 reasons = bench.handle.current_clocks_throttle_reasons()
-                if reasons & ThrottleReasons.SW_POWER_CAP:
+                # On the power-cap axis SW_POWER_CAP is the measured
+                # signal, not a hazard (axis.benign_throttle); a settle
+                # failure there is a plain never-settled.
+                power_hazard = (
+                    ThrottleReasons.SW_POWER_CAP & ~bench.axis.benign_throttle
+                )
+                if reasons & power_hazard:
                     unreachable[float(f)] = "power-throttled"
                 else:
                     unreachable[float(f)] = "never-settled"

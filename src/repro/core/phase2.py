@@ -137,8 +137,8 @@ def run_switch_benchmark(
     # (2) settle on the initial frequency under sustained load
     if not bench.settle_swept(init_mhz):
         raise MeasurementError(
-            f"{bench.axis.pretty} clock did not settle on {init_mhz:g} MHz "
-            f"within {cfg.max_settle_s:g} s of load"
+            f"{bench.axis.describe()} did not settle on {init_mhz:g} "
+            f"{bench.axis.unit} within {cfg.max_settle_s:g} s of load"
         )
 
     # (3) benchmark kernel: delay + window + confirmation iterations

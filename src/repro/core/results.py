@@ -85,10 +85,14 @@ class PairResult:
 
     ``axis`` names the swept clock domain the pair belongs to
     (:mod:`repro.core.axis`): ``init_mhz``/``target_mhz`` are SM clocks on
-    the default ``"sm_core"`` axis and memory clocks on the ``"memory"``
-    axis.  ``memory_mhz`` is the locked memory clock an *SM-axis* pair was
+    the default ``"sm_core"`` axis, memory clocks on the ``"memory"``
+    axis, and power limits in watts on the ``"power"`` axis.
+    ``memory_mhz`` is the locked memory clock an *SM-axis* pair was
     measured at (``None`` in legacy fixed-memory campaigns and on the
-    memory axis, whose locked complement is the campaign-level SM clock).
+    other axes, whose locked complement is the campaign-level SM clock).
+    ``locked_sm_mhz`` is the SM-clock facet of a *multi-facet* swept-axis
+    campaign (``None`` in single-facet campaigns, where the facet lives on
+    the campaign result instead).
     """
 
     init_mhz: float
@@ -102,6 +106,7 @@ class PairResult:
     n_window_growths: int = 0
     memory_mhz: float | None = None
     axis: str = "sm_core"
+    locked_sm_mhz: float | None = None
 
     # ------------------------------------------------------------------
     @property
@@ -110,9 +115,11 @@ class PairResult:
 
     @property
     def grid_key(self) -> "PairKey | GridKey":
-        if self.memory_mhz is None:
-            return (self.init_mhz, self.target_mhz)
-        return (self.init_mhz, self.target_mhz, self.memory_mhz)
+        if self.memory_mhz is not None:
+            return (self.init_mhz, self.target_mhz, self.memory_mhz)
+        if self.locked_sm_mhz is not None:
+            return (self.init_mhz, self.target_mhz, self.locked_sm_mhz)
+        return (self.init_mhz, self.target_mhz)
 
     @property
     def increasing(self) -> bool:
@@ -171,8 +178,11 @@ class CampaignResult:
     ``(init, target, memory)`` and carry one full SM pair grid per memory
     clock.  ``axis`` names the swept clock domain
     (:mod:`repro.core.axis`): on the ``"memory"`` axis ``frequencies``
-    and all pair keys are memory clocks, measured at the locked SM clock
-    ``locked_sm_mhz``.
+    and all pair keys are memory clocks (power limits in watts on the
+    ``"power"`` axis), measured at the locked SM clock ``locked_sm_mhz``.
+    Multi-facet swept-axis campaigns (``locked_sm_frequencies`` set) key
+    the dict by ``(init, target, locked_sm)`` and carry one full pair
+    grid per locked SM clock — the transpose of the core×memory grid.
     """
 
     gpu_name: str
@@ -184,13 +194,18 @@ class CampaignResult:
     phase1: "Phase1Result | None" = None  # noqa: F821 - forward ref
     wall_virtual_s: float = 0.0
     memory_frequencies: tuple[float, ...] | None = None
-    #: per-memory-clock phase-1 characterizations of core×memory campaigns
-    #: (``phase1`` stays the first facet's result)
+    #: per-facet phase-1 characterizations of faceted campaigns, keyed by
+    #: the facet coordinate — memory clocks for core×memory grids, locked
+    #: SM clocks for multi-facet swept-axis sweeps (``phase1`` stays the
+    #: first facet's result)
     phase1_by_memory: "dict | None" = None
     #: swept clock domain of the campaign (:mod:`repro.core.axis`)
     axis: str = "sm_core"
-    #: SM clock a memory-axis campaign was locked at (``None`` otherwise)
+    #: SM clock a single-facet memory-/power-axis campaign was locked at
+    #: (``None`` otherwise, including multi-facet sweeps)
     locked_sm_mhz: float | None = None
+    #: locked-SM facet plan of a multi-facet swept-axis campaign
+    locked_sm_frequencies: tuple[float, ...] | None = None
 
     # ------------------------------------------------------------------
     @property
@@ -199,6 +214,16 @@ class CampaignResult:
         from repro.core.axis import axis_by_name
 
         return axis_by_name(self.axis).describe()
+
+    @property
+    def facet_kind(self) -> str | None:
+        """Human label of the campaign's facet dimension (``None`` when
+        the campaign has a single implicit facet)."""
+        if self.locked_sm_frequencies is not None:
+            return "locked SM clock"
+        if self.memory_frequencies is not None:
+            return "memory clock"
+        return None
 
     # ------------------------------------------------------------------
     def _resolve_memory(self, memory_mhz: float | None) -> float | None:
@@ -218,17 +243,41 @@ class CampaignResult:
             f"{self.memory_frequencies}; pass memory_mhz to select a facet"
         )
 
+    def _resolve_locked_sm(self, locked_sm_mhz: float | None) -> float | None:
+        """Pick the locked-SM facet an accessor should read, if any."""
+        if self.locked_sm_frequencies is None:
+            if locked_sm_mhz is not None:
+                raise MeasurementError(
+                    "campaign swept no locked-SM facets; omit locked_sm_mhz"
+                )
+            return None
+        if locked_sm_mhz is not None:
+            return float(locked_sm_mhz)
+        if len(self.locked_sm_frequencies) == 1:
+            return float(self.locked_sm_frequencies[0])
+        raise MeasurementError(
+            "campaign swept multiple locked SM clocks "
+            f"{self.locked_sm_frequencies}; pass locked_sm_mhz to select "
+            "a facet"
+        )
+
     def pair(
         self,
         init_mhz: float,
         target_mhz: float,
         memory_mhz: float | None = None,
+        locked_sm_mhz: float | None = None,
     ) -> PairResult:
         mem = self._resolve_memory(memory_mhz)
+        # Resolved unconditionally: passing a locked-SM facet to a grid
+        # campaign (or vice versa — the two facet kinds are mutually
+        # exclusive) must raise, not be silently dropped.
+        sm = self._resolve_locked_sm(locked_sm_mhz)
+        facet = mem if mem is not None else sm
         key = (
             (float(init_mhz), float(target_mhz))
-            if mem is None
-            else (float(init_mhz), float(target_mhz), mem)
+            if facet is None
+            else (float(init_mhz), float(target_mhz), facet)
         )
         try:
             return self.pairs[key]
@@ -236,21 +285,32 @@ class CampaignResult:
             raise MeasurementError(
                 f"pair {init_mhz:g}->{target_mhz:g}"
                 + (f" @ mem {mem:g} MHz" if mem is not None else "")
+                + (
+                    f" @ SM {facet:g} MHz"
+                    if mem is None and facet is not None
+                    else ""
+                )
                 + " not in campaign"
             ) from None
 
     def iter_measured(
-        self, memory_mhz: "float | None" = ...
+        self,
+        memory_mhz: "float | None" = ...,
+        locked_sm_mhz: "float | None" = ...,
     ) -> Iterator[PairResult]:
         """Pairs that produced at least one measurement.
 
-        ``memory_mhz`` restricts iteration to one memory facet; the
-        default (``...``) yields every facet.
+        ``memory_mhz`` restricts iteration to one memory facet of a
+        core×memory campaign, ``locked_sm_mhz`` to one locked-SM facet of
+        a multi-facet swept-axis campaign; the defaults (``...``) yield
+        every facet.
         """
         for p in self.pairs.values():
             if p.skipped or p.n_measurements == 0:
                 continue
             if memory_mhz is not ... and p.memory_mhz != memory_mhz:
+                continue
+            if locked_sm_mhz is not ... and p.locked_sm_mhz != locked_sm_mhz:
                 continue
             yield p
 
@@ -268,21 +328,25 @@ class CampaignResult:
         statistic: str = "max",
         without_outliers: bool = True,
         memory_mhz: "float | None" = ...,
+        locked_sm_mhz: "float | None" = ...,
     ) -> np.ndarray:
         """(init x target) latency grid in seconds; NaN where unmeasured.
 
         ``statistic``: "max" (worst case), "min" (best case), "mean" or
         "count".  Rows are initial frequencies, columns target frequencies,
         both in the campaign's frequency order — matching the orientation
-        of the paper's Fig. 3 heatmaps.  Core×memory campaigns produce one
-        grid per memory clock: select the facet with ``memory_mhz``
-        (required when more than one was swept).
+        of the paper's Fig. 3 heatmaps.  Faceted campaigns produce one
+        grid per facet: select it with ``memory_mhz`` (core×memory grids)
+        or ``locked_sm_mhz`` (multi-facet swept-axis sweeps), required
+        when more than one facet was swept.
         """
         if memory_mhz is ...:
             memory_mhz = self._resolve_memory(None)
+        if locked_sm_mhz is ...:
+            locked_sm_mhz = self._resolve_locked_sm(None)
         freqs = list(self.frequencies)
         grid = np.full((len(freqs), len(freqs)), np.nan)
-        for p in self.iter_measured(memory_mhz):
+        for p in self.iter_measured(memory_mhz, locked_sm_mhz):
             i = freqs.index(p.init_mhz)
             j = freqs.index(p.target_mhz)
             values = p.latencies_s(without_outliers)

@@ -119,6 +119,7 @@ def run_pair_job(
         job.index,
         job.memory_index,
         job.axis,
+        facet_index=job.locked_sm_index,
     )
     machine = payload.blueprint.build(seed=seed, start_time=payload.epoch)
     if skeleton is not None:
@@ -135,9 +136,10 @@ def run_pair_job(
     bench = BenchContext(machine, payload.config)
     t0 = machine.clock.now
     # The facet clock first: the locked memory P-state of a grid job, or
-    # the locked SM clock of a memory-axis job (a fresh replica machine
-    # boots unlocked, so every worker must restore the campaign facet).
-    if not bench.prepare_facet_clock(job.memory_mhz):
+    # the locked SM clock of a memory-/power-axis job (a fresh replica
+    # machine boots unlocked, so every worker must restore the campaign
+    # facet).
+    if not bench.prepare_facet_clock(job.facet):
         pair = PairResult(
             init_mhz=float(job.init_mhz),
             target_mhz=float(job.target_mhz),
@@ -150,10 +152,11 @@ def run_pair_job(
             bench,
             job.init_mhz,
             job.target_mhz,
-            payload.phase1_for(job.memory_mhz),
-            payload.probe_for(job.memory_mhz),
+            payload.phase1_for(job.facet),
+            payload.probe_for(job.facet),
         )
     pair.memory_mhz = job.memory_mhz
+    pair.locked_sm_mhz = job.locked_sm_mhz
     return PairJobResult(
         index=job.index,
         pair=pair,
@@ -192,26 +195,28 @@ class CampaignExecutor:
         self.workers = workers
 
     # ------------------------------------------------------------------
-    def _build_jobs(self, phase1_by_memory: dict) -> tuple[list[PairJob], dict]:
+    def _build_jobs(self, phase1_by_facet: dict) -> tuple[list[PairJob], dict]:
         """Valid grid points become jobs; the rest become skipped results.
 
-        Job indices are flat positions in ``config.grid_points()``
-        (memory-major), which for legacy campaigns reduces to the pair's
-        position in ``config.pairs()`` — the seed-stream contract of PR 1
-        is untouched.
+        Job indices are flat positions in the facet-major campaign grid
+        (``config.facet_plan()`` × ``config.pairs()``), which for legacy
+        campaigns reduces to the pair's position in ``config.pairs()`` —
+        the seed-stream contract of PR 1 is untouched.
         """
         axis = self.config.swept_axis()
-        mem_plan = self.config.memory_plan()
+        facet_plan = self.config.facet_plan()
+        grid = self.config.memory_frequencies is not None
         sm_pairs = self.config.pairs()
 
         jobs: list[PairJob] = []
         pairs: dict = {}
-        for mem_index, mem in enumerate(mem_plan):
-            phase1 = phase1_by_memory.get(mem)
+        for facet_index, facet in enumerate(facet_plan):
+            phase1 = phase1_by_facet.get(facet)
             valid = set(phase1.valid_pairs) if phase1 is not None else set()
+            sm_facet = None if grid or facet is None else float(facet)
             for pair_index, (init, target) in enumerate(sm_pairs):
                 sm_key = (float(init), float(target))
-                key = sm_key if mem is None else sm_key + (float(mem),)
+                key = sm_key if facet is None else sm_key + (float(facet),)
                 reason = facet_skip_reason(
                     phase1, sm_key, valid, axis.facet_fail_reason
                 )
@@ -221,19 +226,24 @@ class CampaignExecutor:
                         target_mhz=sm_key[1],
                         skipped=True,
                         skip_reason=reason,
-                        memory_mhz=mem,
+                        memory_mhz=facet if grid else None,
+                        locked_sm_mhz=sm_facet,
                         axis=axis.name,
                     )
                     continue
                 pairs[key] = None  # placeholder, filled by the job result
                 jobs.append(
                     PairJob(
-                        index=mem_index * len(sm_pairs) + pair_index,
+                        index=facet_index * len(sm_pairs) + pair_index,
                         init_mhz=sm_key[0],
                         target_mhz=sm_key[1],
-                        memory_mhz=mem,
-                        memory_index=None if mem is None else mem_index,
+                        memory_mhz=facet if grid else None,
+                        memory_index=facet_index if grid else None,
                         axis=axis.name,
+                        locked_sm_mhz=sm_facet,
+                        locked_sm_index=(
+                            None if sm_facet is None else facet_index
+                        ),
                     )
                 )
         return jobs, pairs
@@ -251,16 +261,17 @@ class CampaignExecutor:
         # ordering cannot affect results (the merge is index-keyed).
         # Each facet gets the cost model built from *its own* probe
         # latencies — iteration times (and thus pair costs) respond to the
-        # locked memory clock, so ranking a k≥2-facet grid with the first
-        # facet's probes would misorder whole facets.
+        # facet clock (the locked memory P-state of a grid, the locked SM
+        # clock of a facet sweep), so ranking a k≥2-facet campaign with
+        # the first facet's probes would misorder whole facets.
         models: dict[float | None, ProbeCostModel] = {
-            mem: ProbeCostModel(payload.probe_for(mem))
-            for mem in {job.memory_mhz for job in jobs}
+            facet: ProbeCostModel(payload.probe_for(facet))
+            for facet in {job.facet for job in jobs}
         }
         ordered = sorted(
             jobs,
             key=lambda job: (
-                -models[job.memory_mhz].cost(job.init_mhz, job.target_mhz),
+                -models[job.facet].cost(job.init_mhz, job.target_mhz),
                 job.index,
             ),
         )
@@ -278,41 +289,40 @@ class CampaignExecutor:
     def run(self) -> CampaignResult:
         machine, config = self.machine, self.config
         t_begin = machine.clock.now
-        mem_plan = config.memory_plan()
+        facet_plan = config.facet_plan()
+        sm_facets = config.locked_sm_plan()
 
         # Phase 1 + probe: sequential by nature, same draws as the legacy
         # loop (the driver machine's clock and RNG advance identically).
-        # Core×memory campaigns repeat the characterization once per
-        # memory clock on the driver machine before any job is built.
+        # Faceted campaigns (core×memory grids, locked-SM facet sweeps)
+        # repeat the characterization once per facet on the driver machine
+        # before any job is built.
         bench_driver = LatestBenchmark(machine, config)
-        phase1_by_memory: dict = {}
-        probe_by_memory: dict = {}
-        for mem in mem_plan:
-            if not bench_driver.bench.prepare_facet_clock(mem):
+        phase1_by_facet: dict = {}
+        probe_by_facet: dict = {}
+        for facet in facet_plan:
+            if not bench_driver.bench.prepare_facet_clock(facet):
                 continue
             phase1 = run_phase1(bench_driver.bench)
-            phase1_by_memory[mem] = phase1
-            probe_by_memory[mem] = (
+            phase1_by_facet[facet] = phase1
+            probe_by_facet[facet] = (
                 bench_driver._probe_windows(phase1)
                 if phase1.valid_pairs
                 else None
             )
-        first = mem_plan[0]
+        first = facet_plan[0]
+        single_facet = facet_plan == (None,)
         payload = CampaignPayload(
             blueprint=machine.blueprint,
             config=config,
-            phase1=phase1_by_memory.get(first),
-            probe=probe_by_memory.get(first),
+            phase1=phase1_by_facet.get(first),
+            probe=probe_by_facet.get(first),
             epoch=machine.clock.now,
-            phase1_by_memory=(
-                None if config.memory_frequencies is None else phase1_by_memory
-            ),
-            probe_by_memory=(
-                None if config.memory_frequencies is None else probe_by_memory
-            ),
+            phase1_by_memory=None if single_facet else phase1_by_facet,
+            probe_by_memory=None if single_facet else probe_by_facet,
         )
 
-        jobs, pairs = self._build_jobs(phase1_by_memory)
+        jobs, pairs = self._build_jobs(phase1_by_facet)
         results = self._execute(jobs, payload)
 
         # Merge in job order; advance the driver clock by the summed
@@ -323,7 +333,7 @@ class CampaignExecutor:
         for res in results:
             job = by_index[res.index]
             sm_key = (job.init_mhz, job.target_mhz)
-            key = sm_key if job.memory_mhz is None else sm_key + (job.memory_mhz,)
+            key = sm_key if job.facet is None else sm_key + (job.facet,)
             pairs[key] = res.pair
             total_elapsed += res.elapsed_virtual_s
         if total_elapsed > 0.0:
@@ -336,16 +346,19 @@ class CampaignExecutor:
             device_index=config.device_index,
             frequencies=config.frequencies,
             pairs=pairs,
-            phase1=phase1_by_memory.get(first),
+            phase1=phase1_by_facet.get(first),
             wall_virtual_s=machine.clock.now - t_begin,
             memory_frequencies=config.memory_frequencies,
-            phase1_by_memory=(
-                None if config.memory_frequencies is None else phase1_by_memory
-            ),
+            phase1_by_memory=None if single_facet else phase1_by_facet,
             axis=config.axis,
-            locked_sm_mhz=config.swept_axis().locked_complement_mhz(
-                bench_driver.bench
+            locked_sm_mhz=(
+                None
+                if sm_facets is not None
+                else config.swept_axis().locked_complement_mhz(
+                    bench_driver.bench
+                )
             ),
+            locked_sm_frequencies=sm_facets,
         )
         if config.output_dir is not None:
             write_campaign_csvs(config.output_dir, result)

@@ -39,6 +39,9 @@ _MEMORY_STREAM_OFFSET = 0x4D45_4D00  # "MEM\0"
 #: spawn-key marker separating non-default measurement axes from the
 #: (marker-free) legacy sm_core streams
 _AXIS_STREAM_OFFSET = 0x4158_4953  # "AXIS"
+#: spawn-key marker separating multi-facet (locked-SM) swept-axis jobs
+#: from single-facet jobs of the same axis
+_FACET_STREAM_OFFSET = 0x4641_4345  # "FACE"
 
 
 def pair_seed_sequence(
@@ -47,6 +50,7 @@ def pair_seed_sequence(
     pair_index: int,
     memory_index: int | None = None,
     axis: str = "sm_core",
+    facet_index: int | None = None,
 ) -> np.random.SeedSequence:
     """The deterministic seed stream of one pair job.
 
@@ -57,8 +61,10 @@ def pair_seed_sequence(
     default axis) keep the exact pre-extension spawn key; core×memory
     jobs add a marker and the memory-clock coordinate; non-default-axis
     jobs add the axis marker and the axis's registry id
-    (:func:`repro.core.axis.axis_stream_id`) — no stream of one kind can
-    ever collide with another.
+    (:func:`repro.core.axis.axis_stream_id`), single-facet jobs keeping
+    the exact PR-4 key and multi-facet jobs adding a facet marker plus
+    the locked-SM facet's position — no stream of one kind can ever
+    collide with another.
     """
     if axis != "sm_core":
         from repro.core.axis import axis_stream_id
@@ -68,8 +74,10 @@ def pair_seed_sequence(
             device_index,
             _AXIS_STREAM_OFFSET,
             axis_stream_id(axis),
-            pair_index,
         )
+        if facet_index is not None:
+            key += (_FACET_STREAM_OFFSET, facet_index)
+        key += (pair_index,)
     elif memory_index is None:
         key = blueprint.seed_spawn_key + (
             _PAIR_STREAM_OFFSET, device_index, pair_index,
@@ -103,31 +111,35 @@ class CampaignPayload:
     #: right after phase 1 + probe) — common to all jobs so results do not
     #: depend on scheduling
     epoch: float
-    #: per-memory-clock phase-1 results of a core×memory campaign
+    #: per-facet phase-1 results of a faceted campaign, keyed by the facet
+    #: coordinate (memory clock of a core×memory grid, locked SM clock of
+    #: a multi-facet swept-axis sweep)
     phase1_by_memory: "dict | None" = None
-    #: per-memory-clock probe estimates of a core×memory campaign
+    #: per-facet probe estimates of a faceted campaign
     probe_by_memory: "dict | None" = None
 
-    def phase1_for(self, memory_mhz: float | None) -> Phase1Result:
-        if memory_mhz is None or self.phase1_by_memory is None:
+    def phase1_for(self, facet: float | None) -> Phase1Result:
+        if facet is None or self.phase1_by_memory is None:
             return self.phase1
-        return self.phase1_by_memory[memory_mhz]
+        return self.phase1_by_memory[facet]
 
-    def probe_for(self, memory_mhz: float | None) -> ProbeInfo:
-        if memory_mhz is None or self.probe_by_memory is None:
+    def probe_for(self, facet: float | None) -> ProbeInfo:
+        if facet is None or self.probe_by_memory is None:
             return self.probe
-        return self.probe_by_memory[memory_mhz]
+        return self.probe_by_memory[facet]
 
 
 @dataclass(frozen=True)
 class PairJob:
     """One grid point's measurement work order (intentionally tiny).
 
-    ``index`` is the job's flat position in ``config.grid_points()`` (for
-    legacy campaigns this equals the pair's position in
-    ``config.pairs()``); the memory coordinate rides along so workers can
-    lock the right P-state and derive the right seed stream, and ``axis``
-    names the swept clock domain the frequencies belong to.
+    ``index`` is the job's flat position in the campaign's facet-major
+    grid (for legacy campaigns this equals the pair's position in
+    ``config.pairs()``); the facet coordinate rides along so workers can
+    lock the right P-state (``memory_mhz``, core×memory grids) or SM
+    clock (``locked_sm_mhz``, multi-facet swept-axis sweeps) and derive
+    the right seed stream, and ``axis`` names the swept clock domain the
+    frequencies belong to.
     """
 
     index: int
@@ -136,6 +148,13 @@ class PairJob:
     memory_mhz: float | None = None
     memory_index: int | None = None
     axis: str = "sm_core"
+    locked_sm_mhz: float | None = None
+    locked_sm_index: int | None = None
+
+    @property
+    def facet(self) -> float | None:
+        """The job's facet coordinate, whichever kind it is."""
+        return self.memory_mhz if self.memory_mhz is not None else self.locked_sm_mhz
 
 
 @dataclass

@@ -36,6 +36,7 @@ __all__ = [
     "A100Profile",
     "GH200Profile",
     "MemoryLatencyProfile",
+    "PowerCapLatencyProfile",
     "RtxQuadro6000Profile",
     "profile_for",
 ]
@@ -124,6 +125,62 @@ class MemoryLatencyProfile:
         )
 
 
+class PowerCapLatencyProfile:
+    """Power-limit transition latencies derived from an SM arch profile.
+
+    Setting a board power limit is a driver write to the power
+    microcontroller followed by a firmware re-target of the sustainable
+    clock — slower than an SM PLL relock (the controller integrates power
+    over its sensing window before committing the new cap) but much faster
+    than DRAM retraining.  Each architecture profile supplies the
+    re-target median through ``power_cap_switch_median_s`` /
+    ``power_cap_switch_sigma_log``.  Pair structure is seeded from a
+    distinct namespace (``<arch>/powercap``) so power-limit pairs can
+    never alias SM or memory pairs with numerically identical values in
+    the per-device model caches.
+    """
+
+    def __init__(self, base) -> None:
+        self.base = base
+        self.name = f"{base.name}/powercap"
+        self.bus_delay_median_s = base.bus_delay_median_s
+        self.bus_delay_sigma_log = base.bus_delay_sigma_log
+        # Unused in practice (the power domain is always powered), kept
+        # for the ArchLatencyProfile protocol.
+        self.wakeup_median_s = base.wakeup_median_s
+        self.wakeup_sigma_log = base.wakeup_sigma_log
+
+    def pair_model(
+        self, init_w: float, target_w: float, unit_seed: int
+    ) -> PairLatencyModel:
+        srng = pair_rng(self.name, 0, init_w, target_w)
+        unit = _UnitPerturbation.sample(
+            self.name, unit_seed, init_w, target_w,
+            base_rel=0.03, tail_rel=0.15,
+        )
+        median = self.base.power_cap_switch_median_s
+        sigma = self.base.power_cap_switch_sigma_log
+        base = median * (1.0 + 0.20 * float(srng.uniform(-1.0, 1.0)))
+        # Tightening the cap (lowering the limit) is enforced promptly by
+        # the controller; raising it waits for the sensing window to
+        # confirm headroom before releasing the clock.
+        if target_w > init_w:
+            base *= 1.0 + 0.5 * float(srng.uniform(0.6, 1.0))
+        # Larger relative limit distance -> larger clock re-target.
+        base *= 1.0 + 0.4 * abs(target_w - init_w) / max(init_w, target_w)
+        base *= unit.base_factor
+        tail_scale = 0.25 * median * (0.5 + float(srng.beta(2.0, 2.0)))
+        tail_scale *= unit.tail_factor
+        return PairLatencyModel(
+            modes=(ModeSpec(median_s=base, sigma_log=sigma, weight=1.0),),
+            tail_shape=2.2,
+            tail_scale_s=tail_scale,
+            outlier_prob=0.008,
+            outlier_scale_s=0.04,
+            outlier_floor_s=0.02,
+        )
+
+
 class A100Profile:
     """Ampere A100 SXM-4 latency behaviour."""
 
@@ -135,6 +192,9 @@ class A100Profile:
     #: HBM2 retraining: fast relative to GDDR
     memory_switch_median_s = 9e-3
     memory_switch_sigma_log = 0.10
+    #: power-microcontroller re-target after a limit write
+    power_cap_switch_median_s = 22e-3
+    power_cap_switch_sigma_log = 0.14
 
     def pair_model(
         self, init_mhz: float, target_mhz: float, unit_seed: int
@@ -191,6 +251,8 @@ class GH200Profile:
     wakeup_sigma_log = 0.35
     memory_switch_median_s = 7e-3  # HBM3
     memory_switch_sigma_log = 0.10
+    power_cap_switch_median_s = 16e-3
+    power_cap_switch_sigma_log = 0.12
 
     #: target-frequency bands with discrete high-latency cluster levels
     SPECIAL_TARGET_BANDS: tuple[tuple[float, float, str], ...] = (
@@ -307,6 +369,9 @@ class RtxQuadro6000Profile:
     wakeup_sigma_log = 0.40
     memory_switch_median_s = 55e-3  # GDDR6 link retraining is slow
     memory_switch_sigma_log = 0.18
+    #: Turing's power controller re-targets on a coarser sensing window
+    power_cap_switch_median_s = 45e-3
+    power_cap_switch_sigma_log = 0.22
 
     def pair_model(
         self, init_mhz: float, target_mhz: float, unit_seed: int

@@ -25,14 +25,24 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.errors import CudaError, SimulationError
-from repro.gpusim.arch_profiles import MemoryLatencyProfile, profile_for
-from repro.gpusim.dvfs import DvfsClockDomain, MemoryDomainSpec, TransitionRecord
+from repro.gpusim.arch_profiles import (
+    MemoryLatencyProfile,
+    PowerCapLatencyProfile,
+    profile_for,
+)
+from repro.gpusim.dvfs import (
+    DvfsClockDomain,
+    MemoryDomainSpec,
+    PowerDomainSpec,
+    TransitionRecord,
+)
 from repro.gpusim.energy import EnergyMeter
 from repro.gpusim.latency_model import SwitchingLatencyModel
 from repro.gpusim.sm import (
     DeviceTimestamps,
     KernelTimestamps,
     PendingIntegration,
+    merge_cap_segments,
     merge_memory_segments,
     prepare_integration_from_boundaries,
     sample_iteration_cycles,
@@ -173,6 +183,27 @@ class GpuDevice:
         #: memory clock sits at the reference and cannot shape kernel
         #: timing, power, or thermals
         self._memory_static = True
+        # The power-limit domain: the same state machine on the power-limit
+        # ladder (watts stand in for MHz), always powered — limits persist
+        # without load.  Its limit timeline maps onto SM clock caps through
+        # the thermal model's sustainable-clock inversion.  It shares the
+        # device RNG but draws only when a limit change is requested, so
+        # campaigns that never touch the power limit consume exactly the
+        # legacy draw sequence.
+        self.power_latency_model = SwitchingLatencyModel(
+            PowerCapLatencyProfile(self.profile), unit_seed=unit_seed, rng=rng
+        )
+        self.power_dvfs = DvfsClockDomain(
+            PowerDomainSpec(spec),
+            self.power_latency_model,
+            rng,
+            idle_timeout_s=idle_timeout_s,
+            start_time=clock.now,
+            always_powered=True,
+        )
+        #: fast-path flag: no power-limit request was ever issued, so the
+        #: limit sits at the TDP default and cannot cap the SM clock
+        self._power_static = True
         self.thermal = thermal if thermal is not None else ThermalModel(spec)
         self.thermal_state: ThermalState = self.thermal.initial_state(clock.now)
         # Thermal and power caps are tracked separately: a cool die must
@@ -337,9 +368,19 @@ class GpuDevice:
         kernel is pure compute, this *is* ``dvfs.compiled_segments`` — the
         legacy hot path, bit for bit.  Otherwise the SM and memory
         timelines merge into effective integration frequencies
-        (:func:`repro.gpusim.sm.merge_memory_segments`).
+        (:func:`repro.gpusim.sm.merge_memory_segments`).  An active
+        power-limit timeline clips the SM segments from above first
+        (:func:`repro.gpusim.sm.merge_cap_segments`): the cap shapes the
+        clock itself, the memory stall then divides whatever clock runs.
         """
         tb, f_mhz = self.dvfs.compiled_segments(t0)
+        if not self._power_static:
+            cap_tb, cap_w = self.power_dvfs.compiled_segments(t0)
+            if len(cap_w) > 1 or cap_w[0] != self.spec.tdp_watts:
+                caps = np.asarray(
+                    self.thermal.sustainable_clock_mhz(cap_w), dtype=np.float64
+                )
+                tb, f_mhz = merge_cap_segments(tb, f_mhz, cap_tb, caps)
         if self._memory_static or memory_intensity <= 0.0:
             return tb, f_mhz
         mem_tb, mem_f = self.mem_dvfs.compiled_segments(t0)
@@ -422,8 +463,63 @@ class GpuDevice:
         """Return the memory clock to the spec reference."""
         return self.set_memory_locked_clocks(self.spec.memory_frequency_mhz)
 
+    def set_power_limit(self, limit_w: float) -> TransitionRecord | None:
+        """Set the board power limit (``nvmlDeviceSetPowerManagementLimit``).
+
+        The new limit is enforced only after a sampled re-target latency
+        (the power microcontroller integrates over its sensing window
+        before committing the new sustainable clock); until then the old
+        cap keeps shaping the SM clock — the phase-2 scenario of the
+        power-cap measurement axis.
+        """
+        t = self.clock.now
+        self._drain_completed(t)
+        record = self.power_dvfs.request_locked_clocks(limit_w, t)
+        self._power_static = False
+        self.tracer.emit(
+            t, "dvfs", "power-limit",
+            gpu=self.index, target_w=limit_w,
+            init_w=record.init_mhz if record else None,
+            latency_ms=(
+                round(record.ground_truth_latency_s * 1e3, 3)
+                if record
+                else None
+            ),
+        )
+        return record
+
+    def reset_power_limit(self) -> TransitionRecord | None:
+        """Return the power limit to the TDP default."""
+        return self.set_power_limit(self.spec.tdp_watts)
+
+    def current_power_limit_w(self) -> float:
+        """The requested (management-register) power limit in watts."""
+        locked = self.power_dvfs.locked_mhz
+        return float(locked) if locked is not None else float(self.spec.tdp_watts)
+
+    def enforced_power_limit_w(self) -> float:
+        """The limit the power controller currently enforces.
+
+        Trails :meth:`current_power_limit_w` by the re-target latency (and
+        steps through intermediate ladder points during adaptation).
+        """
+        if self._power_static:
+            return float(self.spec.tdp_watts)
+        return float(self.power_dvfs.effective_freq_at(self.clock.now))
+
+    def _power_capped_mhz(self, t: float) -> float:
+        """Sustainable SM clock under the limit enforced at ``t``."""
+        return float(
+            self.thermal.sustainable_clock_mhz(
+                self.power_dvfs.effective_freq_at(t)
+            )
+        )
+
     def current_sm_clock_mhz(self) -> float:
-        return self.dvfs.effective_freq_at(self.clock.now)
+        planned = self.dvfs.effective_freq_at(self.clock.now)
+        if self._power_static:
+            return planned
+        return min(planned, self._power_capped_mhz(self.clock.now))
 
     def current_memory_clock_mhz(self) -> float:
         return self.mem_dvfs.effective_freq_at(self.clock.now)
@@ -443,6 +539,15 @@ class GpuDevice:
             if (
                 self._power_cap_mhz is not None
                 and self._power_cap_mhz < self.dvfs.locked_mhz
+            ):
+                reasons |= ThrottleReasons.SW_POWER_CAP
+            # A lowered power limit that cannot sustain the locked clock is
+            # the same unservable-setting situation, reported through the
+            # same NVML reason — the observable the power-cap measurement
+            # axis settles on.
+            if (
+                not self._power_static
+                and self._power_capped_mhz(t) < self.dvfs.locked_mhz
             ):
                 reasons |= ThrottleReasons.SW_POWER_CAP
         return reasons
@@ -501,6 +606,8 @@ class GpuDevice:
             self.dvfs.snapshot_state(),
             self.mem_dvfs.snapshot_state(),
             self._memory_static,
+            self.power_dvfs.snapshot_state(),
+            self._power_static,
             self._busy_until,
             self._seq,
             replace(self.thermal_state),
@@ -519,6 +626,8 @@ class GpuDevice:
             dvfs_state,
             mem_dvfs_state,
             memory_static,
+            power_dvfs_state,
+            power_static,
             busy_until,
             seq,
             thermal_state,
@@ -532,6 +641,8 @@ class GpuDevice:
         self.dvfs.restore_state(dvfs_state)
         self.mem_dvfs.restore_state(mem_dvfs_state)
         self._memory_static = memory_static
+        self.power_dvfs.restore_state(power_dvfs_state)
+        self._power_static = power_static
         self._busy_until = busy_until
         self._seq = seq
         self.thermal_state = replace(thermal_state)
@@ -573,7 +684,18 @@ class GpuDevice:
             * (1.0 + 6.0 * self.spec.iteration_noise_rel / max(np.sqrt(n), 1.0))
         )
         # Pessimistic rate: the lowest frequency the trajectory can reach.
-        f_min_hz = self.spec.idle_sm_frequency_mhz * 1e6
+        f_min_mhz = self.spec.idle_sm_frequency_mhz
+        if not self._power_static:
+            # An active power cap can (in principle) push the clock below
+            # idle; bound with the tightest ladder limit so early
+            # finalization stays sound.
+            f_min_mhz = min(
+                f_min_mhz,
+                self.thermal.sustainable_clock_mhz(
+                    self.spec.supported_power_limits_w[-1]
+                ),
+            )
+        f_min_hz = f_min_mhz * 1e6
         worst = t_start + total_cycles / f_min_hz + self.sm_start_stagger_s
         return worst + _KERNEL_EPILOGUE_S
 

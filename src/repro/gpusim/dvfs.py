@@ -40,7 +40,12 @@ from repro.gpusim.latency_model import LatencySample, SwitchingLatencyModel
 from repro.gpusim.spec import GpuSpec
 from repro.gpusim.trajectory import FrequencyTrajectory
 
-__all__ = ["TransitionRecord", "DvfsClockDomain", "MemoryDomainSpec"]
+__all__ = [
+    "TransitionRecord",
+    "DvfsClockDomain",
+    "MemoryDomainSpec",
+    "PowerDomainSpec",
+]
 
 
 class MemoryDomainSpec:
@@ -67,6 +72,35 @@ class MemoryDomainSpec:
 
     def nearest_supported_clocks(self, freqs_mhz: np.ndarray) -> np.ndarray:
         return self.gpu_spec.nearest_supported_memory_clocks(freqs_mhz)
+
+
+class PowerDomainSpec:
+    """Ladder adapter exposing a spec's *power limits* to the state machine.
+
+    The power-limit "clock domain" runs the same request/supersede/record
+    machinery over the board's settable power-limit ladder (watts stand in
+    for MHz); the device maps the resulting limit timeline onto SM clock
+    caps through the thermal model's sustainable-clock inversion.  Power
+    limits persist regardless of load, so the idle and nominal attributes
+    are both the TDP default (the attribute names keep the GpuSpec
+    spelling the domain expects).
+    """
+
+    def __init__(self, spec: GpuSpec) -> None:
+        self.gpu_spec = spec
+        self.name = f"{spec.name} power-limit"
+        self.idle_sm_frequency_mhz = spec.tdp_watts
+        self.nominal_sm_frequency_mhz = spec.tdp_watts
+
+    def validate_clock(self, limit_w: float, tolerance_mhz: float = 0.5) -> float:
+        return self.gpu_spec.validate_power_limit(limit_w, tolerance_mhz)
+
+    def nearest_supported_clock(self, limit_w: float) -> float:
+        return self.gpu_spec.nearest_supported_power_limit(limit_w)
+
+    def nearest_supported_clocks(self, limits_w: np.ndarray) -> np.ndarray:
+        return self.gpu_spec.nearest_supported_power_limits(limits_w)
+
 
 #: interior points of linspace(0, 1, n+2) for the handful of ramp step
 #: counts the staircase can draw — rebuilt arrays dominated ramp cost

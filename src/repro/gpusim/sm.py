@@ -95,14 +95,42 @@ def merge_memory_segments(
     exactly what the piecewise cycle integrator needs for kernels whose
     iteration time responds to both domains.
     """
-    t_all = np.union1d(tb[:-1], mem_tb[:-1])
-    i_sm = np.clip(np.searchsorted(tb, t_all, side="right") - 1, 0, len(f_mhz) - 1)
-    i_mem = np.clip(
-        np.searchsorted(mem_tb, t_all, side="right") - 1, 0, len(mem_f_mhz) - 1
-    )
+    t_all, i_sm, i_mem = _union_segment_indices(tb, f_mhz, mem_tb, mem_f_mhz)
     stall = memory_stall_factor(mem_f_mhz[i_mem], mem_ref_mhz, memory_intensity)
-    out_tb = np.append(t_all, np.inf)
-    return out_tb, f_mhz[i_sm] / stall
+    return np.append(t_all, np.inf), f_mhz[i_sm] / stall
+
+
+def merge_cap_segments(
+    tb: np.ndarray,
+    f_mhz: np.ndarray,
+    cap_tb: np.ndarray,
+    cap_mhz: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Clip SM segments from above by a piecewise-constant clock cap.
+
+    Both inputs are compiled segment timelines (boundaries with a trailing
+    ``+inf``, per-segment MHz).  The result is the union timeline whose
+    per-segment frequency is ``min(f_sm, cap)`` — how a power-limit cap
+    (the sustainable-clock image of the limit timeline) shapes the clock
+    the integrator consumes cycles at.
+    """
+    t_all, i_sm, i_cap = _union_segment_indices(tb, f_mhz, cap_tb, cap_mhz)
+    return np.append(t_all, np.inf), np.minimum(f_mhz[i_sm], cap_mhz[i_cap])
+
+
+def _union_segment_indices(
+    tb_a: np.ndarray,
+    f_a: np.ndarray,
+    tb_b: np.ndarray,
+    f_b: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Union boundary timeline of two compiled segment sets, with the
+    per-boundary segment index into each (the shared scaffolding of the
+    merge functions above — boundary alignment lives in one place)."""
+    t_all = np.union1d(tb_a[:-1], tb_b[:-1])
+    i_a = np.clip(np.searchsorted(tb_a, t_all, side="right") - 1, 0, len(f_a) - 1)
+    i_b = np.clip(np.searchsorted(tb_b, t_all, side="right") - 1, 0, len(f_b) - 1)
+    return t_all, i_a, i_b
 
 
 @dataclass

@@ -75,6 +75,12 @@ class GpuSpec:
     #: lockable memory clocks (P-states); empty means only the reference
     #: clock ``memory_frequency_mhz`` exists (the paper's fixed-memory setup)
     memory_clocks_mhz: tuple[float, ...] = ()
+    #: settable board power limits in watts (``nvidia-smi -pl`` accepts a
+    #: continuous range on real boards; campaigns sweep a discrete ladder
+    #: of representative operating points).  Empty means only the TDP
+    #: default exists and the power-cap measurement axis has nothing to
+    #: sweep.
+    power_limits_w: tuple[float, ...] = ()
 
     def __post_init__(self) -> None:
         if self.sm_count <= 0:
@@ -91,6 +97,20 @@ class GpuSpec:
             raise ConfigError(f"{self.name}: memory clock must be positive")
         if any(f <= 0 for f in self.memory_clocks_mhz):
             raise ConfigError(f"{self.name}: memory ladder clocks must be positive")
+        if any(w <= self.idle_power_watts for w in self.power_limits_w):
+            # A limit at or below idle power inverts to a 0 MHz
+            # sustainable clock — nothing could ever run under it (real
+            # boards reject -pl values below their minimum for the same
+            # reason).
+            raise ConfigError(
+                f"{self.name}: power limits must exceed the "
+                f"{self.idle_power_watts:g} W idle power"
+            )
+        if any(w > self.tdp_watts for w in self.power_limits_w):
+            raise ConfigError(
+                f"{self.name}: power limits above the {self.tdp_watts:g} W "
+                f"TDP are not settable"
+            )
 
     @cached_property
     def supported_clocks_mhz(self) -> tuple[float, ...]:
@@ -215,6 +235,49 @@ class GpuSpec:
             )
         return nearest
 
+    # ------------------------------------------------------------------
+    # power-limit domain
+    # ------------------------------------------------------------------
+    @cached_property
+    def supported_power_limits_w(self) -> tuple[float, ...]:
+        """The settable power-limit ladder in watts, descending.
+
+        Always contains the TDP (the boot/default limit); the remaining
+        entries come from ``power_limits_w``.  Like memory P-states these
+        are a short discrete list of operating points, not a staircase.
+        """
+        limits = {float(self.tdp_watts)}
+        limits.update(float(w) for w in self.power_limits_w)
+        return tuple(sorted(limits, reverse=True))
+
+    @cached_property
+    def _power_ladder_array(self) -> np.ndarray:
+        return np.asarray(self.supported_power_limits_w)
+
+    def nearest_supported_power_limit(self, limit_w: float) -> float:
+        """Snap ``limit_w`` to the closest power-ladder entry."""
+        limits = self._power_ladder_array
+        return float(limits[np.argmin(np.abs(limits - limit_w))])
+
+    def nearest_supported_power_limits(self, limits_w: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`nearest_supported_power_limit`."""
+        limits = self._power_ladder_array
+        limits_w = np.asarray(limits_w, dtype=np.float64)
+        idx = np.abs(limits[None, :] - limits_w[:, None]).argmin(axis=1)
+        return limits[idx]
+
+    def validate_power_limit(
+        self, limit_w: float, tolerance_w: float = 0.5
+    ) -> float:
+        """Return the power-ladder entry matching ``limit_w`` or raise."""
+        nearest = self.nearest_supported_power_limit(limit_w)
+        if abs(nearest - limit_w) > tolerance_w:
+            raise ConfigError(
+                f"{self.name}: {limit_w} W is not a supported power limit "
+                f"(nearest: {nearest} W)"
+            )
+        return nearest
+
 
 RTX_QUADRO_6000 = GpuSpec(
     name="RTX Quadro 6000",
@@ -232,6 +295,10 @@ RTX_QUADRO_6000 = GpuSpec(
     # GDDR6 exposes a real multi-entry memory ladder (nvidia-smi -q -d
     # SUPPORTED_CLOCKS on Turing Quadro parts).
     memory_clocks_mhz=(7001.0, 6251.0, 5001.0, 810.0, 405.0),
+    # Representative -pl operating points within the board's settable
+    # range; each entry below TDP caps the sustainable SM clock at a
+    # distinct level, which is what the power-cap axis sweeps.
+    power_limits_w=(260.0, 215.0, 175.0, 140.0),
 )
 
 A100_SXM4 = GpuSpec(
@@ -251,6 +318,7 @@ A100_SXM4 = GpuSpec(
     # P-states the 2-D core×memory campaigns sweep (paper Sec. VII names
     # the memory domain as the next measurement axis).
     memory_clocks_mhz=(1215.0, 810.0, 405.0),
+    power_limits_w=(400.0, 330.0, 270.0, 220.0),
 )
 
 GH200 = GpuSpec(
@@ -267,6 +335,7 @@ GH200 = GpuSpec(
     tdp_watts=700.0,
     idle_power_watts=75.0,
     memory_clocks_mhz=(2619.0, 1593.0, 810.0),
+    power_limits_w=(700.0, 560.0, 450.0, 360.0),
 )
 
 GPU_MODELS: dict[str, GpuSpec] = {

@@ -18,6 +18,8 @@ import enum
 import math
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.gpusim.spec import GpuSpec
 
 __all__ = ["ThrottleReasons", "ThermalModel", "ThermalState"]
@@ -164,12 +166,26 @@ class ThermalModel:
         derate = min(0.5, 0.02 * (1.0 + over))
         return self.spec.max_sm_frequency_mhz * (1.0 - derate)
 
+    def sustainable_clock_mhz(
+        self, limit_w: "float | np.ndarray", load: float = 1.0
+    ) -> "float | np.ndarray":
+        """Highest SM clock whose board power stays within ``limit_w``.
+
+        The pure inversion of the ``f^2.4`` dynamic-power model, clipped to
+        the maximum SM clock; independent of :attr:`enabled` and of the
+        board's own :attr:`power_limit_w`, so the power-cap measurement
+        axis can map any requested limit to the clock it enforces.
+        Accepts an array of limits (vectorized for segment folding).
+        """
+        limit_w = np.asarray(limit_w, dtype=np.float64)
+        idle, tdp = self.spec.idle_power_watts, self.spec.tdp_watts
+        budget = np.maximum(0.0, (limit_w - idle) / max(load, 1e-9))
+        f_rel = (budget / max(tdp - idle, 1e-9)) ** (1.0 / 2.4)
+        capped = self.spec.max_sm_frequency_mhz * np.minimum(1.0, f_rel)
+        return capped if capped.ndim else float(capped)
+
     def power_cap_mhz(self, freq_mhz: float, load: float) -> float | None:
         """Highest sustainable clock if ``freq_mhz`` exceeds the power limit."""
         if not self.enabled or self.power_watts(freq_mhz, load) < self.power_limit_w:
             return None
-        # Invert the power model for the sustainable frequency.
-        idle, tdp = self.spec.idle_power_watts, self.spec.tdp_watts
-        budget = max(0.0, (self.power_limit_w - idle) / max(load, 1e-9))
-        f_rel = (budget / max(tdp - idle, 1e-9)) ** (1.0 / 2.4)
-        return self.spec.max_sm_frequency_mhz * min(1.0, f_rel)
+        return self.sustainable_clock_mhz(self.power_limit_w, load)

@@ -183,6 +183,48 @@ class NvmlDeviceHandle:
         self.session._spend()
         return self.device.current_memory_clock_mhz()
 
+    # -- power limits --------------------------------------------------
+    def supported_power_limits_w(self) -> tuple[float, ...]:
+        """Settable power-limit ladder in watts, descending."""
+        self.session._check()
+        self.session._spend()
+        return self.device.spec.supported_power_limits_w
+
+    def set_power_limit(self, limit_w: float) -> TransitionRecord | None:
+        """Set the board power limit
+        (``nvmlDeviceSetPowerManagementLimit``).
+
+        The returned ground-truth record is simulator introspection
+        unavailable on real hardware; the new limit is enforced only after
+        the power controller's re-target latency.
+        """
+        self.session._check()
+        if limit_w <= 0:
+            raise NvmlError(
+                "NVML_ERROR_INVALID_ARGUMENT",
+                f"power limit must be positive, got {limit_w} W",
+            )
+        self.session._spend("set")
+        return self.device.set_power_limit(limit_w)
+
+    def reset_power_limit(self) -> None:
+        """Return the power limit to the TDP default."""
+        self.session._check()
+        self.session._spend("set")
+        self.device.reset_power_limit()
+
+    def power_limit_w(self) -> float:
+        """Requested power limit (``nvmlDeviceGetPowerManagementLimit``)."""
+        self.session._check()
+        self.session._spend()
+        return self.device.current_power_limit_w()
+
+    def enforced_power_limit_w(self) -> float:
+        """Limit currently enforced (``nvmlDeviceGetEnforcedPowerLimit``)."""
+        self.session._check()
+        self.session._spend()
+        return self.device.enforced_power_limit_w()
+
     # -- sensors -------------------------------------------------------
     def current_clocks_throttle_reasons(self) -> ThrottleReasons:
         self.session._check()

@@ -1,0 +1,165 @@
+"""Property tests for axis-registry invariants (:mod:`repro.core.axis`).
+
+The registry is append-only and several subsystems key on per-axis
+strings: the CSV layer on ``csv_prefix`` (including the derived ``<prefix>f``
+multi-facet and legacy ``swlat``/``swlatm`` families), the campaign loop
+on ``facet_fail_reason``, the engine seed streams on the registry
+position.  These tests pin the uniqueness requirements and check that
+:func:`~repro.core.csvio.parse_pair_csv_name_full` round-trips every
+registered axis's pair file names — for arbitrary frequencies, hostnames
+and device indices, not just the hand-picked examples in ``test_axis.py``.
+"""
+
+from __future__ import annotations
+
+import string
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.axis import AXES, axis_stream_id
+from repro.core.csvio import (
+    pair_csv_name,
+    parse_pair_csv_name_full,
+    sanitize_hostname,
+)
+from repro.errors import MeasurementError
+
+#: positive values that survive the ``%g`` formatting the CSV names use
+_freq = st.floats(
+    min_value=1e-3, max_value=1e9, allow_nan=False, allow_infinity=False
+)
+_hostname = st.text(
+    alphabet=string.ascii_letters + string.digits + ".-_/ ",
+    min_size=1,
+    max_size=24,
+)
+_index = st.integers(min_value=0, max_value=255)
+
+#: every (axis, facet kind) combination that produces a distinct prefix
+_NAME_FORMS = [("sm_core", "none"), ("sm_core", "memory")] + [
+    (name, kind)
+    for name in AXES
+    if name != "sm_core"
+    for kind in ("none", "locked_sm")
+]
+
+
+def _g(value: float) -> float:
+    """The value as recovered from its ``%g`` representation."""
+    return float(f"{value:g}")
+
+
+class TestRegistryInvariants:
+    def test_axis_names_unique_and_nonempty(self):
+        names = [axis.name for axis in AXES.values()]
+        assert len(set(names)) == len(names)
+        assert all(names)
+
+    def test_csv_prefix_family_unique(self):
+        """No prefix of any name family may collide with another.
+
+        The family includes each axis's own prefix, the derived
+        multi-facet ``<prefix>f`` forms, and the legacy grid prefix
+        ``swlatm`` — a collision would make file names ambiguous.
+        """
+        prefixes = ["swlatm"]
+        for axis in AXES.values():
+            prefixes.append(axis.csv_prefix)
+            if not axis.is_default:
+                prefixes.append(axis.csv_prefix + "f")
+        assert len(set(prefixes)) == len(prefixes)
+
+    def test_skip_reasons_unique(self):
+        reasons = [axis.facet_fail_reason for axis in AXES.values()]
+        assert len(set(reasons)) == len(reasons)
+        assert all(reasons)
+
+    def test_stream_ids_distinct_and_stable(self):
+        ids = [axis_stream_id(name) for name in AXES]
+        assert ids == list(range(len(AXES)))
+
+    def test_kernel_intensity_in_range(self):
+        for axis in AXES.values():
+            assert 0.0 <= axis.default_kernel_intensity < 1.0
+
+
+class TestNameRoundTrip:
+    @settings(max_examples=200, deadline=None)
+    @given(
+        form=st.sampled_from(_NAME_FORMS),
+        init=_freq,
+        target=_freq,
+        facet=_freq,
+        hostname=_hostname,
+        index=_index,
+    )
+    def test_every_axis_round_trips(
+        self, form, init, target, facet, hostname, index
+    ):
+        axis, facet_kind = form
+        memory_mhz = facet if facet_kind == "memory" else None
+        locked_sm = facet if facet_kind == "locked_sm" else None
+        name = pair_csv_name(
+            init, target, hostname, index,
+            memory_mhz=memory_mhz, axis=axis, locked_sm_mhz=locked_sm,
+        )
+        parsed = parse_pair_csv_name_full(name)
+        assert parsed.axis == axis
+        assert parsed.init_mhz == _g(init)
+        assert parsed.target_mhz == _g(target)
+        if facet_kind == "memory":
+            assert parsed.memory_mhz == _g(facet)
+            assert parsed.locked_sm_mhz is None
+        elif facet_kind == "locked_sm":
+            assert parsed.locked_sm_mhz == _g(facet)
+            assert parsed.memory_mhz is None
+        else:
+            assert parsed.memory_mhz is None
+            assert parsed.locked_sm_mhz is None
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        form=st.sampled_from(_NAME_FORMS),
+        init=_freq,
+        target=_freq,
+        facet=_freq,
+        hostname=_hostname,
+        index=_index,
+    )
+    def test_hostname_cannot_corrupt_fields(
+        self, form, init, target, facet, hostname, index
+    ):
+        """The numeric fields parse identically whatever the hostname."""
+        axis, facet_kind = form
+        name = pair_csv_name(
+            init, target, hostname, index,
+            memory_mhz=facet if facet_kind == "memory" else None,
+            axis=axis,
+            locked_sm_mhz=facet if facet_kind == "locked_sm" else None,
+        )
+        assert sanitize_hostname(hostname) in name
+        reference = pair_csv_name(
+            init, target, "h", index,
+            memory_mhz=facet if facet_kind == "memory" else None,
+            axis=axis,
+            locked_sm_mhz=facet if facet_kind == "locked_sm" else None,
+        )
+        assert parse_pair_csv_name_full(name) == parse_pair_csv_name_full(
+            reference
+        )
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "summary_host_gpu0.csv",
+            "swlat_only_gpu0.csv",
+            "swlatx_705_1410_h_gpu0.csv",
+            "swlatmemf_705_1410_h_gpu0.csv",  # facet prefix, missing field
+            "notacsv",
+        ],
+    )
+    def test_non_pair_names_rejected(self, bad):
+        with pytest.raises(MeasurementError):
+            parse_pair_csv_name_full(bad)

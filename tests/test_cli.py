@@ -132,6 +132,84 @@ class TestMain:
         with pytest.raises(SystemExit):
             main(["705,1410", "--locked-sm", "1410"])
 
+    def test_power_axis_run(self, tmp_path, capsys):
+        out_dir = tmp_path / "csv"
+        code = main(
+            [
+                "--axis", "power",
+                "--power-limits", "400,330",
+                "--sm-count", "4",
+                "--min-measurements", "4",
+                "--max-measurements", "6",
+                "--seed", "3",
+                "--output-dir", str(out_dir),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "power-axis campaign" in out
+        assert "locked SM 1410 MHz" in out
+        assert "400 ->     330 W" in out
+        names = {p.name for p in out_dir.glob("swlatpow_*.csv")}
+        assert names == {
+            "swlatpow_400_330_simnode01_gpu0.csv",
+            "swlatpow_330_400_simnode01_gpu0.csv",
+        }
+
+    def test_power_axis_positional_limits(self, capsys):
+        code = main(
+            [
+                "400,330",
+                "--axis", "power",
+                "--sm-count", "4",
+                "--min-measurements", "4",
+                "--max-measurements", "6",
+                "--seed", "3",
+                "--quiet",
+            ]
+        )
+        assert code == 0
+
+    def test_power_axis_needs_a_ladder(self):
+        with pytest.raises(SystemExit):
+            main(["--axis", "power"])
+
+    def test_power_axis_rejects_both_ladder_sources(self):
+        with pytest.raises(SystemExit):
+            main(["400,330", "--axis", "power", "--power-limits", "400,330"])
+
+    def test_power_limits_require_power_axis(self):
+        with pytest.raises(SystemExit):
+            main(["705,1410", "--power-limits", "400,330"])
+
+    def test_missing_frequency_list_exits(self):
+        with pytest.raises(SystemExit):
+            main(["--axis", "memory"])
+
+    def test_locked_sm_facet_sweep_run(self, tmp_path, capsys):
+        out_dir = tmp_path / "csv"
+        code = main(
+            [
+                "1215,810",
+                "--axis", "memory",
+                "--locked-sm", "1410,810",
+                "--sm-count", "4",
+                "--min-measurements", "2",
+                "--max-measurements", "4",
+                "--seed", "3",
+                "--heatmaps",
+                "--output-dir", str(out_dir),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "once per locked SM clock (1410, 810 MHz)" in out
+        assert "one panel per locked SM clock" in out
+        assert "@ SM 1410 MHz" in out
+        names = {p.name for p in out_dir.glob("swlatmemf_*.csv")}
+        assert "swlatmemf_1215_810_1410_simnode01_gpu0.csv" in names
+        assert "swlatmemf_1215_810_810_simnode01_gpu0.csv" in names
+
     def test_unsupported_memory_frequency_fails(self, capsys):
         code = main(
             [

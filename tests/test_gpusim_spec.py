@@ -141,3 +141,58 @@ class TestLookup:
                 sm_frequency_steps=5,
                 idle_sm_frequency_mhz=100,
             )
+
+
+class TestPowerLimitLadder:
+    @pytest.mark.parametrize("spec", [RTX_QUADRO_6000, A100_SXM4, GH200])
+    def test_ladder_descending_and_contains_tdp(self, spec):
+        ladder = spec.supported_power_limits_w
+        assert list(ladder) == sorted(ladder, reverse=True)
+        assert spec.tdp_watts in ladder
+        assert all(spec.idle_power_watts < w <= spec.tdp_watts for w in ladder)
+
+    def test_nearest_and_validate(self):
+        assert A100_SXM4.nearest_supported_power_limit(325.0) == 330.0
+        assert A100_SXM4.validate_power_limit(270.0) == 270.0
+        with pytest.raises(ConfigError):
+            A100_SXM4.validate_power_limit(305.0)
+
+    def test_nearest_vectorized(self):
+        got = A100_SXM4.nearest_supported_power_limits(
+            np.asarray([401.0, 221.0, 330.0])
+        )
+        assert list(got) == [400.0, 220.0, 330.0]
+
+    def _spec_with_limits(self, limits):
+        return GpuSpec(
+            name="bad",
+            architecture="X",
+            sm_count=10,
+            driver_version="1",
+            memory_frequency_mhz=1000,
+            min_sm_frequency_mhz=100,
+            max_sm_frequency_mhz=200,
+            nominal_sm_frequency_mhz=150,
+            sm_frequency_steps=5,
+            idle_sm_frequency_mhz=100,
+            tdp_watts=300.0,
+            idle_power_watts=50.0,
+            power_limits_w=limits,
+        )
+
+    def test_limit_at_or_below_idle_power_rejected(self):
+        # Such a limit inverts to a 0 MHz sustainable clock and nothing
+        # could ever run under it; the simulated driver rejects it like
+        # real boards reject -pl below their minimum.
+        with pytest.raises(ConfigError):
+            self._spec_with_limits((300.0, 50.0))
+        with pytest.raises(ConfigError):
+            self._spec_with_limits((300.0, 20.0))
+
+    def test_limit_above_tdp_rejected(self):
+        with pytest.raises(ConfigError):
+            self._spec_with_limits((350.0,))
+
+    def test_valid_ladder_accepted(self):
+        spec = self._spec_with_limits((300.0, 200.0, 100.0))
+        assert spec.supported_power_limits_w == (300.0, 200.0, 100.0)
