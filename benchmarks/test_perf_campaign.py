@@ -1,12 +1,20 @@
 """Campaign throughput benchmark → BENCH_campaign.json.
 
 Times a small fixed-seed A100 campaign (4 frequencies / 12 pairs at bench
-fidelity) four ways — the legacy serial loop, the execution engine with
-one worker on the scalar reference loop, the engine on the batched
-pass-block pipeline, and (when the host can honestly run it) the engine
-with a 4-process pool — and writes wall seconds plus measurement
-throughput to ``BENCH_campaign.json`` at the repository root, so later
-PRs have a recorded perf baseline to not regress.
+fidelity) several ways — the legacy serial loop, the execution engine
+with one worker on the scalar reference loop, the engine on the batched
+pass-block pipeline, the pair-parallel SoA tier at batch widths 1/4/12,
+and (when the host can honestly run it) the engine with a 4-process pool
+— and writes wall seconds plus measurement throughput to
+``BENCH_campaign.json`` at the repository root, so later PRs have a
+recorded perf baseline to not regress.
+
+``test_perf_floor_gate`` additionally enforces the committed floor in
+``benchmarks/perf_floor.json`` on the 1-CPU reference container: the
+batched mode failing more than the recorded tolerance below its floor
+fails the bench job.  Other hosts record a skip reason instead (same
+pattern as ``engine_workers_4``) — their absolute numbers measure the
+runner, not the engine.
 
 Honesty rules:
 
@@ -25,12 +33,19 @@ Reference points on the original seed code (single CPU container):
 
 from __future__ import annotations
 
+import json
 import os
 import time
 from dataclasses import replace
+from pathlib import Path
 
-from benchmarks.conftest import update_bench_json
+import pytest
+
+from benchmarks.conftest import BENCH_JSON, update_bench_json
 from repro import LatestConfig, make_machine, run_campaign
+
+#: committed throughput floors for the reference container
+PERF_FLOOR_JSON = Path(__file__).resolve().parent / "perf_floor.json"
 
 _SEED = 42
 _FREQUENCIES = (705.0, 975.0, 1215.0, 1410.0)
@@ -64,12 +79,14 @@ def _bench_fidelity_config() -> LatestConfig:
     )
 
 
-def _timed_campaign(workers, pass_block_size=None):
+def _timed_campaign(workers, pass_block_size=None, pair_batch_size=None):
     best = None
     for _ in range(_REPEATS):
         machine = make_machine("A100", seed=_SEED)
         config = replace(
-            _bench_fidelity_config(), pass_block_size=pass_block_size
+            _bench_fidelity_config(),
+            pass_block_size=pass_block_size,
+            pair_batch_size=pair_batch_size,
         )
         t0 = time.perf_counter()
         result = run_campaign(machine, config, workers=workers)
@@ -91,12 +108,26 @@ def test_campaign_throughput_baseline():
     engine1, _ = _timed_campaign(workers=1)
     batched, _ = _timed_campaign(workers=1, pass_block_size=25)
 
+    # Pair-parallel SoA tier at the three tracked batch widths.
+    soa = {}
+    for width in (1, 4, 12):
+        row, _ = _timed_campaign(
+            workers=1, pass_block_size=25, pair_batch_size=width
+        )
+        row["speedup_vs_engine_batched_block25"] = round(
+            row["measurements_per_s"] / batched["measurements_per_s"], 3
+        )
+        soa[f"batch_{width}"] = row
+
     # Sanity: every mode measures the full pair grid, and the batched
-    # pipeline reproduces the scalar engine's measurement set exactly.
+    # pipelines reproduce the scalar engine's measurement set exactly.
     assert serial["n_measured_pairs"] == 12
     assert engine1["n_measured_pairs"] == 12
     assert batched["n_measured_pairs"] == 12
     assert batched["n_measurements"] == engine1["n_measurements"]
+    for row in soa.values():
+        assert row["n_measured_pairs"] == 12
+        assert row["n_measurements"] == engine1["n_measurements"]
 
     cpu_count = os.cpu_count() or 1
     if cpu_count >= 4:
@@ -114,7 +145,11 @@ def test_campaign_throughput_baseline():
         parallel_speedup = None
 
     payload = {
-        "benchmark": "A100 campaign, 4 frequencies / 12 pairs, bench fidelity",
+        "benchmark": (
+            "A100 campaign, 4 frequencies / 12 pairs, bench fidelity; "
+            "modes: serial, engine, pass-block batched, pair-parallel SoA "
+            "(soa_pair_batch)"
+        ),
         "seed": _SEED,
         "frequencies_mhz": list(_FREQUENCIES),
         "cpu_count": cpu_count,
@@ -122,6 +157,7 @@ def test_campaign_throughput_baseline():
         "serial_legacy": serial,
         "engine_workers_1": engine1,
         "engine_batched_block25": batched,
+        "soa_pair_batch": soa,
         "engine_workers_4": engine4,
         "parallel_speedup_vs_engine_1": parallel_speedup,
         "batched_speedup_vs_engine_1": round(
@@ -144,3 +180,50 @@ def test_campaign_throughput_baseline():
     assert serial["wall_s"] < 30.0
     assert serial["measurements_per_s"] > 50.0
     assert batched["wall_s"] < 30.0
+
+
+def test_perf_floor_gate():
+    """Fail the bench job when the batched mode regresses below floor.
+
+    Reads the throughput the baseline test just recorded (so running this
+    gate alone re-checks the last recorded numbers without re-timing) and
+    compares against the committed floor in ``perf_floor.json``.  The
+    floor is only meaningful on the 1-CPU reference container it was
+    recorded on; other hosts record a skip reason into the bench JSON,
+    exactly like ``engine_workers_4``.
+    """
+    floors = json.loads(PERF_FLOOR_JSON.read_text())
+    entry = floors["engine_batched_block25"]
+    floor = entry["measurements_per_s_floor"]
+    tolerance = floors["tolerance"]
+
+    cpu_count = os.cpu_count() or 1
+    if cpu_count != floors["reference_cpu_count"]:
+        reason = (
+            f"host has {cpu_count} CPU(s); the committed floor "
+            f"({floor} meas/s) was recorded on the "
+            f"{floors['reference_cpu_count']}-CPU reference container and "
+            "would gate runner speed, not the engine"
+        )
+        update_bench_json(
+            {"perf_floor_gate": {"skipped": True, "reason": reason}}
+        )
+        pytest.skip(reason)
+
+    recorded = json.loads(BENCH_JSON.read_text())
+    measured = recorded["engine_batched_block25"]["measurements_per_s"]
+    minimum = floor * (1.0 - tolerance)
+    update_bench_json(
+        {
+            "perf_floor_gate": {
+                "floor_measurements_per_s": floor,
+                "tolerance": tolerance,
+                "measured_measurements_per_s": measured,
+                "passed": measured >= minimum,
+            }
+        }
+    )
+    assert measured >= minimum, (
+        f"batched campaign throughput regressed: {measured} meas/s is more "
+        f"than {tolerance:.0%} below the committed floor of {floor} meas/s"
+    )

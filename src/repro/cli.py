@@ -134,11 +134,24 @@ def build_parser() -> argparse.ArgumentParser:
         "0 forces the scalar reference loop (default 25)",
     )
     parser.add_argument(
+        "--pair-batch",
+        type=int,
+        default=None,
+        metavar="N",
+        help="advance up to N frequency pairs in lockstep through one "
+        "structure-of-arrays evaluation sweep per round (results are "
+        "bit-identical for every N); runs through the execution engine, "
+        "so --workers defaults to 1 when this is given; requires the "
+        "pass-block pipeline (--pass-block > 0)",
+    )
+    parser.add_argument(
         "--profile",
         default=None,
         metavar="OUT.pstats",
         help="profile the campaign under cProfile and write the stats to "
-        "this path (inspect with python -m pstats or snakeviz)",
+        "this path (inspect with python -m pstats or snakeviz); a "
+        "per-stage breakdown (phase1/probe/batch-step/peel-off/merge) is "
+        "printed to stderr",
     )
     sim = parser.add_argument_group("simulated environment")
     sim.add_argument(
@@ -243,6 +256,15 @@ def main(argv: list[str] | None = None) -> int:
         else None
     )
 
+    if args.pair_batch is not None:
+        if args.pass_block <= 0:
+            raise SystemExit(
+                "--pair-batch needs the pass-block pipeline (--pass-block > 0)"
+            )
+        if args.workers is None:
+            # The SoA tier lives in the execution engine; route there.
+            args.workers = 1
+
     machine = make_machine(
         args.gpu_model,
         n_gpus=args.n_gpus,
@@ -263,6 +285,7 @@ def main(argv: list[str] | None = None) -> int:
             record_sm_count=args.sm_count,
             output_dir=args.output_dir,
             pass_block_size=args.pass_block if args.pass_block > 0 else None,
+            pair_batch_size=args.pair_batch,
         )
     except ReproError as exc:
         raise SystemExit(f"error: {exc}")
@@ -282,6 +305,9 @@ def main(argv: list[str] | None = None) -> int:
             profiler.disable()
             profiler.dump_stats(args.profile)
             print(f"profile written to {args.profile}", file=sys.stderr)
+            from repro.profiling import render_stage_breakdown
+
+            print(render_stage_breakdown(args.profile), file=sys.stderr)
 
     if not args.quiet:
         from repro.core.axis import axis_by_name

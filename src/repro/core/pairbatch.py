@@ -1,0 +1,121 @@
+"""Pair-parallel lockstep driver: N pair machines per evaluation sweep.
+
+One level above the pass-block tier: where :func:`measure_pair_blocked`
+amortizes per-pass fixed costs by evaluating one pair's speculated block
+in a single array sweep, this module amortizes them *across pairs* by
+stepping N independent :class:`~repro.core.passblock.PairBlockRunner`
+machines in lockstep and evaluating all their speculated blocks in one
+shape-grouped structure-of-arrays sweep
+(:func:`repro.gpusim.soa.evaluate_entries_grouped`).
+
+Batch formation
+---------------
+The execution engine chunks a facet's jobs, in pair-index order, into
+batches of ``config.pair_batch_size`` replica machines.  Machines of
+different pairs are fully independent — separate SFC64 streams, clocks,
+thermal state — so interleaving their *simulation* steps is free, and
+stacking their *evaluation* math is legal as long as every per-element
+operation stays row-pure (it does; see the soa module's determinism
+contract).
+
+Peel-off rules
+--------------
+A runner leaves the lockstep batch when it diverges from the speculation
+assumption:
+
+* **window growth** — the runner rolled back through its checkpoint
+  ledger and re-plans with a larger window; it peels off and finishes on
+  the scalar blocked path (:func:`_finish_peeled`, the same
+  speculate/evaluate/resolve loop ``measure_pair_blocked`` runs), since
+  its block shape now disagrees with the batch and growth tends to recur;
+* **early stop / abandon / phase-2 abort** — the runner is ``done`` and
+  simply exits the live set, to be finalized with the rest.
+
+Determinism contract
+--------------------
+Each runner's control flow is the shared :class:`PairBlockRunner`
+implementation, its RNG draws happen machine-locally in scalar order
+during speculation, and every evaluation it receives is bit-identical to
+the single-pair block sweep.  Batched results therefore match the serial
+loop exactly — CSV bytes and per-pair virtual wall clock — for any batch
+size and any divergence pattern, which ``tests/test_core_pairbatch.py``
+asserts across axes and architectures.
+"""
+
+from __future__ import annotations
+
+from repro.core.passblock import PairBlockRunner, _evaluate_deferred_block
+from repro.core.results import PairResult
+from repro.gpusim.soa import SoaEvalEntry, evaluate_entries_grouped
+
+__all__ = ["measure_pair_batch"]
+
+
+def _finish_peeled(runner: PairBlockRunner) -> None:
+    """Finish a diverged runner on the scalar blocked path.
+
+    Identical to the :func:`~repro.core.passblock.measure_pair_blocked`
+    loop body; a separate named function so profile breakdowns can
+    attribute peel-off time (`--profile` stage summary).
+    """
+    while not runner.done:
+        runner.speculate()
+        evaluations = _evaluate_deferred_block(
+            runner.pending_raws, runner.bench, runner.target_stats, runner.cfg
+        )
+        runner.resolve(evaluations)
+
+
+def measure_pair_batch(items, block_cap: int) -> list[PairResult]:
+    """Measure N pairs in lockstep, one evaluation sweep per round.
+
+    ``items`` is a list of ``(bench, init_mhz, target_mhz, phase1,
+    probe)`` tuples, one per pair, each with its own replica machine; all
+    share one config instance.  Returns the finished
+    :class:`~repro.core.results.PairResult` list in input order.
+    """
+    runners = [
+        PairBlockRunner(bench, init_mhz, target_mhz, phase1, probe, block_cap)
+        for bench, init_mhz, target_mhz, phase1, probe in items
+    ]
+    if not runners:
+        return []
+    cfg = runners[0].cfg
+
+    live = [r for r in runners if not r.done]
+    while live:
+        # 1. lockstep speculation: each machine draws and advances locally
+        pending: list[list] = []
+        entries: list[SoaEvalEntry] = []
+        for slot, runner in enumerate(live):
+            runner.speculate()
+            raws = runner.pending_raws
+            pending.append(raws)
+            entries.extend(
+                SoaEvalEntry(
+                    key=(slot, pos),
+                    bench=runner.bench,
+                    raw=raw,
+                    target_stats=runner.target_stats,
+                )
+                for pos, raw in enumerate(raws)
+            )
+
+        # 2. one cross-pair SoA sweep over every speculated pass
+        evaluations = evaluate_entries_grouped(entries, cfg)
+
+        # 3. per-runner scalar resolution, then peel-off
+        survivors = []
+        for slot, runner in enumerate(live):
+            runner.resolve(
+                [evaluations[(slot, pos)] for pos in range(len(pending[slot]))]
+            )
+            if runner.done:
+                continue
+            if runner.window_grew:
+                _finish_peeled(runner)
+                continue
+            survivors.append(runner)
+        live = survivors
+
+    return [runner.finalize() for runner in runners]

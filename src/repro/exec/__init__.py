@@ -27,10 +27,12 @@ machine-build products (per-pair latency-model structures) across jobs.
     result = run_campaign(machine, config, workers=4)   # == workers=1
 """
 
+from repro.exec.daemon import WarmPool
 from repro.exec.engine import (
     CampaignExecutor,
     mp_context,
     run_campaign_parallel,
+    run_pair_batch,
     run_pair_job,
 )
 from repro.exec.jobs import (
@@ -40,6 +42,7 @@ from repro.exec.jobs import (
     ProbeCostModel,
     pair_seed_sequence,
 )
+from repro.exec.shm import pack_results, unpack_results
 
 __all__ = [
     "CampaignExecutor",
@@ -47,8 +50,12 @@ __all__ = [
     "PairJob",
     "PairJobResult",
     "ProbeCostModel",
+    "WarmPool",
     "mp_context",
+    "pack_results",
     "pair_seed_sequence",
     "run_campaign_parallel",
+    "run_pair_batch",
     "run_pair_job",
+    "unpack_results",
 ]

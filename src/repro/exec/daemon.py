@@ -1,0 +1,184 @@
+"""Persistent warm worker daemons that outlive a single campaign.
+
+The per-campaign ``ProcessPoolExecutor`` pays its full setup bill every
+run: fork, payload pickle/unpickle into every worker, and — costlier —
+a cold skeleton cache, so each campaign re-derives the deterministic
+latency-model structures its replicas need.  Sweeps and benchmark
+harnesses run *many* campaigns back to back; :class:`WarmPool` keeps a
+fixed set of daemon processes alive across them, with two caches that
+persist for the pool's lifetime:
+
+* the **skeleton cache** (same dict :func:`repro.exec.engine.run_pair_job`
+  threads through a pool initializer) — machine-build products keyed on
+  (architecture, unit seed), shared by every campaign on the pool;
+* a **payload cache** keyed on a content digest of the pickled
+  :class:`~repro.exec.jobs.CampaignPayload` (which covers architecture,
+  axis and config — identical campaigns hash identically), so re-running
+  a campaign shape ships its payload zero times instead of once per
+  worker.
+
+Dispatch protocol
+-----------------
+Tasks go on one shared queue any worker may claim, so the payload must be
+resident in *every* worker before its tasks are enqueued.  The driver
+broadcasts ``("payload", key, payload)`` on each worker's private control
+queue exactly once per (worker, key) and mirrors the worker-side FIFO
+eviction, so a worker that dequeues a task for ``key`` either has it
+cached or is guaranteed to find the install message already in flight on
+its control queue — it blocks there, never on a lock.
+
+Results return through the shared-memory channel
+(:mod:`repro.exec.shm`): measurement arrays travel zero-pickle, small
+headers ride the result queue.  Worker exceptions surface on the driver
+as a :class:`RuntimeError` carrying the worker traceback.
+
+Determinism is untouched: workers run the exact
+:func:`~repro.exec.engine.run_pair_job` /
+:func:`~repro.exec.engine.run_pair_batch` entry points, and the engine's
+index-keyed merge absorbs completion-order nondeterminism.
+"""
+
+from __future__ import annotations
+
+import atexit
+import hashlib
+import pickle
+import traceback
+
+from repro.errors import ConfigError
+from repro.exec.engine import mp_context, run_pair_batch, run_pair_job
+from repro.exec.shm import pack_results, unpack_results
+
+__all__ = ["WarmPool"]
+
+#: payloads cached per worker before FIFO eviction; sized for sweep-style
+#: workloads that cycle through a handful of campaign shapes
+PAYLOAD_CACHE_CAP = 8
+
+
+def _daemon_main(ctrl, tasks, results) -> None:
+    payloads: dict[str, object] = {}
+    order: list[str] = []
+    skeleton: dict = {}
+    while True:
+        task = tasks.get()
+        if task is None:
+            break
+        task_id, key, jobs, batched = task
+        try:
+            while key not in payloads:
+                # The driver guarantees the install message is in flight.
+                _, pkey, blob = ctrl.get()
+                payloads[pkey] = pickle.loads(blob)
+                order.append(pkey)
+                while len(order) > PAYLOAD_CACHE_CAP:
+                    payloads.pop(order.pop(0), None)
+            payload = payloads[key]
+            if batched:
+                out = run_pair_batch(jobs, payload, skeleton)
+            else:
+                out = [run_pair_job(job, payload, skeleton) for job in jobs]
+            results.put(("ok", task_id, pack_results(out)))
+        except BaseException:
+            results.put(("error", task_id, traceback.format_exc()))
+
+
+class WarmPool:
+    """A fixed set of warm worker daemons shared across campaigns.
+
+    Pass as ``pool=`` to :class:`repro.exec.engine.CampaignExecutor` (or
+    :func:`~repro.exec.engine.run_campaign_parallel`).  Always
+    :meth:`close` (or use as a context manager) when done; an ``atexit``
+    hook reaps leaked pools.
+    """
+
+    def __init__(self, workers: int) -> None:
+        if workers < 1:
+            raise ConfigError(f"workers must be >= 1, got {workers}")
+        ctx = mp_context()
+        self.workers = workers
+        self._tasks = ctx.SimpleQueue()
+        self._results = ctx.SimpleQueue()
+        self._ctrls = [ctx.SimpleQueue() for _ in range(workers)]
+        #: driver-side mirror of each worker's payload FIFO
+        self._installed: list[list[str]] = [[] for _ in range(workers)]
+        self._procs = [
+            ctx.Process(
+                target=_daemon_main,
+                args=(self._ctrls[i], self._tasks, self._results),
+                daemon=True,
+            )
+            for i in range(workers)
+        ]
+        for proc in self._procs:
+            proc.start()
+        self._closed = False
+        self._next_task_id = 0
+        #: observability counters: installs broadcast vs. cached dispatches
+        self.stats = {"payload_installs": 0, "payload_hits": 0}
+        atexit.register(self.close)
+
+    # ------------------------------------------------------------------
+    def _install_payload(self, payload) -> str:
+        blob = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+        key = hashlib.sha256(blob).hexdigest()
+        fresh = False
+        for i, ctrl in enumerate(self._ctrls):
+            mirror = self._installed[i]
+            if key in mirror:
+                continue
+            fresh = True
+            ctrl.put(("payload", key, blob))
+            mirror.append(key)
+            while len(mirror) > PAYLOAD_CACHE_CAP:
+                mirror.pop(0)
+        if fresh:
+            self.stats["payload_installs"] += 1
+        else:
+            self.stats["payload_hits"] += 1
+        return key
+
+    def run_units(self, payload, units, batched: bool = True) -> list:
+        """Run job chunks on the pool; returns the flat result list.
+
+        ``units`` is a list of job lists (SoA chunks when ``batched``,
+        singletons otherwise), already in dispatch order.
+        """
+        if self._closed:
+            raise ConfigError("pool is closed")
+        if not units:
+            return []
+        key = self._install_payload(payload)
+        task_ids = set()
+        for unit in units:
+            task_id = self._next_task_id
+            self._next_task_id += 1
+            task_ids.add(task_id)
+            self._tasks.put((task_id, key, unit, batched))
+        out = []
+        while task_ids:
+            status, task_id, body = self._results.get()
+            task_ids.discard(task_id)
+            if status == "error":
+                raise RuntimeError(f"warm worker failed:\n{body}")
+            out.extend(unpack_results(body))
+        return out
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        for _ in self._procs:
+            self._tasks.put(None)
+        for proc in self._procs:
+            proc.join(timeout=5)
+            if proc.is_alive():  # pragma: no cover - stuck worker
+                proc.terminate()
+        atexit.unregister(self.close)
+
+    def __enter__(self) -> "WarmPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -68,6 +68,7 @@ __all__ = [
     "CampaignExecutor",
     "mp_context",
     "run_campaign_parallel",
+    "run_pair_batch",
     "run_pair_job",
 ]
 
@@ -100,19 +101,15 @@ def _worker_run(job: PairJob) -> PairJobResult:
     return run_pair_job(job, _WORKER_PAYLOAD, _WORKER_SKELETON)
 
 
-def run_pair_job(
-    job: PairJob,
-    payload: CampaignPayload,
-    skeleton: dict | None = None,
-) -> PairJobResult:
-    """Execute one pair job on a replica machine.
+def _worker_run_batch(jobs: list[PairJob]) -> list[PairJobResult]:
+    assert _WORKER_PAYLOAD is not None, "pool initializer did not run"
+    return run_pair_batch(jobs, _WORKER_PAYLOAD, _WORKER_SKELETON)
 
-    ``skeleton`` (optional) is a process-lifetime cache of deterministic
-    machine-build products shared across jobs; passing it never changes
-    results, only replica construction cost.  Core×memory jobs lock and
-    settle their memory P-state before measuring, against the phase-1
-    characterization taken at that same clock.
-    """
+
+def _build_job_replica(
+    job: PairJob, payload: CampaignPayload, skeleton: dict | None
+):
+    """Build one job's replica machine + bench (shared by both job paths)."""
     seed = pair_seed_sequence(
         payload.blueprint,
         payload.config.device_index,
@@ -133,7 +130,89 @@ def run_pair_job(
             device.mem_latency_model.use_shared_cache(
                 skeleton.setdefault(key + ("memory",), {})
             )
-    bench = BenchContext(machine, payload.config)
+    return machine, BenchContext(machine, payload.config)
+
+
+def run_pair_batch(
+    jobs: list[PairJob],
+    payload: CampaignPayload,
+    skeleton: dict | None = None,
+) -> list[PairJobResult]:
+    """Execute a facet-homogeneous chunk of jobs in SoA lockstep.
+
+    Each job still gets its own replica machine with its own per-pair
+    seed stream — identical to :func:`run_pair_job` — but the measurement
+    loops advance in lockstep through
+    :func:`repro.core.pairbatch.measure_pair_batch`, sharing one
+    cross-pair evaluation sweep per round.  Jobs whose facet clock cannot
+    be reached become skipped results without joining the batch.
+    """
+    from repro.core.pairbatch import measure_pair_batch
+
+    results: list[PairJobResult] = []
+    items = []
+    batched = []
+    for job in jobs:
+        machine, bench = _build_job_replica(job, payload, skeleton)
+        t0 = machine.clock.now
+        if not bench.prepare_facet_clock(job.facet):
+            pair = PairResult(
+                init_mhz=float(job.init_mhz),
+                target_mhz=float(job.target_mhz),
+                skipped=True,
+                skip_reason=bench.axis.facet_fail_reason,
+                axis=job.axis,
+            )
+            pair.memory_mhz = job.memory_mhz
+            pair.locked_sm_mhz = job.locked_sm_mhz
+            results.append(
+                PairJobResult(
+                    index=job.index,
+                    pair=pair,
+                    elapsed_virtual_s=machine.clock.now - t0,
+                )
+            )
+            continue
+        items.append(
+            (
+                bench,
+                job.init_mhz,
+                job.target_mhz,
+                payload.phase1_for(job.facet),
+                payload.probe_for(job.facet),
+            )
+        )
+        batched.append((job, machine, t0))
+
+    if items:
+        pairs = measure_pair_batch(items, payload.config.pass_block_size)
+        for (job, machine, t0), pair in zip(batched, pairs):
+            pair.memory_mhz = job.memory_mhz
+            pair.locked_sm_mhz = job.locked_sm_mhz
+            results.append(
+                PairJobResult(
+                    index=job.index,
+                    pair=pair,
+                    elapsed_virtual_s=machine.clock.now - t0,
+                )
+            )
+    return results
+
+
+def run_pair_job(
+    job: PairJob,
+    payload: CampaignPayload,
+    skeleton: dict | None = None,
+) -> PairJobResult:
+    """Execute one pair job on a replica machine.
+
+    ``skeleton`` (optional) is a process-lifetime cache of deterministic
+    machine-build products shared across jobs; passing it never changes
+    results, only replica construction cost.  Core×memory jobs lock and
+    settle their memory P-state before measuring, against the phase-1
+    characterization taken at that same clock.
+    """
+    machine, bench = _build_job_replica(job, payload, skeleton)
     t0 = machine.clock.now
     # The facet clock first: the locked memory P-state of a grid job, or
     # the locked SM clock of a memory-/power-axis job (a fresh replica
@@ -178,10 +257,19 @@ class CampaignExecutor:
     workers:
         Process count.  ``1`` runs the job pipeline in-process; any value
         produces the identical :class:`CampaignResult`.
+    pool:
+        Optional :class:`repro.exec.daemon.WarmPool` of persistent worker
+        daemons.  When given, jobs dispatch through it instead of a
+        per-campaign ``ProcessPoolExecutor`` — the payload and skeleton
+        caches then survive across campaigns.  Results are identical.
     """
 
     def __init__(
-        self, machine: Machine, config: LatestConfig, workers: int = 1
+        self,
+        machine: Machine,
+        config: LatestConfig,
+        workers: int = 1,
+        pool=None,
     ) -> None:
         if workers < 1:
             raise ConfigError(f"workers must be >= 1, got {workers}")
@@ -193,6 +281,10 @@ class CampaignExecutor:
         self.machine = machine
         self.config = config
         self.workers = workers
+        self.pool = pool
+        #: per-facet fixed pass duration for the dispatch cost model,
+        #: filled by :meth:`run` while each facet clock is prepared
+        self._fixed_pass_by_facet: dict = {}
 
     # ------------------------------------------------------------------
     def _build_jobs(self, phase1_by_facet: dict) -> tuple[list[PairJob], dict]:
@@ -248,11 +340,41 @@ class CampaignExecutor:
                 )
         return jobs, pairs
 
+    def _batch_chunks(self, jobs: list[PairJob]) -> list[list[PairJob]]:
+        """Facet-homogeneous job chunks of at most ``pair_batch_size``.
+
+        Jobs arrive facet-major in index order, so chunking consecutive
+        runs keeps every chunk on one facet (one phase-1/probe pairing)
+        and its members in pair-index order.
+        """
+        size = self.config.pair_batch_size
+        chunks: list[list[PairJob]] = []
+        run: list[PairJob] = []
+        for job in jobs:
+            if run and (job.facet != run[-1].facet or len(run) >= size):
+                chunks.append(run)
+                run = []
+            run.append(job)
+        if run:
+            chunks.append(run)
+        return chunks
+
     def _execute(
         self, jobs: list[PairJob], payload: CampaignPayload
     ) -> list[PairJobResult]:
-        if self.workers == 1 or len(jobs) <= 1:
+        # The SoA lockstep tier needs the pass-block pipeline underneath
+        # (its runners speculate in deferred blocks).
+        batching = (
+            self.config.pair_batch_size is not None
+            and self.config.pass_block_size is not None
+        )
+        if self.pool is None and (self.workers == 1 or len(jobs) <= 1):
             skeleton: dict = {}
+            if batching:
+                results: list[PairJobResult] = []
+                for chunk in self._batch_chunks(jobs):
+                    results.extend(run_pair_batch(chunk, payload, skeleton))
+                return results
             return [run_pair_job(job, payload, skeleton) for job in jobs]
 
         # Straggler-aware dispatch: longest-expected pair first, so the
@@ -263,18 +385,52 @@ class CampaignExecutor:
         # latencies — iteration times (and thus pair costs) respond to the
         # facet clock (the locked memory P-state of a grid, the locked SM
         # clock of a facet sweep), so ranking a k≥2-facet campaign with
-        # the first facet's probes would misorder whole facets.
+        # the first facet's probes would misorder whole facets — plus the
+        # facet's fixed per-pass duration, so cross-facet ordering stays
+        # honest when locked-SM facets differ in iteration time.
         models: dict[float | None, ProbeCostModel] = {
-            facet: ProbeCostModel(payload.probe_for(facet))
+            facet: ProbeCostModel(
+                payload.probe_for(facet),
+                fixed_pass_s=self._fixed_pass_by_facet.get(facet, 0.0),
+            )
             for facet in {job.facet for job in jobs}
         }
-        ordered = sorted(
-            jobs,
-            key=lambda job: (
-                -models[job.facet].cost(job.init_mhz, job.target_mhz),
-                job.index,
-            ),
-        )
+
+        def job_cost(job: PairJob) -> float:
+            return models[job.facet].cost(job.init_mhz, job.target_mhz)
+
+        if batching:
+            chunks = self._batch_chunks(jobs)
+            ordered_chunks = sorted(
+                chunks,
+                key=lambda chunk: (
+                    -sum(job_cost(job) for job in chunk),
+                    chunk[0].index,
+                ),
+            )
+            if self.pool is not None:
+                return self.pool.run_units(payload, ordered_chunks)
+            n_workers = min(self.workers, len(ordered_chunks))
+            with ProcessPoolExecutor(
+                max_workers=n_workers,
+                mp_context=mp_context(),
+                initializer=_worker_init,
+                initargs=(payload,),
+            ) as pool:
+                futures = [
+                    pool.submit(_worker_run_batch, chunk)
+                    for chunk in ordered_chunks
+                ]
+                out: list[PairJobResult] = []
+                for future in as_completed(futures):
+                    out.extend(future.result())
+                return out
+
+        ordered = sorted(jobs, key=lambda job: (-job_cost(job), job.index))
+        if self.pool is not None:
+            return self.pool.run_units(
+                payload, [[job] for job in ordered], batched=False
+            )
         n_workers = min(self.workers, len(jobs))
         with ProcessPoolExecutor(
             max_workers=n_workers,
@@ -284,6 +440,30 @@ class CampaignExecutor:
         ) as pool:
             futures = [pool.submit(_worker_run, job) for job in ordered]
             return [future.result() for future in as_completed(futures)]
+
+    def _merge_results(
+        self,
+        jobs: list[PairJob],
+        results: list[PairJobResult],
+        pairs: dict,
+    ) -> float:
+        """Merge job results by index; returns the summed virtual cost.
+
+        The merge is keyed by pair index so neither submission nor
+        completion order can influence the campaign result; the returned
+        total advances the driver clock so downstream consumers still see
+        time passing.
+        """
+        results.sort(key=lambda r: r.index)
+        by_index = {job.index: job for job in jobs}
+        total_elapsed = 0.0
+        for res in results:
+            job = by_index[res.index]
+            sm_key = (job.init_mhz, job.target_mhz)
+            key = sm_key if job.facet is None else sm_key + (job.facet,)
+            pairs[key] = res.pair
+            total_elapsed += res.elapsed_virtual_s
+        return total_elapsed
 
     # ------------------------------------------------------------------
     def run(self) -> CampaignResult:
@@ -310,6 +490,18 @@ class CampaignExecutor:
                 if phase1.valid_pairs
                 else None
             )
+            # Fixed per-pass duration at this facet (delay + confirmation
+            # iterations at the facet's own iteration time): the additive
+            # term the dispatch cost model needs to rank jobs *across*
+            # facets.  Evaluated here because iteration_duration_s reads
+            # the locked facet clock, which is prepared right now.
+            self._fixed_pass_by_facet[facet] = (
+                config.delay_iterations + config.confirm_iterations
+            ) * bench_driver.bench.axis.iteration_duration_s(
+                bench_driver.bench,
+                phase1.kernel,
+                max(config.frequencies),
+            )
         first = facet_plan[0]
         single_facet = facet_plan == (None,)
         payload = CampaignPayload(
@@ -324,18 +516,7 @@ class CampaignExecutor:
 
         jobs, pairs = self._build_jobs(phase1_by_facet)
         results = self._execute(jobs, payload)
-
-        # Merge in job order; advance the driver clock by the summed
-        # virtual cost so downstream consumers still see time passing.
-        results.sort(key=lambda r: r.index)
-        by_index = {job.index: job for job in jobs}
-        total_elapsed = 0.0
-        for res in results:
-            job = by_index[res.index]
-            sm_key = (job.init_mhz, job.target_mhz)
-            key = sm_key if job.facet is None else sm_key + (job.facet,)
-            pairs[key] = res.pair
-            total_elapsed += res.elapsed_virtual_s
+        total_elapsed = self._merge_results(jobs, results, pairs)
         if total_elapsed > 0.0:
             machine.clock.advance(total_elapsed)
 
@@ -366,7 +547,10 @@ class CampaignExecutor:
 
 
 def run_campaign_parallel(
-    machine: Machine, config: LatestConfig, workers: int = 1
+    machine: Machine,
+    config: LatestConfig,
+    workers: int = 1,
+    pool=None,
 ) -> CampaignResult:
     """Run a campaign through the execution engine (see module docs)."""
-    return CampaignExecutor(machine, config, workers=workers).run()
+    return CampaignExecutor(machine, config, workers=workers, pool=pool).run()

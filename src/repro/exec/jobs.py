@@ -179,10 +179,22 @@ class ProbeCostModel:
     *ordering* matters — the merge is index-keyed, so dispatch order never
     affects results.  The probe lookup tables build once per campaign,
     not once per job, so sorting a dense pair grid stays O(P log P).
+
+    ``fixed_pass_s`` folds the facet's per-pass fixed work — the delay
+    and confirmation iterations at the facet's locked-SM iteration
+    duration — into every estimate.  The probe latency alone is a fine
+    *within*-facet ranking but a wrong *cross*-facet one: on the memory
+    and power axes a slow locked-SM facet makes every pass longer
+    regardless of its switching latency, so without the additive facet
+    term a multi-facet sort interleaves facets by latency and starts the
+    slow facet's pairs too late.
     """
 
-    def __init__(self, probe: ProbeInfo | None) -> None:
+    def __init__(
+        self, probe: ProbeInfo | None, fixed_pass_s: float = 0.0
+    ) -> None:
         self._probe = probe
+        self._fixed_pass_s = float(fixed_pass_s)
         self._by_pair: dict[tuple[float, float], float] = {}
         self._by_target: dict[float, float] = {}
         self._span = 0.0
@@ -200,15 +212,17 @@ class ProbeCostModel:
 
     def cost(self, init_mhz: float, target_mhz: float) -> float:
         if not self._by_pair:
-            return abs(target_mhz - init_mhz)
+            return abs(target_mhz - init_mhz) + self._fixed_pass_s
         exact = self._by_pair.get((init_mhz, target_mhz))
         if exact is not None:
-            return exact
+            return exact + self._fixed_pass_s
         same_target = self._by_target.get(target_mhz)
         if same_target is not None:
-            return same_target
+            return same_target + self._fixed_pass_s
         distance = abs(target_mhz - init_mhz)
         scale = distance / self._span if self._span > 0 else 1.0
-        return self._probe.median_latency_s * (0.5 + scale)
+        return (
+            self._probe.median_latency_s * (0.5 + scale) + self._fixed_pass_s
+        )
 
 

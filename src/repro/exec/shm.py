@@ -1,0 +1,155 @@
+"""Zero-pickle result transport over ``multiprocessing.shared_memory``.
+
+A campaign's payload travels driver→worker once per process, but results
+travel worker→driver once per job — and a pair's measurement list is by
+far the largest part of a :class:`~repro.exec.jobs.PairJobResult`.
+Pickling it serializes every :class:`SwitchingLatencyMeasurement` object
+graph per measurement; this module instead flattens all measurement
+records of a result batch into one shared-memory float64 matrix the
+driver maps directly, so the arrays cross the process boundary without
+serialization.  Only a small header — per-pair scalars, skip metadata,
+outlier labels, row offsets — still rides pickle.
+
+Layout
+------
+One ``(total_rows, 8)`` float64 matrix, one row per measurement across
+all pairs of the batch, columns::
+
+    0 latency_s   1 ts_acc   2 te_acc   3 n_valid_sm
+    4 window_iterations   5 ground_truth_s (0 when absent)
+    6 ground_truth_is_none flag   7 ground_truth_outlier flag
+
+Integers and bools round-trip exactly through float64 (all values are
+far below 2**53); floats are stored verbatim, so reconstruction is
+bit-exact — the engine equality tests hold with or without this channel.
+
+The driver owns the segment lifetime: workers create and fill a segment,
+close their mapping, and send its name; the driver attaches, rebuilds,
+then closes *and unlinks*.  Hosts without a functional shared-memory
+implementation (or empty batches) fall back to plain pickle — the
+``("pickle", results)`` envelope — transparently.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+try:  # pragma: no cover - import succeeds on every supported platform
+    from multiprocessing import shared_memory
+except ImportError:  # pragma: no cover
+    shared_memory = None
+
+from repro.core.results import PairResult  # noqa: F401 - re-export context
+from repro.core.results import SwitchingLatencyMeasurement
+from repro.exec.jobs import PairJobResult
+
+__all__ = ["pack_results", "unpack_results"]
+
+_N_COLS = 8
+
+
+def pack_results(results: list[PairJobResult]):
+    """Flatten a result batch into a shared-memory envelope.
+
+    Returns ``("shm", name, header)`` — or ``("pickle", results)`` when
+    shared memory is unavailable or there is nothing to flatten.
+    """
+    total = sum(len(r.pair.measurements) for r in results)
+    if shared_memory is None or total == 0:
+        return ("pickle", results)
+
+    try:
+        seg = shared_memory.SharedMemory(
+            create=True, size=total * _N_COLS * 8
+        )
+    except (OSError, ValueError):  # pragma: no cover - degraded host
+        return ("pickle", results)
+    # Ownership moves to the driver (which unlinks after unpacking), so
+    # the creating process must drop its resource-tracker registration or
+    # the tracker warns about an "leaked" segment at worker shutdown
+    # (cpython#82300: SharedMemory assumes creator == owner).
+    try:
+        from multiprocessing import resource_tracker
+
+        resource_tracker.unregister(seg._name, "shared_memory")
+    except Exception:  # pragma: no cover - tracker internals moved
+        pass
+
+    matrix = np.ndarray((total, _N_COLS), dtype=np.float64, buffer=seg.buf)
+    header = []
+    row = 0
+    for res in results:
+        ms = res.pair.measurements
+        for i, m in enumerate(ms):
+            matrix[row + i] = (
+                m.latency_s,
+                m.ts_acc,
+                m.te_acc,
+                float(m.n_valid_sm),
+                float(m.window_iterations),
+                0.0 if m.ground_truth_s is None else m.ground_truth_s,
+                1.0 if m.ground_truth_s is None else 0.0,
+                1.0 if m.ground_truth_outlier else 0.0,
+            )
+        header.append(
+            (
+                res.index,
+                res.elapsed_virtual_s,
+                dataclasses.replace(res.pair, measurements=[]),
+                row,
+                len(ms),
+            )
+        )
+        row += len(ms)
+    name = seg.name
+    seg.close()
+    return ("shm", name, header)
+
+
+def unpack_results(envelope) -> list[PairJobResult]:
+    """Rebuild a result batch from :func:`pack_results`'s envelope.
+
+    Shared-memory segments are closed *and unlinked* here — the driver
+    side owns their lifetime.
+    """
+    kind = envelope[0]
+    if kind == "pickle":
+        return envelope[1]
+
+    _, name, header = envelope
+    seg = shared_memory.SharedMemory(name=name)
+    try:
+        total = sum(count for *_, count in header)
+        matrix = np.ndarray(
+            (total, _N_COLS), dtype=np.float64, buffer=seg.buf
+        )
+        out = []
+        for index, elapsed, pair, row, count in header:
+            measurements = []
+            for r in range(row, row + count):
+                rec = matrix[r]
+                measurements.append(
+                    SwitchingLatencyMeasurement(
+                        latency_s=float(rec[0]),
+                        ts_acc=float(rec[1]),
+                        te_acc=float(rec[2]),
+                        n_valid_sm=int(rec[3]),
+                        window_iterations=int(rec[4]),
+                        ground_truth_s=(
+                            None if rec[6] != 0.0 else float(rec[5])
+                        ),
+                        ground_truth_outlier=rec[7] != 0.0,
+                    )
+                )
+            pair.measurements = measurements
+            out.append(
+                PairJobResult(
+                    index=index, pair=pair, elapsed_virtual_s=elapsed
+                )
+            )
+        return out
+    finally:
+        seg.close()
+        seg.unlink()

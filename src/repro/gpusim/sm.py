@@ -282,26 +282,54 @@ class PendingIntegration:
         assert buf is not None
         return buf.shape
 
-    def _invert(self, c_abs: np.ndarray) -> np.ndarray:
+    def _invert(
+        self, c_abs: np.ndarray, rows_sorted: bool = False
+    ) -> np.ndarray:
         """Map absolute cycle targets to true times (in place on c_abs).
 
         The per-segment map ``(c - g_j) / f_j + tb_j`` is folded into the
         affine form ``c * (1/f_j) + (tb_j - g_j / f_j)`` — two gathers and
         two element passes instead of three of each.
+
+        ``rows_sorted=True`` asserts every row of a 2-D input is
+        nondecreasing (cumulative cycle rows always are): the segment of
+        each element is then found by bisecting the row against the
+        segment boundaries — ``O(n_seg log n)`` lookups per row instead of
+        ``O(n log n_seg)`` — and each contiguous run maps through the same
+        scalar multiply+add the gathered path applies elementwise, so the
+        results are bit-identical.
         """
+        n_seg = len(self.f_hz)
         inv_f = 1.0 / self.f_hz
-        shift = self.tb[: len(self.f_hz)] - self.g[: len(self.f_hz)] * inv_f
-        if len(self.f_hz) == 1:
+        shift = self.tb[:n_seg] - self.g[:n_seg] * inv_f
+        if n_seg == 1:
             # Constant-frequency fast path (fillers, post-settle kernels):
             # the inversion is a single linear map, so the searchsorted/
             # gather passes degenerate.
             c_abs *= inv_f[0]
             c_abs += shift[0]
             return c_abs
+        if rows_sorted and c_abs.ndim == 2:
+            # An element belongs to segment s when it reaches g[s] but not
+            # g[s+1] (``side="right"`` semantics of the gathered path:
+            # boundary-valued elements and elements past the last boundary
+            # land in the later/last segment, zero-capacity segments get
+            # empty runs).
+            for row in c_abs:
+                bounds = np.searchsorted(row, self.g[1:n_seg], side="left")
+                prev = 0
+                for s in range(n_seg):
+                    hi = int(bounds[s]) if s < n_seg - 1 else row.size
+                    if hi > prev:
+                        seg = row[prev:hi]
+                        seg *= inv_f[s]
+                        seg += shift[s]
+                        prev = hi
+            return c_abs
         shape = c_abs.shape
         flat = c_abs.reshape(-1)
         j = np.searchsorted(self.g, flat, side="right") - 1
-        j = np.minimum(j, len(self.f_hz) - 1)
+        j = np.minimum(j, n_seg - 1)
         flat *= inv_f[j]
         flat += shift[j]
         return flat.reshape(shape)
@@ -319,7 +347,9 @@ class PendingIntegration:
         c_abs = self.cycles_cum
         self.cycles_cum = None  # consumed in place below
         c_abs += self.g_start[:, None]
-        self._ends = self._invert(c_abs)
+        # Cumulative cycle rows are nondecreasing (cycle draws are floored
+        # strictly above zero), so the row-bisecting inversion applies.
+        self._ends = self._invert(c_abs, rows_sorted=True)
         return self._ends
 
     def materialize(self) -> KernelTimestamps:

@@ -1,0 +1,132 @@
+"""Structure-of-arrays evaluation state for pair-parallel simulation.
+
+The pair-parallel tier (:mod:`repro.core.pairbatch`) steps N independent
+pair machines in lockstep.  Each machine's *simulation* side — RNG draws,
+clock advances, thermal/energy accumulation — is inherently sequential
+per machine: the SFC64 stream interleaves cycle-noise, latency and
+outlier draws in strict pass order, so stacking those across machines
+would change draw order and break bit-identity.  What *can* stack is
+everything downstream of the draws: the deferred per-iteration boundary
+matrices, device-clock conversion, and the phase-3 detection/confirmation
+sweep are pure row-wise array math over already-drawn values.
+
+This module owns that stacked layout.  After every lockstep speculation
+round the batch driver collects one :class:`SoaEvalEntry` per speculated
+measurement pass across *all* live pairs and hands them to
+:func:`evaluate_entries_grouped`, which
+
+1. groups entries by their deferred ``(n_sm, n_iter)`` cycles shape —
+   within one pair's block every pass shares ``window_iters``, so a
+   pair's whole round lands in a single group; groups mix passes from
+   different pairs whose windows happen to agree (the common case early
+   in a campaign, where probe-derived windows coincide per facet);
+2. converts each pass's true-time end boundaries through its *own*
+   machine's GPU clock (per-machine offset/drift/quantization) into one
+   shared ``(B, n_sm, n_iter)`` scratch matrix — conversion is
+   elementwise, so per-row calls are bit-identical to any stacking;
+3. evaluates the whole group in one sweep via
+   :func:`repro.core.phase3.evaluate_switch_group_deferred`, which
+   broadcasts each pass's own detection band and phase-1 target
+   statistics down the stacked axis.
+
+Determinism contract
+--------------------
+Every per-element float operation an entry experiences here is the same
+operation, on the same operands, in the same order as the scalar
+``materialize`` + ``evaluate_switch`` chain would perform for that pass
+alone; grouping only changes *which loop* drives the arithmetic.  The
+single cross-pass reduction that batches work — Welch confirmation of
+candidate tails — uses :func:`repro.stats.intervals.difference_ci_rows`,
+whose rows reproduce the scalar ``difference_ci`` bit for bit.  Groups
+share one grow-only scratch registry, so they are evaluated strictly
+sequentially (stack, evaluate, collect) — never interleaved.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.phase3 import (
+    SwitchEvaluation,
+    block_scratch,
+    evaluate_switch,
+    evaluate_switch_block_deferred,
+    evaluate_switch_group_deferred,
+)
+
+__all__ = ["SoaEvalEntry", "evaluate_entries_grouped"]
+
+
+@dataclass
+class SoaEvalEntry:
+    """One deferred measurement pass awaiting cross-pair evaluation.
+
+    ``key`` identifies the pass back to its runner — ``(pair_slot,
+    pass_position)`` in the batch driver — and is opaque here.  ``bench``
+    supplies the pass's own device clock and CUDA stub; ``target_stats``
+    its pair's phase-1 statistics at the target frequency.
+    """
+
+    key: tuple
+    bench: object
+    raw: object
+    target_stats: object
+
+
+def evaluate_entries_grouped(entries, cfg) -> dict:
+    """Evaluate deferred passes from many pairs in shape-grouped sweeps.
+
+    Returns ``{entry.key: SwitchEvaluation}`` for every entry.  Groups
+    are keyed on the deferred cycles shape and processed in first-seen
+    order; singleton groups take the scalar ``evaluate_switch`` path
+    (already proven bit-identical to the stacked path by the pass-block
+    tests), larger groups the stacked one.
+    """
+    groups: dict[tuple[int, int], list[SoaEvalEntry]] = {}
+    for entry in entries:
+        shape = entry.raw.pending.handle.deferred.cycles_shape
+        groups.setdefault(shape, []).append(entry)
+
+    out: dict = {}
+    for (n_sm, n_iter), members in groups.items():
+        if len(members) == 1:
+            entry = members[0]
+            entry.raw.materialize(entry.bench.cuda)
+            out[entry.key] = evaluate_switch(
+                entry.raw, entry.target_stats, cfg
+            )
+            continue
+
+        # Stack the group: per-entry clock conversion into shared scratch.
+        ends = block_scratch("ends", (len(members), n_sm, n_iter))
+        start0 = np.empty((len(members), n_sm))
+        for b, entry in enumerate(members):
+            gpu_clock = entry.bench.device.gpu_clock
+            deferred = entry.raw.pending.handle.deferred
+            gpu_clock.convert_array(deferred.ends_true(), out=ends[b])
+            # Row-wise conversion of the first-iteration starts: identical
+            # elementwise arithmetic to the single-pair whole-matrix call.
+            start0[b] = gpu_clock.convert_array(deferred.sm_start_times)
+        ts_list = [entry.raw.ts_acc for entry in members]
+        first_stats = members[0].target_stats
+        if all(e.target_stats is first_stats for e in members):
+            # Single-pair (or single-stats) group: the uniform block
+            # evaluator applies one shared detection band and one shared
+            # confirmation reference — same per-element arithmetic as the
+            # per-pass group evaluator, with less per-pass bookkeeping.
+            evaluations = evaluate_switch_block_deferred(
+                start0, ends, ts_list, first_stats, cfg
+            )
+        else:
+            evaluations = evaluate_switch_group_deferred(
+                start0,
+                ends,
+                ts_list,
+                [entry.target_stats for entry in members],
+                cfg,
+            )
+        for entry, evaluation in zip(members, evaluations):
+            out[entry.key] = evaluation
+    return out

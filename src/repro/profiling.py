@@ -1,0 +1,68 @@
+"""Profile post-processing: the campaign stage breakdown.
+
+``latest-bench --profile OUT.pstats`` dumps a raw cProfile capture; this
+module condenses it into the handful of numbers a perf PR actually needs
+— where campaign time went, by pipeline stage — so regressions are
+attributable without opening the dump in a viewer.
+
+Stages are anchored on well-known functions (cumulative time, matched on
+``(file basename, function name)``):
+
+==========  =========================================================
+stage       anchor(s)
+==========  =========================================================
+phase1      ``run_phase1`` (characterization sweeps, per facet)
+probe       ``_probe_windows`` (window-sizing probe passes)
+batch-step  ``measure_pair_batch`` + ``measure_pair_blocked``
+            (lockstep SoA rounds / single-pair blocked loops)
+peel-off    ``_finish_peeled`` (diverged runners on the scalar path)
+merge       ``_merge_results`` (index-keyed result merge)
+==========  =========================================================
+
+Stages may nest — a peeled runner's time is *inside* the batch-step
+total, and ``measure_pair_blocked`` is also the workers' entry point when
+no pair batching is active — so the rows are overlapping attributions
+against total time, not a partition of it.
+"""
+
+from __future__ import annotations
+
+import os
+import pstats
+
+__all__ = ["STAGE_ANCHORS", "render_stage_breakdown", "stage_times"]
+
+#: stage name -> (file basename, function name) anchors, cumtimes summed
+STAGE_ANCHORS: dict[str, tuple[tuple[str, str], ...]] = {
+    "phase1": (("phase1.py", "run_phase1"),),
+    "probe": (("campaign.py", "_probe_windows"),),
+    "batch-step": (
+        ("pairbatch.py", "measure_pair_batch"),
+        ("passblock.py", "measure_pair_blocked"),
+    ),
+    "peel-off": (("pairbatch.py", "_finish_peeled"),),
+    "merge": (("engine.py", "_merge_results"),),
+}
+
+
+def stage_times(stats_path: str) -> tuple[dict[str, float], float]:
+    """Per-stage cumulative seconds and the capture's total time."""
+    stats = pstats.Stats(stats_path)
+    by_stage = {name: 0.0 for name in STAGE_ANCHORS}
+    for (filename, _line, funcname), entry in stats.stats.items():
+        base = os.path.basename(filename)
+        cumtime = entry[3]
+        for stage, anchors in STAGE_ANCHORS.items():
+            if (base, funcname) in anchors:
+                by_stage[stage] += cumtime
+    return by_stage, stats.total_tt
+
+
+def render_stage_breakdown(stats_path: str) -> str:
+    """The stderr summary printed after ``--profile`` dumps its stats."""
+    by_stage, total = stage_times(stats_path)
+    lines = [f"stage breakdown (total {total:.3f} s; stages may nest):"]
+    for stage, seconds in by_stage.items():
+        share = 100.0 * seconds / total if total > 0 else 0.0
+        lines.append(f"  {stage:<11} {seconds:9.3f} s  {share:5.1f}%")
+    return "\n".join(lines)

@@ -1,0 +1,144 @@
+"""Bit-identity contract of the pair-parallel SoA execution tier.
+
+The lockstep batch driver (:mod:`repro.core.pairbatch`) must reproduce
+the one-job-at-a-time engine path exactly — same measurements, outlier
+labels, CSV bytes, and per-pair virtual wall clock — for every batch
+size, every divergence pattern (window growth peel-off, mid-batch early
+stop, throttle aborts), and all three measurement axes.
+"""
+
+from dataclasses import replace
+from pathlib import Path
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import make_machine
+from repro.exec.engine import run_campaign_parallel
+from tests.conftest import fast_config
+from tests.test_exec_engine import _campaign_fingerprint
+
+
+def _csv_bytes(directory: Path) -> dict[str, bytes]:
+    return {p.name: p.read_bytes() for p in sorted(directory.glob("*.csv"))}
+
+
+_AXES = {
+    "sm_core": dict(frequencies=(705.0, 1095.0, 1410.0)),
+    "memory": dict(frequencies=(1215.0, 810.0, 405.0), axis="memory"),
+    "power": dict(frequencies=(400.0, 330.0, 270.0), axis="power"),
+}
+
+
+def _axis_config(axis, **overrides):
+    kw = dict(_AXES[axis])
+    freqs = kw.pop("frequencies")
+    kw.update(overrides)
+    return fast_config(freqs, **kw)
+
+
+def _engine_run(cfg, seed=99, model="A100", outdir=None, **machine_kw):
+    machine = make_machine(model, seed=seed, **machine_kw)
+    if outdir is not None:
+        cfg = replace(cfg, output_dir=str(outdir))
+    result = run_campaign_parallel(machine, cfg)
+    csv = _csv_bytes(outdir) if outdir is not None else None
+    return result, csv
+
+
+class TestPairBatchEquivalence:
+    @pytest.mark.parametrize("axis", sorted(_AXES))
+    @pytest.mark.parametrize("batch", [1, 3, 12])
+    def test_axes_grid(self, axis, batch, tmp_path):
+        cfg = _axis_config(axis)
+        ref, ref_csv = _engine_run(cfg, outdir=tmp_path / "ref")
+        bat, bat_csv = _engine_run(
+            replace(cfg, pair_batch_size=batch), outdir=tmp_path / "bat"
+        )
+        assert _campaign_fingerprint(bat) == _campaign_fingerprint(ref)
+        assert bat_csv == ref_csv
+        assert bat.wall_virtual_s == ref.wall_virtual_s
+
+    # A campaign per example is expensive; a modest example budget over
+    # random (axis, batch width, block cap) triples still walks far more
+    # of the divergence space than the fixed grid above.  Baselines cache
+    # per configuration shape so each example pays one batched run.
+    _baselines: dict = {}
+
+    @settings(
+        max_examples=12,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(
+        axis=st.sampled_from(sorted(_AXES)),
+        batch=st.integers(min_value=1, max_value=16),
+        block=st.sampled_from([1, 5, 25]),
+        grow=st.booleans(),
+    )
+    def test_random_batch_shapes(self, axis, batch, block, grow):
+        overrides = dict(pass_block_size=block)
+        if grow:
+            # Undersized probe windows force mid-batch window growth —
+            # the peel-off divergence.
+            overrides.update(
+                switch_window_factor=0.25, window_policy="probe-max"
+            )
+        cfg = _axis_config(axis, **overrides)
+        key = (axis, block, grow)
+        if key not in self._baselines:
+            ref, _ = _engine_run(cfg)
+            self._baselines[key] = _campaign_fingerprint(ref), ref.wall_virtual_s
+        ref_fp, ref_wall = self._baselines[key]
+        bat, _ = _engine_run(replace(cfg, pair_batch_size=batch))
+        assert _campaign_fingerprint(bat) == ref_fp
+        assert bat.wall_virtual_s == ref_wall
+
+    def test_growth_peels_off_mid_batch(self, tmp_path):
+        cfg = _axis_config(
+            "sm_core",
+            min_measurements=4,
+            max_measurements=6,
+            switch_window_factor=0.25,
+            window_policy="probe-max",
+        )
+        ref, ref_csv = _engine_run(cfg, seed=31, outdir=tmp_path / "ref")
+        growthy = [p.n_window_growths for p in ref.pairs.values()]
+        assert any(g > 0 for g in growthy), "config failed to force growth"
+        bat, bat_csv = _engine_run(
+            replace(cfg, pair_batch_size=6), seed=31, outdir=tmp_path / "bat"
+        )
+        assert _campaign_fingerprint(bat) == _campaign_fingerprint(ref)
+        assert bat_csv == ref_csv
+        assert bat.wall_virtual_s == ref.wall_virtual_s
+
+    def test_thermal_aborts_mid_batch(self, tmp_path):
+        """Thermal machines hit the throttle branches (discards and the
+        power abort) while other batch members keep measuring."""
+        cfg = _axis_config(
+            "sm_core", min_measurements=4, max_measurements=8
+        )
+        machine_kw = dict(
+            thermal_enabled=True, ambient_c=45.0, power_limit_w=320.0
+        )
+        ref, ref_csv = _engine_run(
+            cfg, seed=17, outdir=tmp_path / "ref", **machine_kw
+        )
+        bat, bat_csv = _engine_run(
+            replace(cfg, pair_batch_size=5),
+            seed=17,
+            outdir=tmp_path / "bat",
+            **machine_kw,
+        )
+        assert _campaign_fingerprint(bat) == _campaign_fingerprint(ref)
+        assert bat_csv == ref_csv
+        assert bat.wall_virtual_s == ref.wall_virtual_s
+
+    def test_batch_matches_multiworker_engine(self, tmp_path):
+        """Batched single-process == unbatched multi-process results."""
+        cfg = _axis_config("sm_core")
+        machine = make_machine("A100", seed=12)
+        ref = run_campaign_parallel(machine, cfg, workers=2)
+        bat, _ = _engine_run(replace(cfg, pair_batch_size=4), seed=12)
+        assert _campaign_fingerprint(bat) == _campaign_fingerprint(ref)
