@@ -79,17 +79,22 @@ def _bench_fidelity_config() -> LatestConfig:
     )
 
 
-def _timed_campaign(workers, pass_block_size=None, pair_batch_size=None):
+def _timed_campaign(
+    workers, pass_block_size=None, pair_batch_size=None, journal_root=None
+):
     best = None
-    for _ in range(_REPEATS):
+    for i in range(_REPEATS):
         machine = make_machine("A100", seed=_SEED)
         config = replace(
             _bench_fidelity_config(),
             pass_block_size=pass_block_size,
             pair_batch_size=pair_batch_size,
         )
+        # A journal open refuses an existing directory, so each repeat
+        # journals into its own (the fsync-per-pair cost is identical).
+        journal = None if journal_root is None else str(journal_root / f"r{i}")
         t0 = time.perf_counter()
-        result = run_campaign(machine, config, workers=workers)
+        result = run_campaign(machine, config, workers=workers, journal=journal)
         wall_s = time.perf_counter() - t0
         if best is None or wall_s < best[0]:
             best = (wall_s, result)
@@ -180,6 +185,47 @@ def test_campaign_throughput_baseline():
     assert serial["wall_s"] < 30.0
     assert serial["measurements_per_s"] > 50.0
     assert batched["wall_s"] < 30.0
+
+
+def test_journal_overhead(tmp_path):
+    """Record what the durable journal costs the batched engine mode.
+
+    The journal fsyncs one framed record per completed pair — a fixed
+    per-pair cost that should stay a small fraction of the measurement
+    wall clock.  Both rows land in ``BENCH_campaign.json`` so the
+    trajectory is tracked alongside the other modes.
+    """
+    plain, plain_result = _timed_campaign(workers=1, pass_block_size=25)
+    journaled, journaled_result = _timed_campaign(
+        workers=1, pass_block_size=25, journal_root=tmp_path
+    )
+
+    # Journaling must not perturb the measurements themselves.
+    assert journaled["n_measured_pairs"] == plain["n_measured_pairs"]
+    assert journaled["n_measurements"] == plain["n_measurements"]
+    assert journaled_result.wall_virtual_s == plain_result.wall_virtual_s
+
+    overhead_pct = round(
+        100.0 * (journaled["wall_s"] / plain["wall_s"] - 1.0), 2
+    )
+    update_bench_json(
+        {
+            "journal_overhead": {
+                "mode": "engine_batched_block25, workers=1",
+                "journal_off": plain,
+                "journal_on": journaled,
+                "overhead_pct": overhead_pct,
+                "note": (
+                    "per-pair fsync'd append; negative values are run-to-"
+                    "run noise on shared containers"
+                ),
+            }
+        }
+    )
+
+    # Guardrail, not a tight bound: a per-pair fsync must never dominate
+    # a campaign that measures for seconds.
+    assert journaled["wall_s"] < 30.0
 
 
 def test_perf_floor_gate():

@@ -21,7 +21,7 @@ from repro.analysis.render import (
 from repro.analysis.summary import summarize_campaign
 from repro.core.campaign import run_campaign
 from repro.core.config import LatestConfig
-from repro.errors import ReproError
+from repro.errors import CampaignInterrupted, ReproError
 from repro.machine import make_machine
 
 __all__ = ["build_parser", "main"]
@@ -144,6 +144,50 @@ def build_parser() -> argparse.ArgumentParser:
         "so --workers defaults to 1 when this is given; requires the "
         "pass-block pipeline (--pass-block > 0)",
     )
+    fault = parser.add_argument_group("fault tolerance")
+    fault.add_argument(
+        "--journal",
+        default=None,
+        metavar="DIR",
+        help="record every completed pair to a durable journal in DIR as "
+        "it lands; SIGINT/SIGTERM then stop the campaign gracefully "
+        "(drain in-flight pairs, flush) instead of losing it, and an "
+        "engine-mode run (--workers) can be continued with --resume",
+    )
+    fault.add_argument(
+        "--resume",
+        action="store_true",
+        help="continue the interrupted campaign journaled in --journal "
+        "DIR: the journal's config/seed fingerprint is validated, "
+        "finished pairs are merged as recorded, and only the rest are "
+        "measured — the final results (CSV bytes included) are "
+        "bit-identical to an uninterrupted run; requires --workers",
+    )
+    fault.add_argument(
+        "--max-job-retries",
+        type=int,
+        default=2,
+        metavar="N",
+        help="worker-level retries per measurement unit before its pairs "
+        "are quarantined as recorded skips (default 2)",
+    )
+    fault.add_argument(
+        "--job-timeout-factor",
+        type=float,
+        default=None,
+        metavar="F",
+        help="per-unit wall-clock deadline = floor + F x expected virtual "
+        "cost (probe cost model); a unit that blows it is treated as hung "
+        "and retried on a rebuilt pool (default: no deadlines)",
+    )
+    fault.add_argument(
+        "--inject-faults",
+        default=None,
+        metavar="SPEC",
+        help="deterministic fault injection for testing the recovery "
+        "paths: semicolon-separated kind@index[*fires][:param] actions, "
+        "kinds kill/hang/raise/corrupt/interrupt (see repro.exec.faults)",
+    )
     parser.add_argument(
         "--profile",
         default=None,
@@ -264,6 +308,13 @@ def main(argv: list[str] | None = None) -> int:
         if args.workers is None:
             # The SoA tier lives in the execution engine; route there.
             args.workers = 1
+    if args.resume:
+        if args.journal is None:
+            raise SystemExit("--resume needs --journal DIR")
+        if args.workers is None:
+            # Resume is engine-only (the serial loop shares one timeline);
+            # route through the engine at its bit-identical default.
+            args.workers = 1
 
     machine = make_machine(
         args.gpu_model,
@@ -286,6 +337,9 @@ def main(argv: list[str] | None = None) -> int:
             output_dir=args.output_dir,
             pass_block_size=args.pass_block if args.pass_block > 0 else None,
             pair_batch_size=args.pair_batch,
+            max_job_retries=args.max_job_retries,
+            job_timeout_factor=args.job_timeout_factor,
+            inject_faults=args.inject_faults,
         )
     except ReproError as exc:
         raise SystemExit(f"error: {exc}")
@@ -296,7 +350,21 @@ def main(argv: list[str] | None = None) -> int:
         profiler = cProfile.Profile()
         profiler.enable()
     try:
-        result = run_campaign(machine, config, workers=args.workers)
+        result = run_campaign(
+            machine,
+            config,
+            workers=args.workers,
+            journal=args.journal,
+            resume=args.resume,
+        )
+    except CampaignInterrupted as exc:
+        print(f"interrupted: {exc}", file=sys.stderr)
+        if exc.journal_dir is not None and args.workers is not None:
+            print(
+                f"resume with: --journal {exc.journal_dir} --resume",
+                file=sys.stderr,
+            )
+        return 130
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1

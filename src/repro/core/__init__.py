@@ -18,6 +18,11 @@ Public entry points:
 from repro.core.axis import AXES, MeasurementAxis, axis_by_name
 from repro.core.campaign import LatestBenchmark, measure_pair, run_campaign
 from repro.core.config import LatestConfig
+from repro.core.journal import (
+    CampaignJournal,
+    ShutdownGuard,
+    campaign_fingerprint,
+)
 from repro.core.phase1 import FrequencyCharacterization, Phase1Result, run_phase1
 from repro.core.phase2 import RawSwitchData, run_switch_benchmark
 from repro.core.phase3 import SwitchEvaluation, evaluate_switch
@@ -29,6 +34,9 @@ __all__ = [
     "MeasurementAxis",
     "axis_by_name",
     "LatestConfig",
+    "CampaignJournal",
+    "ShutdownGuard",
+    "campaign_fingerprint",
     "LatestBenchmark",
     "measure_pair",
     "run_campaign",

@@ -37,7 +37,7 @@ from repro.core.results import (
     PairResult,
     SwitchingLatencyMeasurement,
 )
-from repro.errors import MeasurementError
+from repro.errors import CampaignInterrupted, ConfigError, MeasurementError
 from repro.gpusim.thermal import ThrottleReasons
 from repro.machine import Machine
 
@@ -102,7 +102,7 @@ class LatestBenchmark:
         self.machine = machine
 
     # ------------------------------------------------------------------
-    def run(self) -> CampaignResult:
+    def run(self, journal=None, guard=None) -> CampaignResult:
         """Execute the full campaign and (optionally) write CSV output.
 
         Legacy campaigns (``memory_frequencies`` unset) run exactly the
@@ -117,15 +117,27 @@ class LatestBenchmark:
         Multi-facet sweeps (``locked_sm_mhz`` as a tuple) repeat that loop
         once per locked SM clock — the transpose of the core×memory grid,
         through the same per-facet machinery.
+
+        ``journal`` (a :class:`~repro.core.journal.CampaignJournal`)
+        records each measured pair as it lands — a durable partial record
+        under the engine's flat grid indexing, though a *serial* journal
+        cannot be resumed bit-identically (pairs share one RNG/clock
+        timeline; see the journal module docs).  ``guard`` (a
+        :class:`~repro.core.journal.ShutdownGuard`) turns SIGINT/SIGTERM
+        into a clean stop between pairs: the journal is already flushed
+        per append, and :class:`~repro.errors.CampaignInterrupted` is
+        raised instead of losing the run to a KeyboardInterrupt mid-pass.
         """
         t_begin = self.machine.clock.now
         axis = self.bench.axis
         facet_plan = self.config.facet_plan()
         grid = self.config.memory_frequencies is not None
         sm_facets = self.config.locked_sm_plan()
+        n_pairs = len(self.config.pairs())
+        measured = 0
         pairs: dict = {}
         phase1_by_facet: dict = {}
-        for facet in facet_plan:
+        for facet_index, facet in enumerate(facet_plan):
             if not self.bench.prepare_facet_clock(facet):
                 phase1 = None
                 probe = None
@@ -141,7 +153,7 @@ class LatestBenchmark:
                 )
 
             valid = set(phase1.valid_pairs) if phase1 is not None else set()
-            for init, target in self.config.pairs():
+            for pair_index, (init, target) in enumerate(self.config.pairs()):
                 sm_key = (float(init), float(target))
                 key = sm_key if facet is None else sm_key + (float(facet),)
                 reason = facet_skip_reason(
@@ -160,11 +172,38 @@ class LatestBenchmark:
                         axis=axis.name,
                     )
                     continue
+                if guard is not None and guard.requested:
+                    raise CampaignInterrupted(
+                        f"serial campaign interrupted after {measured} "
+                        "measured pairs"
+                        + (
+                            "; the journal holds every finished pair (a "
+                            "durable record — serial campaigns cannot be "
+                            "resumed, see the journal docs)"
+                            if journal is not None
+                            else ""
+                        ),
+                        journal_dir=(
+                            None
+                            if journal is None
+                            else str(journal.directory)
+                        ),
+                    )
+                t_pair = self.machine.clock.now
                 pair = self.measure_pair(sm_key[0], sm_key[1], phase1, probe)
                 pair.memory_mhz = facet if grid else None
                 if not grid and facet is not None:
                     pair.locked_sm_mhz = float(facet)
                 pairs[key] = pair
+                measured += 1
+                if journal is not None:
+                    # Same flat facet-major index the engine uses, so the
+                    # record identifies the grid point unambiguously.
+                    journal.append(
+                        facet_index * n_pairs + pair_index,
+                        pair,
+                        self.machine.clock.now - t_pair,
+                    )
 
         result = CampaignResult(
             gpu_name=self.bench.device.spec.name,
@@ -431,7 +470,11 @@ def measure_pair_reference(
 
 
 def run_campaign(
-    machine: Machine, config: LatestConfig, workers: int | None = None
+    machine: Machine,
+    config: LatestConfig,
+    workers: int | None = None,
+    journal: "str | None" = None,
+    resume: bool = False,
 ) -> CampaignResult:
     """Build and run a campaign.
 
@@ -448,9 +491,44 @@ def run_campaign(
     With ``config.memory_frequencies`` set, both paths sweep the full
     core×memory grid: the SM pair grid is re-characterized and measured
     once per locked memory clock (see ``LatestBenchmark.run``).
+
+    ``journal`` names a directory for a durable
+    :class:`~repro.core.journal.CampaignJournal`; every completed pair is
+    recorded as it lands and SIGINT/SIGTERM become a graceful, resumable
+    stop.  ``resume=True`` continues an interrupted *engine-mode*
+    campaign bit-identically — the serial loop's pairs share one
+    RNG/clock timeline, so a serial journal is a durable record but
+    cannot be resumed (a clear error says so).
     """
     if workers is None:
-        return LatestBenchmark(machine, config).run()
+        if resume:
+            raise ConfigError(
+                "resume requires the execution engine (workers >= 1): "
+                "serial campaigns share one RNG/clock timeline across "
+                "pairs, so journaled pairs cannot be skipped bit-"
+                "identically"
+            )
+        if journal is None:
+            return LatestBenchmark(machine, config).run()
+        from repro.core.journal import (
+            CampaignJournal,
+            ShutdownGuard,
+            campaign_fingerprint,
+            campaign_synopsis,
+        )
+
+        fingerprint = campaign_fingerprint(config, machine.blueprint)
+        with CampaignJournal.open(
+            journal,
+            fingerprint,
+            mode="serial",
+            synopsis=campaign_synopsis(config, machine.blueprint),
+        ) as journal_obj, ShutdownGuard() as guard:
+            return LatestBenchmark(machine, config).run(
+                journal=journal_obj, guard=guard
+            )
     from repro.exec.engine import run_campaign_parallel
 
-    return run_campaign_parallel(machine, config, workers=workers)
+    return run_campaign_parallel(
+        machine, config, workers=workers, journal=journal, resume=resume
+    )

@@ -124,6 +124,28 @@ class LatestConfig:
     #: consecutive evaluation failures before the pair is abandoned
     max_consecutive_failures: int = 12
 
+    # ----- worker supervision (execution engine) ------------------------
+    #: wall-clock seconds of job timeout per expected *virtual* second of
+    #: pair cost (:class:`repro.exec.jobs.ProbeCostModel`); ``None``
+    #: disables per-job timeouts (the default — there is no universal
+    #: virtual→wall mapping, so opting in means calibrating the factor to
+    #: the host)
+    job_timeout_factor: float | None = None
+    #: additive wall-clock floor under every per-job timeout
+    job_timeout_floor_s: float = 5.0
+    #: times a crashed/timed-out/transport-failed job is retried before
+    #: its pair is quarantined (recorded as a skip reason instead of
+    #: aborting the campaign); retries are bit-identical by the engine's
+    #: determinism contract, so a transient fault loses nothing
+    max_job_retries: int = 2
+    #: exponential-backoff base between retries of the same unit
+    #: (``base * 2**(attempt-1)``, capped), in real seconds
+    retry_backoff_s: float = 0.25
+    retry_backoff_max_s: float = 10.0
+    #: deterministic fault-injection spec for the recovery test harness
+    #: (:mod:`repro.exec.faults`); ``None`` (production) injects nothing
+    inject_faults: str | None = None
+
     # ----- execution ----------------------------------------------------
     #: upper bound on the pass-block size of the batched per-pair loop
     #: (:mod:`repro.core.passblock`); blocks are additionally clipped so a
@@ -217,6 +239,21 @@ class LatestConfig:
             raise ConfigError("pass_block_size must be >= 1 (or None)")
         if self.pair_batch_size is not None and self.pair_batch_size < 1:
             raise ConfigError("pair_batch_size must be >= 1 (or None)")
+        if self.job_timeout_factor is not None and self.job_timeout_factor <= 0:
+            raise ConfigError("job_timeout_factor must be positive (or None)")
+        if self.job_timeout_floor_s < 0:
+            raise ConfigError("job_timeout_floor_s must be >= 0")
+        if self.max_job_retries < 0:
+            raise ConfigError("max_job_retries must be >= 0")
+        if self.retry_backoff_s < 0 or self.retry_backoff_max_s < 0:
+            raise ConfigError("retry backoff times must be >= 0")
+        if self.inject_faults is not None:
+            # Parse eagerly so a malformed spec fails at configuration
+            # time, not inside a worker process.  Imported lazily: the
+            # exec package imports core at module load.
+            from repro.exec.faults import FaultPlan
+
+            FaultPlan.parse(self.inject_faults)
 
     # ------------------------------------------------------------------
     def swept_axis(self) -> MeasurementAxis:

@@ -35,7 +35,9 @@ wrong frequencies.
 from __future__ import annotations
 
 import csv
+import os
 import re
+from contextlib import contextmanager
 from dataclasses import dataclass
 from pathlib import Path
 
@@ -167,6 +169,32 @@ def pair_csv_name(
     )
 
 
+@contextmanager
+def _atomic_write(path: Path):
+    """Write-then-rename so readers never see a half-written CSV.
+
+    A campaign killed mid-write (crash, SIGKILL, power loss) must not
+    leave a truncated file under the standardized name — downstream
+    analysis would parse it as a short-but-valid campaign.  The temp file
+    lives in the same directory so ``os.replace`` stays atomic (same
+    filesystem); on error it is removed and the original, if any,
+    survives untouched.
+    """
+    tmp = path.with_name(path.name + ".tmp")
+    fh = tmp.open("w", newline="")
+    try:
+        yield fh
+        fh.close()
+        os.replace(tmp, path)
+    except BaseException:
+        fh.close()
+        try:
+            tmp.unlink()
+        except FileNotFoundError:  # pragma: no cover
+            pass
+        raise
+
+
 def write_pair_csv(
     directory: str | Path,
     pair: PairResult,
@@ -186,7 +214,7 @@ def write_pair_csv(
         if pair.outliers is not None
         else np.zeros(len(pair.measurements), dtype=int)
     )
-    with path.open("w", newline="") as fh:
+    with _atomic_write(path) as fh:
         writer = csv.DictWriter(fh, fieldnames=_FIELDS)
         writer.writeheader()
         for i, m in enumerate(pair.measurements):
@@ -348,7 +376,7 @@ def write_summary_csv(directory: str | Path, result: CampaignResult) -> Path:
     has_memory = result.memory_frequencies is not None
     has_sm_facets = result.locked_sm_frequencies is not None
     tagged_axis = result.axis != "sm_core"
-    with path.open("w", newline="") as fh:
+    with _atomic_write(path) as fh:
         writer = csv.writer(fh)
         header = ["init_mhz", "target_mhz"]
         if tagged_axis:

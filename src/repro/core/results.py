@@ -107,6 +107,11 @@ class PairResult:
     memory_mhz: float | None = None
     axis: str = "sm_core"
     locked_sm_mhz: float | None = None
+    #: supervision bookkeeping: worker-level retries this pair survived
+    #: (crash/timeout/transport failures — not measurement-loop retries,
+    #: which are ``n_failed_attempts``).  Never affects measurements or
+    #: CSV bytes; a retried job is bit-identical to an undisturbed one.
+    n_retries: int = 0
 
     # ------------------------------------------------------------------
     @property

@@ -47,3 +47,16 @@ class PairSkippedError(MeasurementError):
 
 class ConfigError(ReproError):
     """Invalid benchmark or simulator configuration."""
+
+
+class CampaignInterrupted(ReproError):
+    """A campaign stopped early on SIGINT/SIGTERM after a graceful drain.
+
+    Raised by journaling campaigns once in-flight jobs have been collected
+    and the journal flushed; ``journal_dir`` names the directory a
+    follow-up run can resume from (``--resume``).
+    """
+
+    def __init__(self, message: str, journal_dir: "str | None" = None) -> None:
+        self.journal_dir = journal_dir
+        super().__init__(message)

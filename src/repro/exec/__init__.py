@@ -12,12 +12,20 @@ The shared campaign payload (config, blueprint, phase-1 statistics, probe
 estimate, epoch) ships to each worker process exactly once through the
 pool initializer; jobs themselves are three numbers.  Jobs are submitted
 **longest-expected-pair-first** using the probe latencies as a cost model
-(:class:`repro.exec.jobs.ProbeCostModel`) and collected with
-``as_completed`` — straggler-aware scheduling that only affects wall
-clock: results merge by pair index, so neither submission order nor
-completion order can influence the :class:`CampaignResult`.  Worker
-processes additionally keep a skeleton cache of deterministic
-machine-build products (per-pair latency-model structures) across jobs.
+(:class:`repro.exec.jobs.ProbeCostModel`) — straggler-aware scheduling
+that only affects wall clock: results merge by pair index, so neither
+submission order nor completion order can influence the
+:class:`CampaignResult`.  Worker processes additionally keep a skeleton
+cache of deterministic machine-build products (per-pair latency-model
+structures) across jobs.
+
+Dispatch is supervised (:class:`repro.exec.jobs.SupervisionPolicy`):
+crashed or hung workers are rebuilt and their units retried —
+bit-identically, because seed streams derive from grid indices alone —
+with persistent failures quarantined as recorded skips.  Campaigns can
+journal completed pairs durably and resume after interruption
+(:mod:`repro.core.journal`), and every recovery path is testable under
+deterministic fault injection (:mod:`repro.exec.faults`).
 
 ::
 
@@ -35,22 +43,29 @@ from repro.exec.engine import (
     run_pair_batch,
     run_pair_job,
 )
+from repro.exec.faults import FaultAction, FaultInjected, FaultPlan
 from repro.exec.jobs import (
     CampaignPayload,
     PairJob,
     PairJobResult,
     ProbeCostModel,
+    SupervisionPolicy,
     pair_seed_sequence,
 )
-from repro.exec.shm import pack_results, unpack_results
+from repro.exec.shm import cleanup_segment, pack_results, unpack_results
 
 __all__ = [
     "CampaignExecutor",
     "CampaignPayload",
+    "FaultAction",
+    "FaultInjected",
+    "FaultPlan",
     "PairJob",
     "PairJobResult",
     "ProbeCostModel",
+    "SupervisionPolicy",
     "WarmPool",
+    "cleanup_segment",
     "mp_context",
     "pack_results",
     "pair_seed_sequence",

@@ -37,29 +37,58 @@ The legacy single-timeline semantics remain available through
 
 Process pools use the ``fork`` start method where available (Linux) so
 workers inherit the loaded modules; ``spawn`` elsewhere.
+
+Fault tolerance
+---------------
+Dispatch is **supervised** (:class:`~repro.exec.jobs.SupervisionPolicy`):
+a unit (one job, or one SoA chunk) that crashes its worker, times out
+against its cost-model-derived deadline, or fails result transport is
+retried on a rebuilt pool with exponential backoff — and because replica
+seed streams derive only from grid indices, a retry is *bit-identical* to
+an undisturbed run.  A unit that keeps failing past
+``config.max_job_retries`` is quarantined: its pairs become recorded skip
+reasons (the same skip machinery phase 1 uses) instead of aborting the
+campaign.  With a journal attached
+(:class:`~repro.core.journal.CampaignJournal`), every completed pair is
+durably recorded as it merges, SIGINT/SIGTERM drain in-flight units and
+raise :class:`~repro.errors.CampaignInterrupted`, and ``resume=True``
+validates the campaign fingerprint, merges the journaled pairs, and
+measures only the rest — reconstructing the identical
+:class:`CampaignResult`.
 """
 
 from __future__ import annotations
 
 import multiprocessing
-from concurrent.futures import ProcessPoolExecutor, as_completed
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from contextlib import ExitStack
+from dataclasses import replace as dc_replace
 
 from repro.core.campaign import (
     LatestBenchmark,
     facet_skip_reason,
     measure_pair,
 )
+from repro.core.journal import (
+    CampaignJournal,
+    ShutdownGuard,
+    campaign_fingerprint,
+)
 from repro.core.phase1 import run_phase1
 from repro.core.config import LatestConfig
 from repro.core.context import BenchContext
 from repro.core.csvio import write_campaign_csvs
 from repro.core.results import CampaignResult, PairResult
-from repro.errors import ConfigError
+from repro.errors import CampaignInterrupted, ConfigError
+from repro.exec.faults import FaultPlan, fault_plan
 from repro.exec.jobs import (
     CampaignPayload,
     PairJob,
     PairJobResult,
     ProbeCostModel,
+    SupervisionPolicy,
     pair_seed_sequence,
 )
 from repro.machine import Machine
@@ -96,14 +125,107 @@ def _worker_init(payload: CampaignPayload) -> None:
     _WORKER_SKELETON.clear()
 
 
+def fire_worker_faults(jobs, payload, in_process: bool = False) -> None:
+    """Trigger any injected worker faults gating this unit's jobs.
+
+    Lives outside :func:`run_pair_job` / :func:`run_pair_batch` so the
+    measurement entry points stay pure; every dispatch front-end (pool
+    worker, warm-pool daemon, in-process runner) calls it right before
+    measuring.  ``in_process=True`` downgrades ``kill`` to an exception —
+    the in-process runner shares the driver process, and a fault harness
+    must never take down the campaign driver itself.
+    """
+    config = getattr(payload, "config", None)
+    plan = fault_plan(getattr(config, "inject_faults", None))
+    if plan is None:
+        return
+    for job in jobs:
+        plan.fire_worker(job, in_process=in_process)
+
+
 def _worker_run(job: PairJob) -> PairJobResult:
     assert _WORKER_PAYLOAD is not None, "pool initializer did not run"
+    fire_worker_faults([job], _WORKER_PAYLOAD)
     return run_pair_job(job, _WORKER_PAYLOAD, _WORKER_SKELETON)
+
+
+def _worker_run_unit(jobs: list[PairJob]) -> list[PairJobResult]:
+    """Non-batched unit entry point: each job measured independently."""
+    assert _WORKER_PAYLOAD is not None, "pool initializer did not run"
+    fire_worker_faults(jobs, _WORKER_PAYLOAD)
+    return [
+        run_pair_job(job, _WORKER_PAYLOAD, _WORKER_SKELETON) for job in jobs
+    ]
 
 
 def _worker_run_batch(jobs: list[PairJob]) -> list[PairJobResult]:
     assert _WORKER_PAYLOAD is not None, "pool initializer did not run"
+    fire_worker_faults(jobs, _WORKER_PAYLOAD)
     return run_pair_batch(jobs, _WORKER_PAYLOAD, _WORKER_SKELETON)
+
+
+class _UnitState:
+    """Supervision bookkeeping for one dispatch unit (a job list)."""
+
+    __slots__ = ("jobs", "attempts", "cost", "deadline", "task_ids")
+
+    def __init__(self, jobs: list[PairJob], cost: float = 0.0) -> None:
+        self.jobs = jobs
+        self.attempts = 0
+        self.cost = cost
+        #: wall-clock deadline of the current dispatch (None = no timeout)
+        self.deadline: float | None = None
+        #: warm-pool task ids currently mapped to this unit
+        self.task_ids: set[int] = set()
+
+    def jobs_for_attempt(self) -> list[PairJob]:
+        if self.attempts == 0:
+            return self.jobs
+        return [dc_replace(job, attempt=self.attempts) for job in self.jobs]
+
+
+def _quarantine_results(
+    jobs: list[PairJob], attempts: int, cause: str
+) -> list[PairJobResult]:
+    """Skip results for a unit that exhausted its retry budget.
+
+    A persistently failing grid point becomes a recorded skip reason —
+    the same machinery phase 1 uses for unreachable pairs — instead of
+    aborting the whole campaign.  Zero virtual cost: the pair never
+    measured, so the campaign clock must not advance for it.
+    """
+    lines = str(cause).strip().splitlines()
+    summary = (lines[-1] if lines else str(cause))[:200]
+    reason = f"quarantined after {attempts} failed attempts: {summary}"
+    out: list[PairJobResult] = []
+    for job in jobs:
+        pair = PairResult(
+            init_mhz=float(job.init_mhz),
+            target_mhz=float(job.target_mhz),
+            skipped=True,
+            skip_reason=reason,
+            memory_mhz=job.memory_mhz,
+            locked_sm_mhz=job.locked_sm_mhz,
+            axis=job.axis,
+        )
+        pair.n_retries = attempts
+        out.append(
+            PairJobResult(index=job.index, pair=pair, elapsed_virtual_s=0.0)
+        )
+    return out
+
+
+def _kill_pool_processes(pool: ProcessPoolExecutor) -> None:
+    """Tear down a pool whose workers cannot be trusted to exit (hangs)."""
+    procs = list((getattr(pool, "_processes", None) or {}).values())
+    for proc in procs:
+        proc.terminate()
+    pool.shutdown(wait=False, cancel_futures=True)
+    for proc in procs:
+        proc.join(timeout=2.0)
+        if proc.is_alive():
+            proc.kill()
+            proc.join(timeout=1.0)
 
 
 def _build_job_replica(
@@ -262,6 +384,17 @@ class CampaignExecutor:
         daemons.  When given, jobs dispatch through it instead of a
         per-campaign ``ProcessPoolExecutor`` — the payload and skeleton
         caches then survive across campaigns.  Results are identical.
+    journal:
+        Optional directory for a durable
+        :class:`~repro.core.journal.CampaignJournal`.  Every completed
+        pair is recorded as it merges; SIGINT/SIGTERM then drain in-flight
+        work, flush the journal and raise
+        :class:`~repro.errors.CampaignInterrupted` instead of losing the
+        campaign.
+    resume:
+        Reopen an existing journal (fingerprint-validated), merge its
+        pairs, and measure only the rest.  The reconstructed
+        :class:`CampaignResult` is bit-identical to an uninterrupted run.
     """
 
     def __init__(
@@ -270,6 +403,8 @@ class CampaignExecutor:
         config: LatestConfig,
         workers: int = 1,
         pool=None,
+        journal: "str | None" = None,
+        resume: bool = False,
     ) -> None:
         if workers < 1:
             raise ConfigError(f"workers must be >= 1, got {workers}")
@@ -278,10 +413,17 @@ class CampaignExecutor:
                 "campaign executor needs a machine built by make_machine() "
                 "(hand-assembled machines carry no replication blueprint)"
             )
+        if resume and journal is None:
+            raise ConfigError(
+                "resume=True needs the journal directory of the "
+                "interrupted campaign (--journal DIR --resume)"
+            )
         self.machine = machine
         self.config = config
         self.workers = workers
         self.pool = pool
+        self.journal_dir = None if journal is None else str(journal)
+        self.resume = bool(resume)
         #: per-facet fixed pass duration for the dispatch cost model,
         #: filled by :meth:`run` while each facet clock is prepared
         self._fixed_pass_by_facet: dict = {}
@@ -360,8 +502,25 @@ class CampaignExecutor:
         return chunks
 
     def _execute(
-        self, jobs: list[PairJob], payload: CampaignPayload
+        self,
+        jobs: list[PairJob],
+        payload: CampaignPayload,
+        policy: SupervisionPolicy,
+        guard: ShutdownGuard | None = None,
+        on_result=None,
     ) -> list[PairJobResult]:
+        """Dispatch jobs as supervised units and collect their results.
+
+        ``on_result`` (if given) fires on the driver as each unit's
+        results land — the journal/fault hook.  ``guard`` (if given) makes
+        the dispatch loops drain gracefully once a shutdown signal
+        arrives; the caller decides what an early return means.
+        """
+        if on_result is None:
+            def on_result(results):  # noqa: ARG001 - deliberate no-op sink
+                return None
+        if not jobs:
+            return []
         # The SoA lockstep tier needs the pass-block pipeline underneath
         # (its runners speculate in deferred blocks).
         batching = (
@@ -369,25 +528,27 @@ class CampaignExecutor:
             and self.config.pass_block_size is not None
         )
         if self.pool is None and (self.workers == 1 or len(jobs) <= 1):
-            skeleton: dict = {}
-            if batching:
-                results: list[PairJobResult] = []
-                for chunk in self._batch_chunks(jobs):
-                    results.extend(run_pair_batch(chunk, payload, skeleton))
-                return results
-            return [run_pair_job(job, payload, skeleton) for job in jobs]
+            units = (
+                self._batch_chunks(jobs)
+                if batching
+                else [[job] for job in jobs]
+            )
+            return self._run_units_inprocess(
+                units, payload, batching, policy, guard, on_result
+            )
 
         # Straggler-aware dispatch: longest-expected pair first, so the
         # costliest job never starts last and the pool drains evenly.
-        # ``as_completed`` keeps the driver free to merge early finishers;
-        # ordering cannot affect results (the merge is index-keyed).
+        # Ordering cannot affect results (the merge is index-keyed).
         # Each facet gets the cost model built from *its own* probe
         # latencies — iteration times (and thus pair costs) respond to the
         # facet clock (the locked memory P-state of a grid, the locked SM
         # clock of a facet sweep), so ranking a k≥2-facet campaign with
         # the first facet's probes would misorder whole facets — plus the
         # facet's fixed per-pass duration, so cross-facet ordering stays
-        # honest when locked-SM facets differ in iteration time.
+        # honest when locked-SM facets differ in iteration time.  The same
+        # cost model feeds the supervision deadlines: a unit's timeout
+        # scales with its expected cost.
         models: dict[float | None, ProbeCostModel] = {
             facet: ProbeCostModel(
                 payload.probe_for(facet),
@@ -400,46 +561,221 @@ class CampaignExecutor:
             return models[job.facet].cost(job.init_mhz, job.target_mhz)
 
         if batching:
-            chunks = self._batch_chunks(jobs)
-            ordered_chunks = sorted(
-                chunks,
+            units = sorted(
+                self._batch_chunks(jobs),
                 key=lambda chunk: (
                     -sum(job_cost(job) for job in chunk),
                     chunk[0].index,
                 ),
             )
-            if self.pool is not None:
-                return self.pool.run_units(payload, ordered_chunks)
-            n_workers = min(self.workers, len(ordered_chunks))
-            with ProcessPoolExecutor(
-                max_workers=n_workers,
+        else:
+            units = [
+                [job]
+                for job in sorted(
+                    jobs, key=lambda job: (-job_cost(job), job.index)
+                )
+            ]
+        costs = [sum(job_cost(job) for job in unit) for unit in units]
+        if self.pool is not None:
+            return self.pool.run_units(
+                payload,
+                units,
+                batched=batching,
+                policy=policy,
+                costs=costs,
+                guard=guard,
+                on_result=on_result,
+            )
+        return self._run_units_pool(
+            units, costs, payload, batching, policy, guard, on_result
+        )
+
+    def _run_units_inprocess(
+        self, units, payload, batched, policy, guard, on_result
+    ) -> list[PairJobResult]:
+        """Supervised in-process execution (``workers == 1``).
+
+        Shares the driver process, so supervision covers exceptions only:
+        injected kills are downgraded to exceptions and per-unit deadlines
+        cannot preempt (there is no worker to kill).  Retries and
+        quarantine behave exactly like the pool path.
+        """
+        skeleton: dict = {}
+        collected: list[PairJobResult] = []
+        for unit in units:
+            if guard is not None and guard.requested:
+                break
+            attempts = 0
+            while True:
+                jobs = (
+                    unit
+                    if attempts == 0
+                    else [dc_replace(job, attempt=attempts) for job in unit]
+                )
+                try:
+                    fire_worker_faults(jobs, payload, in_process=True)
+                    if batched:
+                        results = run_pair_batch(jobs, payload, skeleton)
+                    else:
+                        results = [
+                            run_pair_job(job, payload, skeleton)
+                            for job in jobs
+                        ]
+                except Exception as exc:
+                    attempts += 1
+                    if attempts > policy.max_retries:
+                        results = _quarantine_results(
+                            unit,
+                            attempts,
+                            f"worker-error: {type(exc).__name__}: {exc}",
+                        )
+                        break
+                    time.sleep(policy.backoff_for(attempts))
+                    continue
+                break
+            for res in results:
+                res.pair.n_retries = attempts
+            collected.extend(results)
+            on_result(results)
+        return collected
+
+    def _run_units_pool(
+        self, units, costs, payload, batched, policy, guard, on_result
+    ) -> list[PairJobResult]:
+        """Supervised dispatch over per-round ``ProcessPoolExecutor``s.
+
+        Each round submits every outstanding unit with a wall-clock
+        deadline derived from its expected cost.  A crashed pool
+        (``BrokenProcessPool``) or an expired deadline tears the round's
+        pool down and re-dispatches the survivors on a fresh one; units
+        that keep failing past ``policy.max_retries`` are quarantined.
+        A shutdown signal stops submissions, drains running units, and
+        returns what completed.
+        """
+        fn = _worker_run_batch if batched else _worker_run_unit
+        collected: list[PairJobResult] = []
+
+        def complete(state: _UnitState, results) -> None:
+            for res in results:
+                res.pair.n_retries = state.attempts
+            collected.extend(results)
+            on_result(results)
+
+        def note_failure(state: _UnitState, cause: str, retry) -> None:
+            state.attempts += 1
+            if state.attempts > policy.max_retries:
+                complete(
+                    state,
+                    _quarantine_results(state.jobs, state.attempts, cause),
+                )
+            else:
+                retry.append(state)
+
+        todo = [_UnitState(unit, cost) for unit, cost in zip(units, costs)]
+        while todo and not (guard is not None and guard.requested):
+            backoff = max(
+                (policy.backoff_for(state.attempts) for state in todo),
+                default=0.0,
+            )
+            if backoff > 0.0:
+                time.sleep(backoff)
+            retry: list[_UnitState] = []
+            requeue: list[_UnitState] = []
+            pool = ProcessPoolExecutor(
+                max_workers=min(self.workers, len(todo)),
                 mp_context=mp_context(),
                 initializer=_worker_init,
                 initargs=(payload,),
-            ) as pool:
-                futures = [
-                    pool.submit(_worker_run_batch, chunk)
-                    for chunk in ordered_chunks
-                ]
-                out: list[PairJobResult] = []
-                for future in as_completed(futures):
-                    out.extend(future.result())
-                return out
-
-        ordered = sorted(jobs, key=lambda job: (-job_cost(job), job.index))
-        if self.pool is not None:
-            return self.pool.run_units(
-                payload, [[job] for job in ordered], batched=False
             )
-        n_workers = min(self.workers, len(jobs))
-        with ProcessPoolExecutor(
-            max_workers=n_workers,
-            mp_context=mp_context(),
-            initializer=_worker_init,
-            initargs=(payload,),
-        ) as pool:
-            futures = [pool.submit(_worker_run, job) for job in ordered]
-            return [future.result() for future in as_completed(futures)]
+            killed = False
+            try:
+                future_of = {}
+                for state in todo:
+                    future = pool.submit(fn, state.jobs_for_attempt())
+                    timeout = policy.timeout_for(state.cost)
+                    state.deadline = (
+                        None
+                        if timeout is None
+                        else time.monotonic() + timeout
+                    )
+                    future_of[future] = state
+                remaining = set(future_of)
+                while remaining:
+                    done, _ = wait(
+                        remaining,
+                        timeout=policy.poll_s,
+                        return_when=FIRST_COMPLETED,
+                    )
+                    broken = False
+                    for future in done:
+                        remaining.discard(future)
+                        state = future_of[future]
+                        try:
+                            complete(state, future.result())
+                        except BrokenProcessPool:
+                            broken = True
+                            note_failure(state, "worker-crash", retry)
+                        except Exception as exc:
+                            note_failure(
+                                state,
+                                f"worker-error: {type(exc).__name__}: {exc}",
+                                retry,
+                            )
+                    if broken:
+                        # The pool is dead and the executor cannot say
+                        # which unit killed it: every in-flight unit takes
+                        # an attempt bump (bounded collateral — see
+                        # DESIGN.md) and a seat on the rebuilt pool.
+                        for future in remaining:
+                            state = future_of[future]
+                            try:
+                                complete(state, future.result(timeout=0))
+                            except Exception:
+                                note_failure(state, "worker-crash", retry)
+                        remaining.clear()
+                        break
+                    now = time.monotonic()
+                    expired = {
+                        future
+                        for future in remaining
+                        if future_of[future].deadline is not None
+                        and now > future_of[future].deadline
+                    }
+                    if expired:
+                        # A unit blew its deadline (hung worker).  The
+                        # pool cannot cancel a running call, so kill the
+                        # whole pool; innocent bystanders requeue at their
+                        # current attempt count.
+                        for future in list(remaining):
+                            state = future_of[future]
+                            if future.done():
+                                remaining.discard(future)
+                                try:
+                                    complete(state, future.result())
+                                except Exception:
+                                    note_failure(
+                                        state, "worker-crash", retry
+                                    )
+                                continue
+                            if future in expired:
+                                note_failure(state, "job-timeout", retry)
+                            else:
+                                requeue.append(state)
+                        remaining.clear()
+                        _kill_pool_processes(pool)
+                        killed = True
+                        break
+                    if guard is not None and guard.requested:
+                        # Graceful drain: cancel what never started, let
+                        # running units finish and collect them.
+                        for future in list(remaining):
+                            if future.cancel():
+                                remaining.discard(future)
+            finally:
+                if not killed:
+                    pool.shutdown(wait=True, cancel_futures=True)
+            todo = retry + requeue
+        return collected
 
     def _merge_results(
         self,
@@ -467,6 +803,29 @@ class CampaignExecutor:
 
     # ------------------------------------------------------------------
     def run(self) -> CampaignResult:
+        machine, config = self.machine, self.config
+        journal: CampaignJournal | None = None
+        loaded: dict = {}
+        if self.journal_dir is not None:
+            from repro.core.journal import campaign_synopsis
+
+            fingerprint = campaign_fingerprint(config, machine.blueprint)
+            journal = CampaignJournal.open(
+                self.journal_dir,
+                fingerprint,
+                mode="engine",
+                resume=self.resume,
+                synopsis=campaign_synopsis(config, machine.blueprint),
+            )
+            if self.resume:
+                loaded = journal.load()
+        try:
+            return self._run(journal, loaded)
+        finally:
+            if journal is not None:
+                journal.close()
+
+    def _run(self, journal, loaded) -> CampaignResult:
         machine, config = self.machine, self.config
         t_begin = machine.clock.now
         facet_plan = config.facet_plan()
@@ -515,7 +874,51 @@ class CampaignExecutor:
         )
 
         jobs, pairs = self._build_jobs(phase1_by_facet)
-        results = self._execute(jobs, payload)
+        # Resume: journaled pairs merge as-is (their results are the only
+        # ones those grid indices can ever produce — see the journal
+        # module docs); only the remainder is dispatched.
+        todo = (
+            jobs
+            if not loaded
+            else [job for job in jobs if job.index not in loaded]
+        )
+        driver_plan = FaultPlan.parse(config.inject_faults)
+        policy = SupervisionPolicy.from_config(config)
+        supervised = journal is not None or driver_plan is not None
+        merged_count = len(loaded)
+
+        def on_result(unit_results) -> None:
+            nonlocal merged_count
+            for res in unit_results:
+                if journal is not None:
+                    journal.append(res.index, res.pair, res.elapsed_virtual_s)
+            merged_count += len(unit_results)
+            if driver_plan is not None:
+                driver_plan.fire_driver(merged_count)
+
+        guard = ShutdownGuard() if supervised else None
+        with ExitStack() as stack:
+            if guard is not None:
+                stack.enter_context(guard)
+            results = self._execute(
+                todo, payload, policy, guard=guard, on_result=on_result
+            )
+        results.extend(
+            PairJobResult(index=index, pair=pair, elapsed_virtual_s=elapsed)
+            for index, (pair, elapsed) in loaded.items()
+        )
+        if guard is not None and guard.requested:
+            hint = (
+                f"journal at {self.journal_dir} holds every finished pair; "
+                "rerun with --resume to continue"
+                if journal is not None
+                else "no journal attached, partial results were discarded"
+            )
+            raise CampaignInterrupted(
+                f"campaign interrupted after {merged_count} of {len(jobs)} "
+                f"measured pairs; {hint}",
+                journal_dir=self.journal_dir,
+            )
         total_elapsed = self._merge_results(jobs, results, pairs)
         if total_elapsed > 0.0:
             machine.clock.advance(total_elapsed)
@@ -551,6 +954,15 @@ def run_campaign_parallel(
     config: LatestConfig,
     workers: int = 1,
     pool=None,
+    journal: "str | None" = None,
+    resume: bool = False,
 ) -> CampaignResult:
     """Run a campaign through the execution engine (see module docs)."""
-    return CampaignExecutor(machine, config, workers=workers, pool=pool).run()
+    return CampaignExecutor(
+        machine,
+        config,
+        workers=workers,
+        pool=pool,
+        journal=journal,
+        resume=resume,
+    ).run()

@@ -27,6 +27,7 @@ __all__ = [
     "PairJob",
     "PairJobResult",
     "ProbeCostModel",
+    "SupervisionPolicy",
     "pair_seed_sequence",
 ]
 
@@ -150,6 +151,10 @@ class PairJob:
     axis: str = "sm_core"
     locked_sm_mhz: float | None = None
     locked_sm_index: int | None = None
+    #: supervision retry counter — NEVER part of the seed derivation, so
+    #: a retried job reproduces its result bit for bit; fault-injection
+    #: actions are attempt-gated on it (:mod:`repro.exec.faults`)
+    attempt: int = 0
 
     @property
     def facet(self) -> float | None:
@@ -165,6 +170,53 @@ class PairJobResult:
     pair: PairResult
     #: virtual seconds the pair machine consumed (driver clock bookkeeping)
     elapsed_virtual_s: float
+
+
+@dataclass(frozen=True)
+class SupervisionPolicy:
+    """Driver-side recovery policy for one campaign's job dispatch.
+
+    Derived from the resilience fields of
+    :class:`~repro.core.config.LatestConfig`; shared by the process-pool
+    and warm-pool dispatch paths.  ``timeout_factor`` maps a unit's
+    expected *virtual* cost (probe-latency cost model) to a wall-clock
+    deadline; ``None`` disables deadlines.  Retries are bounded: a unit
+    that fails more than ``max_retries`` times is quarantined — its pairs
+    become recorded skip reasons instead of aborting the campaign.
+    """
+
+    timeout_factor: float | None = None
+    timeout_floor_s: float = 5.0
+    max_retries: int = 2
+    backoff_s: float = 0.25
+    backoff_max_s: float = 10.0
+    #: result-poll tick of the supervised collect loops (also bounds
+    #: shutdown-signal latency)
+    poll_s: float = 0.05
+
+    @classmethod
+    def from_config(cls, config: LatestConfig) -> "SupervisionPolicy":
+        return cls(
+            timeout_factor=config.job_timeout_factor,
+            timeout_floor_s=config.job_timeout_floor_s,
+            max_retries=config.max_job_retries,
+            backoff_s=config.retry_backoff_s,
+            backoff_max_s=config.retry_backoff_max_s,
+        )
+
+    def timeout_for(self, cost_virtual_s: float) -> float | None:
+        """Wall-clock deadline for a unit of the given expected cost."""
+        if self.timeout_factor is None:
+            return None
+        return self.timeout_floor_s + self.timeout_factor * max(
+            cost_virtual_s, 0.0
+        )
+
+    def backoff_for(self, attempts: int) -> float:
+        """Exponential backoff before re-dispatching a failed unit."""
+        if attempts <= 0 or self.backoff_s <= 0:
+            return 0.0
+        return min(self.backoff_s * 2.0 ** (attempts - 1), self.backoff_max_s)
 
 
 class ProbeCostModel:

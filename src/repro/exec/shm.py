@@ -28,6 +28,16 @@ close their mapping, and send its name; the driver attaches, rebuilds,
 then closes *and unlinks*.  Hosts without a functional shared-memory
 implementation (or empty batches) fall back to plain pickle — the
 ``("pickle", results)`` envelope — transparently.
+
+Leak discipline
+---------------
+Every path that can abandon a segment cleans it up: a worker whose fill
+raises unlinks its own segment before re-raising, and a driver whose
+unpack fails mid-rebuild still unlinks in its ``finally``.  The one
+process that can clean *nothing* is a worker killed mid-send — which is
+why the warm pool names its segments with a per-pool session prefix
+(:func:`pack_results`'s ``name=``) and sweeps stray segments with
+:func:`cleanup_segment` when it detects a dead or hung worker.
 """
 
 from __future__ import annotations
@@ -45,25 +55,66 @@ from repro.core.results import PairResult  # noqa: F401 - re-export context
 from repro.core.results import SwitchingLatencyMeasurement
 from repro.exec.jobs import PairJobResult
 
-__all__ = ["pack_results", "unpack_results"]
+__all__ = ["cleanup_segment", "pack_results", "unpack_results"]
 
 _N_COLS = 8
 
 
-def pack_results(results: list[PairJobResult]):
+def cleanup_segment(name: str) -> bool:
+    """Unlink a shared-memory segment by name if it exists.
+
+    The driver-side sweep for segments abandoned by workers that died (or
+    were killed) between creating a segment and the driver consuming it.
+    Returns whether a segment was actually removed; a missing segment is
+    the common, healthy case.
+    """
+    if shared_memory is None:
+        return False
+    try:
+        seg = shared_memory.SharedMemory(name=name)
+    except (FileNotFoundError, OSError, ValueError):
+        return False
+    try:
+        from multiprocessing import resource_tracker
+
+        resource_tracker.unregister(seg._name, "shared_memory")
+    except Exception:  # pragma: no cover - tracker internals moved
+        pass
+    seg.close()
+    try:
+        seg.unlink()
+    except FileNotFoundError:  # pragma: no cover - lost the unlink race
+        return False
+    return True
+
+
+def pack_results(results: list[PairJobResult], name: "str | None" = None):
     """Flatten a result batch into a shared-memory envelope.
 
     Returns ``("shm", name, header)`` — or ``("pickle", results)`` when
     shared memory is unavailable or there is nothing to flatten.
+
+    ``name`` (optional) requests a specific segment name, letting the
+    warm pool derive names from its session + task id so the driver can
+    sweep segments of workers that died mid-send.  A leftover segment
+    under the requested name (the previous, killed attempt of the same
+    task) is unlinked and replaced.
     """
     total = sum(len(r.pair.measurements) for r in results)
     if shared_memory is None or total == 0:
         return ("pickle", results)
 
+    size = total * _N_COLS * 8
     try:
-        seg = shared_memory.SharedMemory(
-            create=True, size=total * _N_COLS * 8
-        )
+        try:
+            seg = shared_memory.SharedMemory(
+                create=True, size=size, name=name
+            )
+        except FileExistsError:
+            cleanup_segment(name)
+            seg = shared_memory.SharedMemory(
+                create=True, size=size, name=name
+            )
     except (OSError, ValueError):  # pragma: no cover - degraded host
         return ("pickle", results)
     # Ownership moves to the driver (which unlinks after unpacking), so
@@ -77,35 +128,47 @@ def pack_results(results: list[PairJobResult]):
     except Exception:  # pragma: no cover - tracker internals moved
         pass
 
-    matrix = np.ndarray((total, _N_COLS), dtype=np.float64, buffer=seg.buf)
-    header = []
-    row = 0
-    for res in results:
-        ms = res.pair.measurements
-        for i, m in enumerate(ms):
-            matrix[row + i] = (
-                m.latency_s,
-                m.ts_acc,
-                m.te_acc,
-                float(m.n_valid_sm),
-                float(m.window_iterations),
-                0.0 if m.ground_truth_s is None else m.ground_truth_s,
-                1.0 if m.ground_truth_s is None else 0.0,
-                1.0 if m.ground_truth_outlier else 0.0,
-            )
-        header.append(
-            (
-                res.index,
-                res.elapsed_virtual_s,
-                dataclasses.replace(res.pair, measurements=[]),
-                row,
-                len(ms),
-            )
+    try:
+        matrix = np.ndarray(
+            (total, _N_COLS), dtype=np.float64, buffer=seg.buf
         )
-        row += len(ms)
-    name = seg.name
+        header = []
+        row = 0
+        for res in results:
+            ms = res.pair.measurements
+            for i, m in enumerate(ms):
+                matrix[row + i] = (
+                    m.latency_s,
+                    m.ts_acc,
+                    m.te_acc,
+                    float(m.n_valid_sm),
+                    float(m.window_iterations),
+                    0.0 if m.ground_truth_s is None else m.ground_truth_s,
+                    1.0 if m.ground_truth_s is None else 0.0,
+                    1.0 if m.ground_truth_outlier else 0.0,
+                )
+            header.append(
+                (
+                    res.index,
+                    res.elapsed_virtual_s,
+                    dataclasses.replace(res.pair, measurements=[]),
+                    row,
+                    len(ms),
+                )
+            )
+            row += len(ms)
+    except BaseException:
+        # The driver will never see this segment's name; reap it here or
+        # it leaks for the life of the host.
+        seg.close()
+        try:
+            seg.unlink()
+        except FileNotFoundError:  # pragma: no cover
+            pass
+        raise
+    seg_name = seg.name
     seg.close()
-    return ("shm", name, header)
+    return ("shm", seg_name, header)
 
 
 def unpack_results(envelope) -> list[PairJobResult]:
