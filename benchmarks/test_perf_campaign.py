@@ -80,7 +80,11 @@ def _bench_fidelity_config() -> LatestConfig:
 
 
 def _timed_campaign(
-    workers, pass_block_size=None, pair_batch_size=None, journal_root=None
+    workers,
+    pass_block_size=None,
+    pair_batch_size=None,
+    journal_root=None,
+    sinks_factory=None,
 ):
     best = None
     for i in range(_REPEATS):
@@ -93,8 +97,13 @@ def _timed_campaign(
         # A journal open refuses an existing directory, so each repeat
         # journals into its own (the fsync-per-pair cost is identical).
         journal = None if journal_root is None else str(journal_root / f"r{i}")
+        # Fresh sinks per repeat: a sink accumulates state for exactly
+        # one campaign stream.
+        sinks = () if sinks_factory is None else sinks_factory(i)
         t0 = time.perf_counter()
-        result = run_campaign(machine, config, workers=workers, journal=journal)
+        result = run_campaign(
+            machine, config, workers=workers, journal=journal, sinks=sinks
+        )
         wall_s = time.perf_counter() - t0
         if best is None or wall_s < best[0]:
             best = (wall_s, result)
@@ -226,6 +235,62 @@ def test_journal_overhead(tmp_path):
     # Guardrail, not a tight bound: a per-pair fsync must never dominate
     # a campaign that measures for seconds.
     assert journaled["wall_s"] < 30.0
+
+
+def test_stream_overhead(tmp_path):
+    """Record what attached stream sinks cost the batched engine mode.
+
+    The campaign event stream is the only result path, so "sinks off"
+    still dispatches every event to the internal accumulator; "sinks on"
+    additionally attaches the three stock consumers — live progress
+    (written to an in-memory buffer), incremental per-pair CSV output,
+    and an event recorder — the configuration a monitored production
+    campaign would run.  Emitting events advances no virtual clock and
+    draws no RNG, so the measurements must be untouched; only real time
+    may move.  Both rows land in ``BENCH_campaign.json``.
+    """
+    import io
+
+    from repro.core.csvio import CsvStreamSink
+    from repro.core.stream import ProgressSink, RecordingSink
+
+    def sinks_on(i):
+        return (
+            ProgressSink(out=io.StringIO()),
+            CsvStreamSink(tmp_path / f"stream{i}"),
+            RecordingSink(),
+        )
+
+    off, off_result = _timed_campaign(workers=1, pass_block_size=25)
+    on, on_result = _timed_campaign(
+        workers=1, pass_block_size=25, sinks_factory=sinks_on
+    )
+
+    # Sinks must not perturb the measurements themselves.
+    assert on["n_measured_pairs"] == off["n_measured_pairs"]
+    assert on["n_measurements"] == off["n_measurements"]
+    assert on_result.wall_virtual_s == off_result.wall_virtual_s
+
+    overhead_pct = round(100.0 * (on["wall_s"] / off["wall_s"] - 1.0), 2)
+    update_bench_json(
+        {
+            "stream_overhead": {
+                "mode": "engine_batched_block25, workers=1",
+                "sinks": "ProgressSink + CsvStreamSink + RecordingSink",
+                "sinks_off": off,
+                "sinks_on": on,
+                "overhead_pct": overhead_pct,
+                "note": (
+                    "synchronous fan-out per event (progress render, "
+                    "atomic per-pair CSV write, list append); negative "
+                    "values are run-to-run noise on shared containers"
+                ),
+            }
+        }
+    )
+
+    # Guardrail: observability must never dominate measurement time.
+    assert on["wall_s"] < 30.0
 
 
 def test_perf_floor_gate():

@@ -10,6 +10,7 @@ recorded-SM count) are grouped separately.
 from __future__ import annotations
 
 import argparse
+import shlex
 import sys
 
 from repro.analysis.heatmap import heatmaps_by_memory
@@ -21,10 +22,10 @@ from repro.analysis.render import (
 from repro.analysis.summary import summarize_campaign
 from repro.core.campaign import run_campaign
 from repro.core.config import LatestConfig
-from repro.errors import CampaignInterrupted, ReproError
+from repro.errors import CampaignInterrupted, JournalModeError, ReproError
 from repro.machine import make_machine
 
-__all__ = ["build_parser", "main"]
+__all__ = ["build_parser", "engine_mode_command", "main"]
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -194,7 +195,7 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="OUT.pstats",
         help="profile the campaign under cProfile and write the stats to "
         "this path (inspect with python -m pstats or snakeviz); a "
-        "per-stage breakdown (phase1/probe/batch-step/peel-off/merge) is "
+        "per-stage breakdown (phase1/probe/batch-step/peel-off/stream) is "
         "printed to stderr",
     )
     sim = parser.add_argument_group("simulated environment")
@@ -230,7 +231,52 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--quiet", action="store_true", help="suppress per-pair progress"
     )
+    parser.add_argument(
+        "--progress",
+        action="store_true",
+        help="live single-line progress on stderr, driven by the campaign "
+        "event stream: pairs done against the grid total, with "
+        "measured/replayed/skipped/retried counts as events land",
+    )
+    parser.add_argument(
+        "--stream-csv",
+        default=None,
+        metavar="DIR",
+        help="write each pair's CSV to DIR the moment its result lands on "
+        "the campaign event stream (instead of after the campaign); the "
+        "final files are byte-identical to the --output-dir batch writer, "
+        "and an interrupted campaign keeps every pair CSV written so far",
+    )
     return parser
+
+
+def engine_mode_command(argv: list[str], journal_dir: str) -> str:
+    """The engine-mode re-run command for an unresumable serial journal.
+
+    A serial-mode journal cannot be resumed (the serial loop shares one
+    timeline), so the campaign must be re-run through the execution
+    engine to become resumable: drop ``--resume``, keep any explicit
+    ``--workers`` (default 1 otherwise), and point ``--journal`` at a
+    fresh directory — a fresh open refuses the existing serial journal.
+    """
+    tokens: list[str] = []
+    have_workers = False
+    it = iter(argv)
+    for tok in it:
+        if tok == "--resume":
+            continue
+        if tok == "--journal":
+            next(it, None)
+            continue
+        if tok.startswith("--journal="):
+            continue
+        if tok == "--workers" or tok.startswith("--workers="):
+            have_workers = True
+        tokens.append(tok)
+    if not have_workers:
+        tokens += ["--workers", "1"]
+    tokens += ["--journal", f"{journal_dir}-engine"]
+    return "latest-bench " + " ".join(shlex.quote(tok) for tok in tokens)
 
 
 def parse_frequencies(
@@ -343,6 +389,15 @@ def main(argv: list[str] | None = None) -> int:
         )
     except ReproError as exc:
         raise SystemExit(f"error: {exc}")
+    sinks = []
+    if args.progress:
+        from repro.core.stream import ProgressSink
+
+        sinks.append(ProgressSink())
+    if args.stream_csv:
+        from repro.core.csvio import CsvStreamSink
+
+        sinks.append(CsvStreamSink(args.stream_csv))
     profiler = None
     if args.profile:
         import cProfile
@@ -356,7 +411,25 @@ def main(argv: list[str] | None = None) -> int:
             workers=args.workers,
             journal=args.journal,
             resume=args.resume,
+            sinks=tuple(sinks),
         )
+    except JournalModeError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        if args.resume:
+            hint = engine_mode_command(
+                list(argv) if argv is not None else sys.argv[1:],
+                args.journal,
+            )
+            print(
+                f"the journal at {args.journal} was recorded by a "
+                f"{exc.recorded_mode!r}-mode run; {exc.recorded_mode} "
+                "journals cannot be resumed (one shared timeline). "
+                "Re-run the campaign through the execution engine so "
+                "future interruptions are resumable:",
+                file=sys.stderr,
+            )
+            print(f"  {hint}", file=sys.stderr)
+        return 1
     except CampaignInterrupted as exc:
         print(f"interrupted: {exc}", file=sys.stderr)
         if exc.journal_dir is not None and args.workers is not None:
@@ -438,6 +511,8 @@ def main(argv: list[str] | None = None) -> int:
         print(f"\nreport written to {path}")
     if args.output_dir:
         print(f"\nCSV files written to {args.output_dir}")
+    if args.stream_csv:
+        print(f"\nstreamed CSV files written to {args.stream_csv}")
     return 0
 
 

@@ -35,7 +35,16 @@ from repro.core.phase3 import evaluate_switch
 from repro.core.results import (
     CampaignResult,
     PairResult,
+    ResultAccumulator,
     SwitchingLatencyMeasurement,
+)
+from repro.core.stream import (
+    CampaignFinished,
+    CampaignStarted,
+    FacetPrepared,
+    PairMeasured,
+    PairSkipped,
+    StreamDispatcher,
 )
 from repro.errors import CampaignInterrupted, ConfigError, MeasurementError
 from repro.gpusim.thermal import ThrottleReasons
@@ -102,7 +111,7 @@ class LatestBenchmark:
         self.machine = machine
 
     # ------------------------------------------------------------------
-    def run(self, journal=None, guard=None) -> CampaignResult:
+    def run(self, journal=None, guard=None, sinks=()) -> CampaignResult:
         """Execute the full campaign and (optionally) write CSV output.
 
         Legacy campaigns (``memory_frequencies`` unset) run exactly the
@@ -127,7 +136,17 @@ class LatestBenchmark:
         into a clean stop between pairs: the journal is already flushed
         per append, and :class:`~repro.errors.CampaignInterrupted` is
         raised instead of losing the run to a KeyboardInterrupt mid-pass.
+
+        ``sinks`` are extra :class:`~repro.core.stream.CampaignSink`
+        consumers attached to the campaign event stream
+        (:mod:`repro.core.stream`); the serial loop emits every event in
+        flat grid order.  The returned :class:`CampaignResult` is itself
+        accumulated from the stream
+        (:class:`~repro.core.results.ResultAccumulator`) — there is no
+        separate batch result path.
         """
+        from repro.core.journal import JournalSink
+
         t_begin = self.machine.clock.now
         axis = self.bench.axis
         facet_plan = self.config.facet_plan()
@@ -135,15 +154,33 @@ class LatestBenchmark:
         sm_facets = self.config.locked_sm_plan()
         n_pairs = len(self.config.pairs())
         measured = 0
-        pairs: dict = {}
-        phase1_by_facet: dict = {}
+        accumulator = ResultAccumulator()
+        dispatch = StreamDispatcher(
+            accumulator,
+            JournalSink(journal) if journal is not None else None,
+            *sinks,
+        )
+        dispatch.emit(
+            CampaignStarted(
+                gpu_name=self.bench.device.spec.name,
+                architecture=self.bench.device.spec.architecture,
+                hostname=self.machine.hostname,
+                device_index=self.config.device_index,
+                frequencies=self.config.frequencies,
+                axis=axis.name,
+                facet_plan=facet_plan,
+                n_pairs=n_pairs,
+                memory_frequencies=self.config.memory_frequencies,
+                locked_sm_frequencies=sm_facets,
+                mode="serial",
+            )
+        )
         for facet_index, facet in enumerate(facet_plan):
             if not self.bench.prepare_facet_clock(facet):
                 phase1 = None
                 probe = None
             else:
                 phase1 = run_phase1(self.bench)
-                phase1_by_facet[facet] = phase1
                 # Power caps or too-coarse workloads can leave no
                 # distinguishable pair at all; the campaign then reports
                 # every pair as skipped rather than failing (the tool's
@@ -151,25 +188,41 @@ class LatestBenchmark:
                 probe = (
                     self._probe_windows(phase1) if phase1.valid_pairs else None
                 )
+            dispatch.emit(
+                FacetPrepared(
+                    facet_index=facet_index,
+                    facet=facet,
+                    prepared=phase1 is not None,
+                    phase1=phase1,
+                    probe=probe,
+                )
+            )
 
             valid = set(phase1.valid_pairs) if phase1 is not None else set()
             for pair_index, (init, target) in enumerate(self.config.pairs()):
                 sm_key = (float(init), float(target))
-                key = sm_key if facet is None else sm_key + (float(facet),)
+                index = facet_index * n_pairs + pair_index
                 reason = facet_skip_reason(
                     phase1, sm_key, valid, axis.facet_fail_reason
                 )
                 if reason is not None:
-                    pairs[key] = PairResult(
-                        init_mhz=sm_key[0],
-                        target_mhz=sm_key[1],
-                        skipped=True,
-                        skip_reason=reason,
-                        memory_mhz=facet if grid else None,
-                        locked_sm_mhz=(
-                            None if grid or facet is None else float(facet)
-                        ),
-                        axis=axis.name,
+                    dispatch.emit(
+                        PairSkipped(
+                            index=index,
+                            pair=PairResult(
+                                init_mhz=sm_key[0],
+                                target_mhz=sm_key[1],
+                                skipped=True,
+                                skip_reason=reason,
+                                memory_mhz=facet if grid else None,
+                                locked_sm_mhz=(
+                                    None
+                                    if grid or facet is None
+                                    else float(facet)
+                                ),
+                                axis=axis.name,
+                            ),
+                        )
                     )
                     continue
                 if guard is not None and guard.requested:
@@ -194,38 +247,29 @@ class LatestBenchmark:
                 pair.memory_mhz = facet if grid else None
                 if not grid and facet is not None:
                     pair.locked_sm_mhz = float(facet)
-                pairs[key] = pair
                 measured += 1
-                if journal is not None:
-                    # Same flat facet-major index the engine uses, so the
-                    # record identifies the grid point unambiguously.
-                    journal.append(
-                        facet_index * n_pairs + pair_index,
-                        pair,
-                        self.machine.clock.now - t_pair,
+                # The flat facet-major index the engine also uses, so the
+                # event (and any journaled record of it) identifies the
+                # grid point unambiguously across execution tiers.
+                dispatch.emit(
+                    PairMeasured(
+                        index=index,
+                        pair=pair,
+                        elapsed_virtual_s=self.machine.clock.now - t_pair,
                     )
+                )
 
-        result = CampaignResult(
-            gpu_name=self.bench.device.spec.name,
-            architecture=self.bench.device.spec.architecture,
-            hostname=self.machine.hostname,
-            device_index=self.config.device_index,
-            frequencies=self.config.frequencies,
-            pairs=pairs,
-            phase1=phase1_by_facet.get(facet_plan[0]),
-            wall_virtual_s=self.machine.clock.now - t_begin,
-            memory_frequencies=self.config.memory_frequencies,
-            phase1_by_memory=(
-                None if facet_plan == (None,) else phase1_by_facet
-            ),
-            axis=axis.name,
-            locked_sm_mhz=(
-                None
-                if sm_facets is not None
-                else axis.locked_complement_mhz(self.bench)
-            ),
-            locked_sm_frequencies=sm_facets,
+        dispatch.emit(
+            CampaignFinished(
+                wall_virtual_s=self.machine.clock.now - t_begin,
+                locked_sm_mhz=(
+                    None
+                    if sm_facets is not None
+                    else axis.locked_complement_mhz(self.bench)
+                ),
+            )
         )
+        result = accumulator.result()
         if self.config.output_dir is not None:
             write_campaign_csvs(self.config.output_dir, result)
         return result
@@ -475,6 +519,7 @@ def run_campaign(
     workers: int | None = None,
     journal: "str | None" = None,
     resume: bool = False,
+    sinks=(),
 ) -> CampaignResult:
     """Build and run a campaign.
 
@@ -499,6 +544,10 @@ def run_campaign(
     campaign bit-identically — the serial loop's pairs share one
     RNG/clock timeline, so a serial journal is a durable record but
     cannot be resumed (a clear error says so).
+
+    ``sinks`` attaches extra consumers to the campaign event stream
+    (:mod:`repro.core.stream`) on either path — progress reporting,
+    incremental CSV output, service feeds.
     """
     if workers is None:
         if resume:
@@ -509,7 +558,7 @@ def run_campaign(
                 "identically"
             )
         if journal is None:
-            return LatestBenchmark(machine, config).run()
+            return LatestBenchmark(machine, config).run(sinks=sinks)
         from repro.core.journal import (
             CampaignJournal,
             ShutdownGuard,
@@ -525,10 +574,11 @@ def run_campaign(
             synopsis=campaign_synopsis(config, machine.blueprint),
         ) as journal_obj, ShutdownGuard() as guard:
             return LatestBenchmark(machine, config).run(
-                journal=journal_obj, guard=guard
+                journal=journal_obj, guard=guard, sinks=sinks
             )
     from repro.exec.engine import run_campaign_parallel
 
     return run_campaign_parallel(
-        machine, config, workers=workers, journal=journal, resume=resume
+        machine, config, workers=workers, journal=journal, resume=resume,
+        sinks=sinks,
     )

@@ -48,11 +48,19 @@ from repro.core.results import (
     CampaignResult,
     OutlierLabels,
     PairResult,
+    ResultAccumulator,
     SwitchingLatencyMeasurement,
+)
+from repro.core.stream import (
+    CampaignFinished,
+    CampaignSink,
+    CampaignStarted,
+    PairMeasured,
 )
 from repro.errors import MeasurementError
 
 __all__ = [
+    "CsvStreamSink",
     "PairCsvName",
     "pair_csv_name",
     "parse_pair_csv_name",
@@ -346,6 +354,54 @@ def read_pair_csv(path: str | Path) -> PairResult:
         axis=parsed.axis,
         locked_sm_mhz=parsed.locked_sm_mhz,
     )
+
+
+class CsvStreamSink(CampaignSink):
+    """Incremental CSV output driven by the campaign event stream.
+
+    Writes each measured pair's CSV the moment its
+    :class:`~repro.core.stream.PairMeasured` event arrives — including
+    journal replays on resume — instead of waiting for the campaign to
+    finish, and the campaign summary on
+    :class:`~repro.core.stream.CampaignFinished`.  Because
+    :func:`write_pair_csv` is a pure function of the pair (and the
+    atomic write-then-rename makes re-writes idempotent), the final
+    directory contents are byte-identical to a single
+    :func:`write_campaign_csvs` call on the completed result, for every
+    execution tier and completion order.
+
+    An interrupted campaign leaves the pair CSVs written so far (each
+    complete and valid — the durable observable counterpart of the
+    journal) and no summary file.
+    """
+
+    def __init__(self, directory: str | Path) -> None:
+        self.directory = Path(directory)
+        self.paths: list[Path] = []
+        self._accumulator = ResultAccumulator()
+        self._hostname = "host"
+        self._device_index = 0
+
+    def on_event(self, event) -> None:
+        self._accumulator.on_event(event)
+        if isinstance(event, CampaignStarted):
+            self._hostname = event.hostname
+            self._device_index = event.device_index
+        elif isinstance(event, PairMeasured):
+            pair = event.pair
+            if not pair.skipped and pair.n_measurements > 0:
+                self.paths.append(
+                    write_pair_csv(
+                        self.directory,
+                        pair,
+                        self._hostname,
+                        self._device_index,
+                    )
+                )
+        elif isinstance(event, CampaignFinished):
+            self.paths.append(
+                write_summary_csv(self.directory, self._accumulator.result())
+            )
 
 
 def write_campaign_csvs(directory: str | Path, result: CampaignResult) -> list[Path]:

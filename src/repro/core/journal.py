@@ -65,7 +65,7 @@ import zlib
 from pathlib import Path
 from typing import TYPE_CHECKING, Iterator
 
-from repro.errors import ConfigError, MeasurementError
+from repro.errors import ConfigError, JournalModeError, MeasurementError
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.config import LatestConfig
@@ -74,9 +74,12 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 __all__ = [
     "CampaignJournal",
+    "JournalSink",
     "ShutdownGuard",
     "campaign_fingerprint",
     "campaign_synopsis",
+    "read_journal_mode",
+    "replay_events",
 ]
 
 #: journal format version (bump on incompatible layout changes)
@@ -219,12 +222,13 @@ class CampaignJournal:
                     "configuration and machine"
                 )
             if meta.get("mode") != mode:
-                raise MeasurementError(
+                raise JournalModeError(
                     f"journal at {directory} was written by a "
                     f"{meta.get('mode')}-mode campaign and cannot be "
                     f"resumed in {mode} mode (the serial loop shares one "
                     "RNG/clock timeline across pairs, so only engine-mode "
-                    "journals resume bit-identically)"
+                    "journals resume bit-identically)",
+                    recorded_mode=str(meta.get("mode")),
                 )
             return cls(directory, fingerprint, mode, meta)
         if resume:
@@ -308,6 +312,59 @@ class CampaignJournal:
 
     def __exit__(self, *exc) -> None:
         self.close()
+
+
+def read_journal_mode(directory: "str | Path") -> "str | None":
+    """The execution mode recorded in a journal's metadata, if readable.
+
+    Diagnostic helper (no validation): returns ``None`` when the
+    directory holds no parseable journal metadata.
+    """
+    meta_path = Path(directory) / "meta.json"
+    try:
+        meta = json.loads(meta_path.read_text())
+    except (OSError, json.JSONDecodeError):
+        return None
+    mode = meta.get("mode")
+    return str(mode) if mode is not None else None
+
+
+class JournalSink:
+    """Stream sink making the journal a durable consumer of pair events.
+
+    Appends every live ``PairMeasured`` event the moment it is dispatched
+    (flush + fsync per record).  Replayed events are already durable —
+    they *came* from this journal — and planned ``PairSkipped`` events
+    are recomputed from phase 1 on every run, so neither is re-appended;
+    the on-disk ledger stays exactly the set of measured pairs.
+    """
+
+    def __init__(self, journal: CampaignJournal) -> None:
+        self.journal = journal
+
+    def on_event(self, event) -> None:
+        from repro.core.stream import PairMeasured
+
+        if isinstance(event, PairMeasured) and not event.replayed:
+            self.journal.append(event.index, event.pair, event.elapsed_virtual_s)
+
+
+def replay_events(
+    loaded: "dict[int, tuple[PairResult, float]]",
+) -> "Iterator":
+    """Journaled records as synthetic ``PairMeasured`` events, index order.
+
+    The resume producer emits these before any live measurement so sinks
+    observe one coherent stream: every replayed event precedes every live
+    one, and ``replayed=True`` tells durable sinks not to double-append.
+    """
+    from repro.core.stream import PairMeasured
+
+    for index in sorted(loaded):
+        pair, elapsed = loaded[index]
+        yield PairMeasured(
+            index=index, pair=pair, elapsed_virtual_s=elapsed, replayed=True
+        )
 
 
 class ShutdownGuard:

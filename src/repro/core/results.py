@@ -18,6 +18,7 @@ __all__ = [
     "SwitchingLatencyMeasurement",
     "PairResult",
     "CampaignResult",
+    "ResultAccumulator",
 ]
 
 #: (initial_mhz, target_mhz)
@@ -375,3 +376,74 @@ class CampaignResult:
         if not chunks:
             return np.empty(0)
         return np.concatenate(chunks)
+
+
+class ResultAccumulator:
+    """The sink that assembles a :class:`CampaignResult` from the stream.
+
+    Every execution tier — serial loop, process-pool engine, warm-pool
+    batches, journal-resume replay — emits the campaign event stream
+    (:mod:`repro.core.stream`), and this sink is the *only* way a
+    ``CampaignResult`` is built from a live campaign.  Pair events are
+    keyed by flat grid index, so completion-order delivery from the pool
+    tiers accumulates to exactly the grid-order ``pairs`` dict the serial
+    loop emits: iteration order (and therefore summary-CSV row order) is
+    index order, independent of worker count or completion order.
+    """
+
+    def __init__(self) -> None:
+        self._started: "object | None" = None
+        self._finished: "object | None" = None
+        self._pairs_by_index: dict[int, PairResult] = {}
+        self._phase1_by_facet: dict = {}
+
+    # ------------------------------------------------------------------
+    def on_event(self, event) -> None:
+        from repro.core import stream
+
+        if isinstance(event, stream.CampaignStarted):
+            self._started = event
+        elif isinstance(event, stream.FacetPrepared):
+            if event.phase1 is not None:
+                self._phase1_by_facet[event.facet] = event.phase1
+        elif isinstance(event, (stream.PairMeasured, stream.PairSkipped)):
+            self._pairs_by_index[event.index] = event.pair
+        elif isinstance(event, stream.CampaignFinished):
+            self._finished = event
+
+    # ------------------------------------------------------------------
+    @property
+    def n_pairs_seen(self) -> int:
+        return len(self._pairs_by_index)
+
+    def result(self) -> CampaignResult:
+        """Assemble the campaign result (requires ``CampaignFinished``)."""
+        started, finished = self._started, self._finished
+        if started is None or finished is None:
+            raise MeasurementError(
+                "campaign stream incomplete: "
+                + ("no CampaignStarted event" if started is None
+                   else "no CampaignFinished event")
+            )
+        pairs: "dict[PairKey | GridKey, PairResult]" = {}
+        for index in sorted(self._pairs_by_index):
+            pair = self._pairs_by_index[index]
+            pairs[pair.grid_key] = pair
+        single_facet = started.facet_plan == (None,)
+        return CampaignResult(
+            gpu_name=started.gpu_name,
+            architecture=started.architecture,
+            hostname=started.hostname,
+            device_index=started.device_index,
+            frequencies=started.frequencies,
+            pairs=pairs,
+            phase1=self._phase1_by_facet.get(started.facet_plan[0]),
+            wall_virtual_s=finished.wall_virtual_s,
+            memory_frequencies=started.memory_frequencies,
+            phase1_by_memory=(
+                None if single_facet else self._phase1_by_facet
+            ),
+            axis=started.axis,
+            locked_sm_mhz=finished.locked_sm_mhz,
+            locked_sm_frequencies=started.locked_sm_frequencies,
+        )

@@ -19,12 +19,15 @@ submission order nor completion order can influence the
 cache of deterministic machine-build products (per-pair latency-model
 structures) across jobs.
 
-Dispatch is supervised (:class:`repro.exec.jobs.SupervisionPolicy`):
-crashed or hung workers are rebuilt and their units retried —
-bit-identically, because seed streams derive from grid indices alone —
-with persistent failures quarantined as recorded skips.  Campaigns can
-journal completed pairs durably and resume after interruption
-(:mod:`repro.core.journal`), and every recovery path is testable under
+Dispatch is supervised (:class:`repro.exec.jobs.SupervisionPolicy`; the
+generic retry/deadline/quarantine loops live in
+:mod:`repro.exec.supervise`): crashed or hung workers are rebuilt and
+their units retried — bit-identically, because seed streams derive from
+grid indices alone — with persistent failures quarantined as recorded
+skips.  Campaigns can journal completed pairs durably and resume after
+interruption (:mod:`repro.core.journal`), every result and supervision
+step is observable on the campaign event stream
+(:mod:`repro.core.stream`), and every recovery path is testable under
 deterministic fault injection (:mod:`repro.exec.faults`).
 
 ::
@@ -53,6 +56,12 @@ from repro.exec.jobs import (
     pair_seed_sequence,
 )
 from repro.exec.shm import cleanup_segment, pack_results, unpack_results
+from repro.exec.supervise import (
+    UnitState,
+    quarantine_results,
+    run_units_inprocess,
+    run_units_pool,
+)
 
 __all__ = [
     "CampaignExecutor",
@@ -64,13 +73,17 @@ __all__ = [
     "PairJobResult",
     "ProbeCostModel",
     "SupervisionPolicy",
+    "UnitState",
     "WarmPool",
     "cleanup_segment",
     "mp_context",
     "pack_results",
     "pair_seed_sequence",
+    "quarantine_results",
     "run_campaign_parallel",
     "run_pair_batch",
     "run_pair_job",
+    "run_units_inprocess",
+    "run_units_pool",
     "unpack_results",
 ]

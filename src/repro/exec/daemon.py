@@ -8,7 +8,7 @@ harnesses run *many* campaigns back to back; :class:`WarmPool` keeps a
 fixed set of daemon processes alive across them, with two caches that
 persist for the pool's lifetime:
 
-* the **skeleton cache** (same dict :func:`repro.exec.engine.run_pair_job`
+* the **skeleton cache** (same dict :func:`repro.exec.worker.run_pair_job`
   threads through a pool initializer) — machine-build products keyed on
   (architecture, unit seed), shared by every campaign on the pool;
 * a **payload cache** keyed on a content digest of the pickled
@@ -48,10 +48,12 @@ Segments are named ``<session>t<task id>`` so the driver can sweep the
 leavings of workers that died mid-send (:func:`repro.exec.shm.cleanup_segment`).
 
 Determinism is untouched: workers run the exact
-:func:`~repro.exec.engine.run_pair_job` /
-:func:`~repro.exec.engine.run_pair_batch` entry points, and the engine's
-index-keyed merge absorbs completion-order nondeterminism — a retried or
-duplicated unit reproduces its results bit for bit.
+:func:`~repro.exec.worker.run_pair_job` /
+:func:`~repro.exec.worker.run_pair_batch` entry points, and results reach
+the campaign event stream (:mod:`repro.core.stream`) as completion-order
+``PairMeasured`` events whose grid indices let every sink reorder
+deterministically — a retried or duplicated unit reproduces its results
+bit for bit.
 """
 
 from __future__ import annotations
@@ -66,15 +68,13 @@ import time
 import traceback
 
 from repro.errors import ConfigError
-from repro.exec.engine import (
-    _quarantine_results,
-    _UnitState,
+from repro.exec.worker import (
     fire_worker_faults,
-    mp_context,
     run_pair_batch,
     run_pair_job,
 )
 from repro.exec.faults import fault_plan
+from repro.exec.supervise import UnitState, mp_context, quarantine_results
 from repro.exec.shm import cleanup_segment, pack_results, unpack_results
 
 __all__ = ["WarmPool"]
@@ -285,6 +285,7 @@ class WarmPool:
         costs=None,
         guard=None,
         on_result=None,
+        on_retry=None,
     ) -> list:
         """Run job chunks on the pool; returns the flat result list.
 
@@ -297,6 +298,10 @@ class WarmPool:
         sink), dispatch is windowed and supervised — crash respawn +
         re-dispatch, deadline-triggered pool rebuild, bounded retries with
         quarantine — with at-least-once delivery deduplicated by unit.
+        ``on_retry`` (if given) fires with ``(jobs, attempts, cause)``
+        whenever a failed unit is about to be re-dispatched — the
+        executor wires it to :class:`~repro.core.stream.PairRetried`
+        events.
         """
         if self._closed:
             raise ConfigError("pool is closed")
@@ -306,11 +311,11 @@ class WarmPool:
         key = self._install_payload(payload)
         sink = on_result if on_result is not None else (lambda results: None)
         states = [
-            _UnitState(unit, 0.0 if costs is None else costs[i])
+            UnitState(unit, 0.0 if costs is None else costs[i])
             for i, unit in enumerate(units)
         ]
         pending = list(states)
-        outstanding: dict[int, _UnitState] = {}
+        outstanding: dict[int, UnitState] = {}
         out: list = []
         #: bounded submission window (supervised mode) keeps the task
         #: queue shallow so a shutdown signal leaves most pending units
@@ -324,7 +329,7 @@ class WarmPool:
         def in_flight() -> int:
             return len({id(s) for s in outstanding.values()})
 
-        def submit(state: _UnitState) -> None:
+        def submit(state: UnitState) -> None:
             task_id = self._next_task_id
             self._next_task_id += 1
             state.task_ids = {task_id}
@@ -343,7 +348,7 @@ class WarmPool:
                     return
                 submit(pending.pop(0))
 
-        def complete(state: _UnitState, results) -> None:
+        def complete(state: UnitState, results) -> None:
             for task_id in state.task_ids:
                 outstanding.pop(task_id, None)
             state.task_ids = set()
@@ -352,7 +357,7 @@ class WarmPool:
             out.extend(results)
             sink(results)
 
-        def fail(state: _UnitState, cause: str) -> None:
+        def fail(state: UnitState, cause: str) -> None:
             for task_id in state.task_ids:
                 outstanding.pop(task_id, None)
                 # The worker may have died between creating its result
@@ -365,9 +370,11 @@ class WarmPool:
             if state.attempts > policy.max_retries:
                 complete(
                     state,
-                    _quarantine_results(state.jobs, state.attempts, cause),
+                    quarantine_results(state.jobs, state.attempts, cause),
                 )
                 return
+            if on_retry is not None:
+                on_retry(state.jobs, state.attempts, cause)
             backoff = policy.backoff_for(state.attempts)
             if backoff > 0.0:
                 time.sleep(backoff)

@@ -16,19 +16,22 @@ the pool initializer, never inside jobs.
 Workers rebuild the machine from the blueprint (same GPU spec, same unit
 seed, same thermal configuration) with a seed stream derived from the
 pair index, and run the unchanged :func:`repro.core.campaign.measure_pair`
-loop.  A per-process *skeleton cache* keeps the deterministic, immutable
-parts of the machine build — the per-pair latency-model structures —
-alive across jobs, so replica construction cost is paid once per
-(architecture, unit seed) rather than once per job.
+loop; the worker-side entry points and replica construction live in
+:mod:`repro.exec.worker` (re-exported here), including the per-process
+skeleton cache that amortizes replica construction cost across jobs.
 
 Dispatch is **straggler-aware**: jobs are submitted longest-expected-first
 (``expected_pair_cost``, a cost model built from the probe latencies) and
-collected with ``as_completed``, so a slow pair starts early instead of
-serializing the pool tail.  Because jobs share no mutable state and the
-merge is keyed by pair index, the :class:`CampaignResult` — per-pair
-measurements, outlier labels, CSV bytes — is bit-identical for every
-worker count and submission order; scheduling only changes wall-clock
-time.
+collected as they complete, so a slow pair starts early instead of
+serializing the pool tail.  Results leave the executor as
+**completion-order** :class:`~repro.core.stream.PairMeasured` events on
+the campaign event stream (:mod:`repro.core.stream`), each carrying its
+flat grid index; because jobs share no mutable state and every stream
+consumer — the :class:`~repro.core.results.ResultAccumulator` that
+assembles the :class:`CampaignResult`, the journal, incremental CSV
+output — keys on that index, the result (per-pair measurements, outlier
+labels, CSV bytes) is bit-identical for every worker count and
+submission order; scheduling only changes wall-clock time.
 
 ``workers == 1`` executes the jobs in-process (no pool, no pickling) but
 through the same job pipeline, so it reproduces ``workers == N`` exactly.
@@ -40,329 +43,84 @@ workers inherit the loaded modules; ``spawn`` elsewhere.
 
 Fault tolerance
 ---------------
-Dispatch is **supervised** (:class:`~repro.exec.jobs.SupervisionPolicy`):
-a unit (one job, or one SoA chunk) that crashes its worker, times out
-against its cost-model-derived deadline, or fails result transport is
-retried on a rebuilt pool with exponential backoff — and because replica
-seed streams derive only from grid indices, a retry is *bit-identical* to
-an undisturbed run.  A unit that keeps failing past
+Dispatch is **supervised** (:class:`~repro.exec.jobs.SupervisionPolicy`,
+with the generic retry/deadline/quarantine loops living in
+:mod:`repro.exec.supervise`): a unit (one job, or one SoA chunk) that
+crashes its worker, times out against its cost-model-derived deadline, or
+fails result transport is retried on a rebuilt pool with exponential
+backoff — announced as a :class:`~repro.core.stream.PairRetried` event —
+and because replica seed streams derive only from grid indices, a retry
+is *bit-identical* to an undisturbed run.  A unit that keeps failing past
 ``config.max_job_retries`` is quarantined: its pairs become recorded skip
 reasons (the same skip machinery phase 1 uses) instead of aborting the
 campaign.  With a journal attached
-(:class:`~repro.core.journal.CampaignJournal`), every completed pair is
-durably recorded as it merges, SIGINT/SIGTERM drain in-flight units and
-raise :class:`~repro.errors.CampaignInterrupted`, and ``resume=True``
-validates the campaign fingerprint, merges the journaled pairs, and
-measures only the rest — reconstructing the identical
-:class:`CampaignResult`.
+(:class:`~repro.core.journal.CampaignJournal`, subscribed as a
+:class:`~repro.core.journal.JournalSink`), every completed pair is
+durably recorded the moment its event is dispatched, SIGINT/SIGTERM
+drain in-flight units and raise
+:class:`~repro.errors.CampaignInterrupted`, and ``resume=True``
+validates the campaign fingerprint, replays the journaled pairs as
+synthetic stream events, and measures only the rest — reconstructing the
+identical :class:`CampaignResult`.
 """
 
 from __future__ import annotations
 
-import multiprocessing
-import time
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
-from concurrent.futures.process import BrokenProcessPool
 from contextlib import ExitStack
-from dataclasses import replace as dc_replace
 
-from repro.core.campaign import (
-    LatestBenchmark,
-    facet_skip_reason,
-    measure_pair,
-)
+from repro.core.campaign import LatestBenchmark, facet_skip_reason
 from repro.core.journal import (
     CampaignJournal,
+    JournalSink,
     ShutdownGuard,
     campaign_fingerprint,
+    replay_events,
 )
 from repro.core.phase1 import run_phase1
 from repro.core.config import LatestConfig
-from repro.core.context import BenchContext
 from repro.core.csvio import write_campaign_csvs
-from repro.core.results import CampaignResult, PairResult
+from repro.core.results import CampaignResult, PairResult, ResultAccumulator
+from repro.core.stream import (
+    CampaignFinished,
+    CampaignStarted,
+    FacetPrepared,
+    PairMeasured,
+    PairRetried,
+    PairSkipped,
+    StreamDispatcher,
+)
 from repro.errors import CampaignInterrupted, ConfigError
-from repro.exec.faults import FaultPlan, fault_plan
+from repro.exec.faults import FaultPlan
 from repro.exec.jobs import (
     CampaignPayload,
     PairJob,
     PairJobResult,
     ProbeCostModel,
     SupervisionPolicy,
-    pair_seed_sequence,
+)
+from repro.exec.supervise import (
+    mp_context,
+    run_units_inprocess,
+    run_units_pool,
+)
+from repro.exec.worker import (
+    fire_worker_faults,
+    run_pair_batch,
+    run_pair_job,
+    worker_init,
+    worker_run_batch,
+    worker_run_unit,
 )
 from repro.machine import Machine
 
 __all__ = [
     "CampaignExecutor",
+    "fire_worker_faults",
     "mp_context",
     "run_campaign_parallel",
     "run_pair_batch",
     "run_pair_job",
 ]
-
-
-def mp_context():
-    """The multiprocessing context every repro process pool should use.
-
-    ``fork`` where available (Linux — workers inherit loaded modules),
-    ``spawn`` elsewhere.  Public so sweeps and external drivers share one
-    start-method policy instead of reaching into engine internals.
-    """
-    method = "fork" if "fork" in multiprocessing.get_all_start_methods() else "spawn"
-    return multiprocessing.get_context(method)
-
-
-#: per-process shared state installed by the pool initializer
-_WORKER_PAYLOAD: CampaignPayload | None = None
-#: per-process skeleton cache: (architecture, unit_seed) -> pair-model dict
-_WORKER_SKELETON: dict = {}
-
-
-def _worker_init(payload: CampaignPayload) -> None:
-    global _WORKER_PAYLOAD
-    _WORKER_PAYLOAD = payload
-    _WORKER_SKELETON.clear()
-
-
-def fire_worker_faults(jobs, payload, in_process: bool = False) -> None:
-    """Trigger any injected worker faults gating this unit's jobs.
-
-    Lives outside :func:`run_pair_job` / :func:`run_pair_batch` so the
-    measurement entry points stay pure; every dispatch front-end (pool
-    worker, warm-pool daemon, in-process runner) calls it right before
-    measuring.  ``in_process=True`` downgrades ``kill`` to an exception —
-    the in-process runner shares the driver process, and a fault harness
-    must never take down the campaign driver itself.
-    """
-    config = getattr(payload, "config", None)
-    plan = fault_plan(getattr(config, "inject_faults", None))
-    if plan is None:
-        return
-    for job in jobs:
-        plan.fire_worker(job, in_process=in_process)
-
-
-def _worker_run(job: PairJob) -> PairJobResult:
-    assert _WORKER_PAYLOAD is not None, "pool initializer did not run"
-    fire_worker_faults([job], _WORKER_PAYLOAD)
-    return run_pair_job(job, _WORKER_PAYLOAD, _WORKER_SKELETON)
-
-
-def _worker_run_unit(jobs: list[PairJob]) -> list[PairJobResult]:
-    """Non-batched unit entry point: each job measured independently."""
-    assert _WORKER_PAYLOAD is not None, "pool initializer did not run"
-    fire_worker_faults(jobs, _WORKER_PAYLOAD)
-    return [
-        run_pair_job(job, _WORKER_PAYLOAD, _WORKER_SKELETON) for job in jobs
-    ]
-
-
-def _worker_run_batch(jobs: list[PairJob]) -> list[PairJobResult]:
-    assert _WORKER_PAYLOAD is not None, "pool initializer did not run"
-    fire_worker_faults(jobs, _WORKER_PAYLOAD)
-    return run_pair_batch(jobs, _WORKER_PAYLOAD, _WORKER_SKELETON)
-
-
-class _UnitState:
-    """Supervision bookkeeping for one dispatch unit (a job list)."""
-
-    __slots__ = ("jobs", "attempts", "cost", "deadline", "task_ids")
-
-    def __init__(self, jobs: list[PairJob], cost: float = 0.0) -> None:
-        self.jobs = jobs
-        self.attempts = 0
-        self.cost = cost
-        #: wall-clock deadline of the current dispatch (None = no timeout)
-        self.deadline: float | None = None
-        #: warm-pool task ids currently mapped to this unit
-        self.task_ids: set[int] = set()
-
-    def jobs_for_attempt(self) -> list[PairJob]:
-        if self.attempts == 0:
-            return self.jobs
-        return [dc_replace(job, attempt=self.attempts) for job in self.jobs]
-
-
-def _quarantine_results(
-    jobs: list[PairJob], attempts: int, cause: str
-) -> list[PairJobResult]:
-    """Skip results for a unit that exhausted its retry budget.
-
-    A persistently failing grid point becomes a recorded skip reason —
-    the same machinery phase 1 uses for unreachable pairs — instead of
-    aborting the whole campaign.  Zero virtual cost: the pair never
-    measured, so the campaign clock must not advance for it.
-    """
-    lines = str(cause).strip().splitlines()
-    summary = (lines[-1] if lines else str(cause))[:200]
-    reason = f"quarantined after {attempts} failed attempts: {summary}"
-    out: list[PairJobResult] = []
-    for job in jobs:
-        pair = PairResult(
-            init_mhz=float(job.init_mhz),
-            target_mhz=float(job.target_mhz),
-            skipped=True,
-            skip_reason=reason,
-            memory_mhz=job.memory_mhz,
-            locked_sm_mhz=job.locked_sm_mhz,
-            axis=job.axis,
-        )
-        pair.n_retries = attempts
-        out.append(
-            PairJobResult(index=job.index, pair=pair, elapsed_virtual_s=0.0)
-        )
-    return out
-
-
-def _kill_pool_processes(pool: ProcessPoolExecutor) -> None:
-    """Tear down a pool whose workers cannot be trusted to exit (hangs)."""
-    procs = list((getattr(pool, "_processes", None) or {}).values())
-    for proc in procs:
-        proc.terminate()
-    pool.shutdown(wait=False, cancel_futures=True)
-    for proc in procs:
-        proc.join(timeout=2.0)
-        if proc.is_alive():
-            proc.kill()
-            proc.join(timeout=1.0)
-
-
-def _build_job_replica(
-    job: PairJob, payload: CampaignPayload, skeleton: dict | None
-):
-    """Build one job's replica machine + bench (shared by both job paths)."""
-    seed = pair_seed_sequence(
-        payload.blueprint,
-        payload.config.device_index,
-        job.index,
-        job.memory_index,
-        job.axis,
-        facet_index=job.locked_sm_index,
-    )
-    machine = payload.blueprint.build(seed=seed, start_time=payload.epoch)
-    if skeleton is not None:
-        for device in machine.devices:
-            key = (device.spec.architecture, device.unit_seed)
-            device.latency_model.use_shared_cache(
-                skeleton.setdefault(key, {})
-            )
-            # Memory pair models live in their own cache: SM and memory
-            # pairs can share numerically identical frequency keys.
-            device.mem_latency_model.use_shared_cache(
-                skeleton.setdefault(key + ("memory",), {})
-            )
-    return machine, BenchContext(machine, payload.config)
-
-
-def run_pair_batch(
-    jobs: list[PairJob],
-    payload: CampaignPayload,
-    skeleton: dict | None = None,
-) -> list[PairJobResult]:
-    """Execute a facet-homogeneous chunk of jobs in SoA lockstep.
-
-    Each job still gets its own replica machine with its own per-pair
-    seed stream — identical to :func:`run_pair_job` — but the measurement
-    loops advance in lockstep through
-    :func:`repro.core.pairbatch.measure_pair_batch`, sharing one
-    cross-pair evaluation sweep per round.  Jobs whose facet clock cannot
-    be reached become skipped results without joining the batch.
-    """
-    from repro.core.pairbatch import measure_pair_batch
-
-    results: list[PairJobResult] = []
-    items = []
-    batched = []
-    for job in jobs:
-        machine, bench = _build_job_replica(job, payload, skeleton)
-        t0 = machine.clock.now
-        if not bench.prepare_facet_clock(job.facet):
-            pair = PairResult(
-                init_mhz=float(job.init_mhz),
-                target_mhz=float(job.target_mhz),
-                skipped=True,
-                skip_reason=bench.axis.facet_fail_reason,
-                axis=job.axis,
-            )
-            pair.memory_mhz = job.memory_mhz
-            pair.locked_sm_mhz = job.locked_sm_mhz
-            results.append(
-                PairJobResult(
-                    index=job.index,
-                    pair=pair,
-                    elapsed_virtual_s=machine.clock.now - t0,
-                )
-            )
-            continue
-        items.append(
-            (
-                bench,
-                job.init_mhz,
-                job.target_mhz,
-                payload.phase1_for(job.facet),
-                payload.probe_for(job.facet),
-            )
-        )
-        batched.append((job, machine, t0))
-
-    if items:
-        pairs = measure_pair_batch(items, payload.config.pass_block_size)
-        for (job, machine, t0), pair in zip(batched, pairs):
-            pair.memory_mhz = job.memory_mhz
-            pair.locked_sm_mhz = job.locked_sm_mhz
-            results.append(
-                PairJobResult(
-                    index=job.index,
-                    pair=pair,
-                    elapsed_virtual_s=machine.clock.now - t0,
-                )
-            )
-    return results
-
-
-def run_pair_job(
-    job: PairJob,
-    payload: CampaignPayload,
-    skeleton: dict | None = None,
-) -> PairJobResult:
-    """Execute one pair job on a replica machine.
-
-    ``skeleton`` (optional) is a process-lifetime cache of deterministic
-    machine-build products shared across jobs; passing it never changes
-    results, only replica construction cost.  Core×memory jobs lock and
-    settle their memory P-state before measuring, against the phase-1
-    characterization taken at that same clock.
-    """
-    machine, bench = _build_job_replica(job, payload, skeleton)
-    t0 = machine.clock.now
-    # The facet clock first: the locked memory P-state of a grid job, or
-    # the locked SM clock of a memory-/power-axis job (a fresh replica
-    # machine boots unlocked, so every worker must restore the campaign
-    # facet).
-    if not bench.prepare_facet_clock(job.facet):
-        pair = PairResult(
-            init_mhz=float(job.init_mhz),
-            target_mhz=float(job.target_mhz),
-            skipped=True,
-            skip_reason=bench.axis.facet_fail_reason,
-            axis=job.axis,
-        )
-    else:
-        pair = measure_pair(
-            bench,
-            job.init_mhz,
-            job.target_mhz,
-            payload.phase1_for(job.facet),
-            payload.probe_for(job.facet),
-        )
-    pair.memory_mhz = job.memory_mhz
-    pair.locked_sm_mhz = job.locked_sm_mhz
-    return PairJobResult(
-        index=job.index,
-        pair=pair,
-        elapsed_virtual_s=machine.clock.now - t0,
-    )
 
 
 class CampaignExecutor:
@@ -392,9 +150,16 @@ class CampaignExecutor:
         :class:`~repro.errors.CampaignInterrupted` instead of losing the
         campaign.
     resume:
-        Reopen an existing journal (fingerprint-validated), merge its
+        Reopen an existing journal (fingerprint-validated), replay its
         pairs, and measure only the rest.  The reconstructed
         :class:`CampaignResult` is bit-identical to an uninterrupted run.
+    sinks:
+        Extra :class:`~repro.core.stream.CampaignSink` consumers attached
+        to the campaign event stream (:mod:`repro.core.stream`).  The
+        engine emits ``PairMeasured`` events in *completion order*; each
+        carries its flat grid index, so index-keyed sinks reorder
+        deterministically (the result accumulator and the journal both
+        do).
     """
 
     def __init__(
@@ -405,6 +170,7 @@ class CampaignExecutor:
         pool=None,
         journal: "str | None" = None,
         resume: bool = False,
+        sinks=(),
     ) -> None:
         if workers < 1:
             raise ConfigError(f"workers must be >= 1, got {workers}")
@@ -424,18 +190,23 @@ class CampaignExecutor:
         self.pool = pool
         self.journal_dir = None if journal is None else str(journal)
         self.resume = bool(resume)
+        self.sinks = tuple(sinks)
         #: per-facet fixed pass duration for the dispatch cost model,
         #: filled by :meth:`run` while each facet clock is prepared
         self._fixed_pass_by_facet: dict = {}
 
     # ------------------------------------------------------------------
-    def _build_jobs(self, phase1_by_facet: dict) -> tuple[list[PairJob], dict]:
-        """Valid grid points become jobs; the rest become skipped results.
+    def _build_jobs(
+        self, phase1_by_facet: dict
+    ) -> tuple[list[PairJob], list[tuple[int, PairResult]]]:
+        """Valid grid points become jobs; the rest become planned skips.
 
         Job indices are flat positions in the facet-major campaign grid
         (``config.facet_plan()`` × ``config.pairs()``), which for legacy
         campaigns reduces to the pair's position in ``config.pairs()`` —
-        the seed-stream contract of PR 1 is untouched.
+        the seed-stream contract of PR 1 is untouched.  Skips come back
+        as ``(index, PairResult)`` in grid order, ready to emit as
+        :class:`~repro.core.stream.PairSkipped` events.
         """
         axis = self.config.swept_axis()
         facet_plan = self.config.facet_plan()
@@ -443,32 +214,36 @@ class CampaignExecutor:
         sm_pairs = self.config.pairs()
 
         jobs: list[PairJob] = []
-        pairs: dict = {}
+        skips: list[tuple[int, PairResult]] = []
         for facet_index, facet in enumerate(facet_plan):
             phase1 = phase1_by_facet.get(facet)
             valid = set(phase1.valid_pairs) if phase1 is not None else set()
             sm_facet = None if grid or facet is None else float(facet)
             for pair_index, (init, target) in enumerate(sm_pairs):
                 sm_key = (float(init), float(target))
-                key = sm_key if facet is None else sm_key + (float(facet),)
+                index = facet_index * len(sm_pairs) + pair_index
                 reason = facet_skip_reason(
                     phase1, sm_key, valid, axis.facet_fail_reason
                 )
                 if reason is not None:
-                    pairs[key] = PairResult(
-                        init_mhz=sm_key[0],
-                        target_mhz=sm_key[1],
-                        skipped=True,
-                        skip_reason=reason,
-                        memory_mhz=facet if grid else None,
-                        locked_sm_mhz=sm_facet,
-                        axis=axis.name,
+                    skips.append(
+                        (
+                            index,
+                            PairResult(
+                                init_mhz=sm_key[0],
+                                target_mhz=sm_key[1],
+                                skipped=True,
+                                skip_reason=reason,
+                                memory_mhz=facet if grid else None,
+                                locked_sm_mhz=sm_facet,
+                                axis=axis.name,
+                            ),
+                        )
                     )
                     continue
-                pairs[key] = None  # placeholder, filled by the job result
                 jobs.append(
                     PairJob(
-                        index=facet_index * len(sm_pairs) + pair_index,
+                        index=index,
                         init_mhz=sm_key[0],
                         target_mhz=sm_key[1],
                         memory_mhz=facet if grid else None,
@@ -480,7 +255,7 @@ class CampaignExecutor:
                         ),
                     )
                 )
-        return jobs, pairs
+        return jobs, skips
 
     def _batch_chunks(self, jobs: list[PairJob]) -> list[list[PairJob]]:
         """Facet-homogeneous job chunks of at most ``pair_batch_size``.
@@ -508,13 +283,16 @@ class CampaignExecutor:
         policy: SupervisionPolicy,
         guard: ShutdownGuard | None = None,
         on_result=None,
+        on_retry=None,
     ) -> list[PairJobResult]:
         """Dispatch jobs as supervised units and collect their results.
 
         ``on_result`` (if given) fires on the driver as each unit's
-        results land — the journal/fault hook.  ``guard`` (if given) makes
-        the dispatch loops drain gracefully once a shutdown signal
-        arrives; the caller decides what an early return means.
+        results land — the stream/fault hook.  ``on_retry`` fires when a
+        failed unit is about to re-dispatch (the ``PairRetried`` feed).
+        ``guard`` (if given) makes the dispatch loops drain gracefully
+        once a shutdown signal arrives; the caller decides what an early
+        return means.
         """
         if on_result is None:
             def on_result(results):  # noqa: ARG001 - deliberate no-op sink
@@ -533,8 +311,19 @@ class CampaignExecutor:
                 if batching
                 else [[job] for job in jobs]
             )
-            return self._run_units_inprocess(
-                units, payload, batching, policy, guard, on_result
+            skeleton: dict = {}
+
+            def measure(unit_jobs):
+                fire_worker_faults(unit_jobs, payload, in_process=True)
+                if batching:
+                    return run_pair_batch(unit_jobs, payload, skeleton)
+                return [
+                    run_pair_job(job, payload, skeleton)
+                    for job in unit_jobs
+                ]
+
+            return run_units_inprocess(
+                units, policy, guard, on_result, measure, on_retry=on_retry
             )
 
         # Straggler-aware dispatch: longest-expected pair first, so the
@@ -585,221 +374,20 @@ class CampaignExecutor:
                 costs=costs,
                 guard=guard,
                 on_result=on_result,
+                on_retry=on_retry,
             )
-        return self._run_units_pool(
-            units, costs, payload, batching, policy, guard, on_result
+        return run_units_pool(
+            units,
+            costs,
+            policy,
+            guard,
+            on_result,
+            workers=self.workers,
+            fn=worker_run_batch if batching else worker_run_unit,
+            initializer=worker_init,
+            initargs=(payload,),
+            on_retry=on_retry,
         )
-
-    def _run_units_inprocess(
-        self, units, payload, batched, policy, guard, on_result
-    ) -> list[PairJobResult]:
-        """Supervised in-process execution (``workers == 1``).
-
-        Shares the driver process, so supervision covers exceptions only:
-        injected kills are downgraded to exceptions and per-unit deadlines
-        cannot preempt (there is no worker to kill).  Retries and
-        quarantine behave exactly like the pool path.
-        """
-        skeleton: dict = {}
-        collected: list[PairJobResult] = []
-        for unit in units:
-            if guard is not None and guard.requested:
-                break
-            attempts = 0
-            while True:
-                jobs = (
-                    unit
-                    if attempts == 0
-                    else [dc_replace(job, attempt=attempts) for job in unit]
-                )
-                try:
-                    fire_worker_faults(jobs, payload, in_process=True)
-                    if batched:
-                        results = run_pair_batch(jobs, payload, skeleton)
-                    else:
-                        results = [
-                            run_pair_job(job, payload, skeleton)
-                            for job in jobs
-                        ]
-                except Exception as exc:
-                    attempts += 1
-                    if attempts > policy.max_retries:
-                        results = _quarantine_results(
-                            unit,
-                            attempts,
-                            f"worker-error: {type(exc).__name__}: {exc}",
-                        )
-                        break
-                    time.sleep(policy.backoff_for(attempts))
-                    continue
-                break
-            for res in results:
-                res.pair.n_retries = attempts
-            collected.extend(results)
-            on_result(results)
-        return collected
-
-    def _run_units_pool(
-        self, units, costs, payload, batched, policy, guard, on_result
-    ) -> list[PairJobResult]:
-        """Supervised dispatch over per-round ``ProcessPoolExecutor``s.
-
-        Each round submits every outstanding unit with a wall-clock
-        deadline derived from its expected cost.  A crashed pool
-        (``BrokenProcessPool``) or an expired deadline tears the round's
-        pool down and re-dispatches the survivors on a fresh one; units
-        that keep failing past ``policy.max_retries`` are quarantined.
-        A shutdown signal stops submissions, drains running units, and
-        returns what completed.
-        """
-        fn = _worker_run_batch if batched else _worker_run_unit
-        collected: list[PairJobResult] = []
-
-        def complete(state: _UnitState, results) -> None:
-            for res in results:
-                res.pair.n_retries = state.attempts
-            collected.extend(results)
-            on_result(results)
-
-        def note_failure(state: _UnitState, cause: str, retry) -> None:
-            state.attempts += 1
-            if state.attempts > policy.max_retries:
-                complete(
-                    state,
-                    _quarantine_results(state.jobs, state.attempts, cause),
-                )
-            else:
-                retry.append(state)
-
-        todo = [_UnitState(unit, cost) for unit, cost in zip(units, costs)]
-        while todo and not (guard is not None and guard.requested):
-            backoff = max(
-                (policy.backoff_for(state.attempts) for state in todo),
-                default=0.0,
-            )
-            if backoff > 0.0:
-                time.sleep(backoff)
-            retry: list[_UnitState] = []
-            requeue: list[_UnitState] = []
-            pool = ProcessPoolExecutor(
-                max_workers=min(self.workers, len(todo)),
-                mp_context=mp_context(),
-                initializer=_worker_init,
-                initargs=(payload,),
-            )
-            killed = False
-            try:
-                future_of = {}
-                for state in todo:
-                    future = pool.submit(fn, state.jobs_for_attempt())
-                    timeout = policy.timeout_for(state.cost)
-                    state.deadline = (
-                        None
-                        if timeout is None
-                        else time.monotonic() + timeout
-                    )
-                    future_of[future] = state
-                remaining = set(future_of)
-                while remaining:
-                    done, _ = wait(
-                        remaining,
-                        timeout=policy.poll_s,
-                        return_when=FIRST_COMPLETED,
-                    )
-                    broken = False
-                    for future in done:
-                        remaining.discard(future)
-                        state = future_of[future]
-                        try:
-                            complete(state, future.result())
-                        except BrokenProcessPool:
-                            broken = True
-                            note_failure(state, "worker-crash", retry)
-                        except Exception as exc:
-                            note_failure(
-                                state,
-                                f"worker-error: {type(exc).__name__}: {exc}",
-                                retry,
-                            )
-                    if broken:
-                        # The pool is dead and the executor cannot say
-                        # which unit killed it: every in-flight unit takes
-                        # an attempt bump (bounded collateral — see
-                        # DESIGN.md) and a seat on the rebuilt pool.
-                        for future in remaining:
-                            state = future_of[future]
-                            try:
-                                complete(state, future.result(timeout=0))
-                            except Exception:
-                                note_failure(state, "worker-crash", retry)
-                        remaining.clear()
-                        break
-                    now = time.monotonic()
-                    expired = {
-                        future
-                        for future in remaining
-                        if future_of[future].deadline is not None
-                        and now > future_of[future].deadline
-                    }
-                    if expired:
-                        # A unit blew its deadline (hung worker).  The
-                        # pool cannot cancel a running call, so kill the
-                        # whole pool; innocent bystanders requeue at their
-                        # current attempt count.
-                        for future in list(remaining):
-                            state = future_of[future]
-                            if future.done():
-                                remaining.discard(future)
-                                try:
-                                    complete(state, future.result())
-                                except Exception:
-                                    note_failure(
-                                        state, "worker-crash", retry
-                                    )
-                                continue
-                            if future in expired:
-                                note_failure(state, "job-timeout", retry)
-                            else:
-                                requeue.append(state)
-                        remaining.clear()
-                        _kill_pool_processes(pool)
-                        killed = True
-                        break
-                    if guard is not None and guard.requested:
-                        # Graceful drain: cancel what never started, let
-                        # running units finish and collect them.
-                        for future in list(remaining):
-                            if future.cancel():
-                                remaining.discard(future)
-            finally:
-                if not killed:
-                    pool.shutdown(wait=True, cancel_futures=True)
-            todo = retry + requeue
-        return collected
-
-    def _merge_results(
-        self,
-        jobs: list[PairJob],
-        results: list[PairJobResult],
-        pairs: dict,
-    ) -> float:
-        """Merge job results by index; returns the summed virtual cost.
-
-        The merge is keyed by pair index so neither submission nor
-        completion order can influence the campaign result; the returned
-        total advances the driver clock so downstream consumers still see
-        time passing.
-        """
-        results.sort(key=lambda r: r.index)
-        by_index = {job.index: job for job in jobs}
-        total_elapsed = 0.0
-        for res in results:
-            job = by_index[res.index]
-            sm_key = (job.init_mhz, job.target_mhz)
-            key = sm_key if job.facet is None else sm_key + (job.facet,)
-            pairs[key] = res.pair
-            total_elapsed += res.elapsed_virtual_s
-        return total_elapsed
 
     # ------------------------------------------------------------------
     def run(self) -> CampaignResult:
@@ -831,16 +419,44 @@ class CampaignExecutor:
         facet_plan = config.facet_plan()
         sm_facets = config.locked_sm_plan()
 
+        bench_driver = LatestBenchmark(machine, config)
+        accumulator = ResultAccumulator()
+        dispatch = StreamDispatcher(
+            accumulator,
+            JournalSink(journal) if journal is not None else None,
+            *self.sinks,
+        )
+        dispatch.emit(
+            CampaignStarted(
+                gpu_name=bench_driver.bench.device.spec.name,
+                architecture=bench_driver.bench.device.spec.architecture,
+                hostname=machine.hostname,
+                device_index=config.device_index,
+                frequencies=config.frequencies,
+                axis=config.axis,
+                facet_plan=facet_plan,
+                n_pairs=len(config.pairs()),
+                memory_frequencies=config.memory_frequencies,
+                locked_sm_frequencies=sm_facets,
+                mode="engine",
+                resumed=bool(loaded),
+            )
+        )
+
         # Phase 1 + probe: sequential by nature, same draws as the legacy
         # loop (the driver machine's clock and RNG advance identically).
         # Faceted campaigns (core×memory grids, locked-SM facet sweeps)
         # repeat the characterization once per facet on the driver machine
         # before any job is built.
-        bench_driver = LatestBenchmark(machine, config)
         phase1_by_facet: dict = {}
         probe_by_facet: dict = {}
-        for facet in facet_plan:
+        for facet_index, facet in enumerate(facet_plan):
             if not bench_driver.bench.prepare_facet_clock(facet):
+                dispatch.emit(
+                    FacetPrepared(
+                        facet_index=facet_index, facet=facet, prepared=False
+                    )
+                )
                 continue
             phase1 = run_phase1(bench_driver.bench)
             phase1_by_facet[facet] = phase1
@@ -848,6 +464,15 @@ class CampaignExecutor:
                 bench_driver._probe_windows(phase1)
                 if phase1.valid_pairs
                 else None
+            )
+            dispatch.emit(
+                FacetPrepared(
+                    facet_index=facet_index,
+                    facet=facet,
+                    prepared=True,
+                    phase1=phase1,
+                    probe=probe_by_facet[facet],
+                )
             )
             # Fixed per-pass duration at this facet (delay + confirmation
             # iterations at the facet's own iteration time): the additive
@@ -873,10 +498,14 @@ class CampaignExecutor:
             probe_by_memory=None if single_facet else probe_by_facet,
         )
 
-        jobs, pairs = self._build_jobs(phase1_by_facet)
-        # Resume: journaled pairs merge as-is (their results are the only
-        # ones those grid indices can ever produce — see the journal
-        # module docs); only the remainder is dispatched.
+        jobs, skips = self._build_jobs(phase1_by_facet)
+        for index, pair in skips:
+            dispatch.emit(PairSkipped(index=index, pair=pair))
+        # Resume: journaled pairs replay as synthetic events before any
+        # live measurement (their results are the only ones those grid
+        # indices can ever produce — see the journal module docs); only
+        # the remainder is dispatched.
+        dispatch.emit_all(replay_events(loaded))
         todo = (
             jobs
             if not loaded
@@ -886,27 +515,48 @@ class CampaignExecutor:
         policy = SupervisionPolicy.from_config(config)
         supervised = journal is not None or driver_plan is not None
         merged_count = len(loaded)
+        #: per-index virtual cost, summed in index order after the drain so
+        #: the driver clock advance is bit-identical at any completion order
+        elapsed_by_index: dict[int, float] = {
+            index: elapsed for index, (_, elapsed) in loaded.items()
+        }
 
         def on_result(unit_results) -> None:
             nonlocal merged_count
             for res in unit_results:
-                if journal is not None:
-                    journal.append(res.index, res.pair, res.elapsed_virtual_s)
-            merged_count += len(unit_results)
-            if driver_plan is not None:
-                driver_plan.fire_driver(merged_count)
+                elapsed_by_index[res.index] = res.elapsed_virtual_s
+                dispatch.emit(
+                    PairMeasured(
+                        index=res.index,
+                        pair=res.pair,
+                        elapsed_virtual_s=res.elapsed_virtual_s,
+                    )
+                )
+                merged_count += 1
+                if driver_plan is not None:
+                    driver_plan.fire_driver(merged_count)
+
+        def on_retry(unit_jobs, attempts, cause) -> None:
+            dispatch.emit(
+                PairRetried(
+                    indices=tuple(job.index for job in unit_jobs),
+                    attempt=attempts,
+                    cause=cause,
+                )
+            )
 
         guard = ShutdownGuard() if supervised else None
         with ExitStack() as stack:
             if guard is not None:
                 stack.enter_context(guard)
-            results = self._execute(
-                todo, payload, policy, guard=guard, on_result=on_result
+            self._execute(
+                todo,
+                payload,
+                policy,
+                guard=guard,
+                on_result=on_result,
+                on_retry=on_retry,
             )
-        results.extend(
-            PairJobResult(index=index, pair=pair, elapsed_virtual_s=elapsed)
-            for index, (pair, elapsed) in loaded.items()
-        )
         if guard is not None and guard.requested:
             hint = (
                 f"journal at {self.journal_dir} holds every finished pair; "
@@ -919,31 +569,25 @@ class CampaignExecutor:
                 f"measured pairs; {hint}",
                 journal_dir=self.journal_dir,
             )
-        total_elapsed = self._merge_results(jobs, results, pairs)
+        total_elapsed = 0.0
+        for index in sorted(elapsed_by_index):
+            total_elapsed += elapsed_by_index[index]
         if total_elapsed > 0.0:
             machine.clock.advance(total_elapsed)
 
-        result = CampaignResult(
-            gpu_name=bench_driver.bench.device.spec.name,
-            architecture=bench_driver.bench.device.spec.architecture,
-            hostname=machine.hostname,
-            device_index=config.device_index,
-            frequencies=config.frequencies,
-            pairs=pairs,
-            phase1=phase1_by_facet.get(first),
-            wall_virtual_s=machine.clock.now - t_begin,
-            memory_frequencies=config.memory_frequencies,
-            phase1_by_memory=None if single_facet else phase1_by_facet,
-            axis=config.axis,
-            locked_sm_mhz=(
-                None
-                if sm_facets is not None
-                else config.swept_axis().locked_complement_mhz(
-                    bench_driver.bench
-                )
-            ),
-            locked_sm_frequencies=sm_facets,
+        dispatch.emit(
+            CampaignFinished(
+                wall_virtual_s=machine.clock.now - t_begin,
+                locked_sm_mhz=(
+                    None
+                    if sm_facets is not None
+                    else config.swept_axis().locked_complement_mhz(
+                        bench_driver.bench
+                    )
+                ),
+            )
         )
+        result = accumulator.result()
         if config.output_dir is not None:
             write_campaign_csvs(config.output_dir, result)
         return result
@@ -956,6 +600,7 @@ def run_campaign_parallel(
     pool=None,
     journal: "str | None" = None,
     resume: bool = False,
+    sinks=(),
 ) -> CampaignResult:
     """Run a campaign through the execution engine (see module docs)."""
     return CampaignExecutor(
@@ -965,4 +610,5 @@ def run_campaign_parallel(
         pool=pool,
         journal=journal,
         resume=resume,
+        sinks=sinks,
     ).run()

@@ -1,0 +1,218 @@
+"""Worker-side measurement entry points and replica construction.
+
+Everything in this module runs (or can run) inside a worker process:
+the pool initializer installs the shared :class:`CampaignPayload` once
+per process, the ``worker_run_*`` entry points measure a dispatch unit,
+and :func:`build_job_replica` reconstructs a job's machine from the
+campaign blueprint with its deterministic per-pair seed stream.  The
+driver-side orchestration (job building, supervision wiring, stream
+emission) lives in :mod:`repro.exec.engine`; keeping the worker side
+separate means the code a pool initializer must import carries no
+dispatch-loop baggage.
+
+A per-process *skeleton cache* keeps the deterministic, immutable parts
+of the machine build — the per-pair latency-model structures — alive
+across jobs, so replica construction cost is paid once per
+(architecture, unit seed) rather than once per job.  Sharing the cache
+never changes results, only construction cost.
+"""
+
+from __future__ import annotations
+
+from repro.core.campaign import measure_pair
+from repro.core.context import BenchContext
+from repro.core.results import PairResult
+from repro.exec.faults import fault_plan
+from repro.exec.jobs import CampaignPayload, PairJob, PairJobResult, pair_seed_sequence
+
+__all__ = [
+    "build_job_replica",
+    "fire_worker_faults",
+    "run_pair_batch",
+    "run_pair_job",
+    "worker_init",
+    "worker_run_batch",
+    "worker_run_unit",
+]
+
+
+#: per-process shared state installed by the pool initializer
+_WORKER_PAYLOAD: CampaignPayload | None = None
+#: per-process skeleton cache: (architecture, unit_seed) -> pair-model dict
+_WORKER_SKELETON: dict = {}
+
+
+def worker_init(payload: CampaignPayload) -> None:
+    global _WORKER_PAYLOAD
+    _WORKER_PAYLOAD = payload
+    _WORKER_SKELETON.clear()
+
+
+def fire_worker_faults(jobs, payload, in_process: bool = False) -> None:
+    """Trigger any injected worker faults gating this unit's jobs.
+
+    Lives outside :func:`run_pair_job` / :func:`run_pair_batch` so the
+    measurement entry points stay pure; every dispatch front-end (pool
+    worker, warm-pool daemon, in-process runner) calls it right before
+    measuring.  ``in_process=True`` downgrades ``kill`` to an exception —
+    the in-process runner shares the driver process, and a fault harness
+    must never take down the campaign driver itself.
+    """
+    config = getattr(payload, "config", None)
+    plan = fault_plan(getattr(config, "inject_faults", None))
+    if plan is None:
+        return
+    for job in jobs:
+        plan.fire_worker(job, in_process=in_process)
+
+
+def worker_run_unit(jobs: list[PairJob]) -> list[PairJobResult]:
+    """Non-batched unit entry point: each job measured independently."""
+    assert _WORKER_PAYLOAD is not None, "pool initializer did not run"
+    fire_worker_faults(jobs, _WORKER_PAYLOAD)
+    return [
+        run_pair_job(job, _WORKER_PAYLOAD, _WORKER_SKELETON) for job in jobs
+    ]
+
+
+def worker_run_batch(jobs: list[PairJob]) -> list[PairJobResult]:
+    assert _WORKER_PAYLOAD is not None, "pool initializer did not run"
+    fire_worker_faults(jobs, _WORKER_PAYLOAD)
+    return run_pair_batch(jobs, _WORKER_PAYLOAD, _WORKER_SKELETON)
+
+
+def build_job_replica(
+    job: PairJob, payload: CampaignPayload, skeleton: dict | None
+):
+    """Build one job's replica machine + bench (shared by both job paths)."""
+    seed = pair_seed_sequence(
+        payload.blueprint,
+        payload.config.device_index,
+        job.index,
+        job.memory_index,
+        job.axis,
+        facet_index=job.locked_sm_index,
+    )
+    machine = payload.blueprint.build(seed=seed, start_time=payload.epoch)
+    if skeleton is not None:
+        for device in machine.devices:
+            key = (device.spec.architecture, device.unit_seed)
+            device.latency_model.use_shared_cache(
+                skeleton.setdefault(key, {})
+            )
+            # Memory pair models live in their own cache: SM and memory
+            # pairs can share numerically identical frequency keys.
+            device.mem_latency_model.use_shared_cache(
+                skeleton.setdefault(key + ("memory",), {})
+            )
+    return machine, BenchContext(machine, payload.config)
+
+
+def run_pair_batch(
+    jobs: list[PairJob],
+    payload: CampaignPayload,
+    skeleton: dict | None = None,
+) -> list[PairJobResult]:
+    """Execute a facet-homogeneous chunk of jobs in SoA lockstep.
+
+    Each job still gets its own replica machine with its own per-pair
+    seed stream — identical to :func:`run_pair_job` — but the measurement
+    loops advance in lockstep through
+    :func:`repro.core.pairbatch.measure_pair_batch`, sharing one
+    cross-pair evaluation sweep per round.  Jobs whose facet clock cannot
+    be reached become skipped results without joining the batch.
+    """
+    from repro.core.pairbatch import measure_pair_batch
+
+    results: list[PairJobResult] = []
+    items = []
+    batched = []
+    for job in jobs:
+        machine, bench = build_job_replica(job, payload, skeleton)
+        t0 = machine.clock.now
+        if not bench.prepare_facet_clock(job.facet):
+            pair = PairResult(
+                init_mhz=float(job.init_mhz),
+                target_mhz=float(job.target_mhz),
+                skipped=True,
+                skip_reason=bench.axis.facet_fail_reason,
+                axis=job.axis,
+            )
+            pair.memory_mhz = job.memory_mhz
+            pair.locked_sm_mhz = job.locked_sm_mhz
+            results.append(
+                PairJobResult(
+                    index=job.index,
+                    pair=pair,
+                    elapsed_virtual_s=machine.clock.now - t0,
+                )
+            )
+            continue
+        items.append(
+            (
+                bench,
+                job.init_mhz,
+                job.target_mhz,
+                payload.phase1_for(job.facet),
+                payload.probe_for(job.facet),
+            )
+        )
+        batched.append((job, machine, t0))
+
+    if items:
+        pairs = measure_pair_batch(items, payload.config.pass_block_size)
+        for (job, machine, t0), pair in zip(batched, pairs):
+            pair.memory_mhz = job.memory_mhz
+            pair.locked_sm_mhz = job.locked_sm_mhz
+            results.append(
+                PairJobResult(
+                    index=job.index,
+                    pair=pair,
+                    elapsed_virtual_s=machine.clock.now - t0,
+                )
+            )
+    return results
+
+
+def run_pair_job(
+    job: PairJob,
+    payload: CampaignPayload,
+    skeleton: dict | None = None,
+) -> PairJobResult:
+    """Execute one pair job on a replica machine.
+
+    ``skeleton`` (optional) is a process-lifetime cache of deterministic
+    machine-build products shared across jobs; passing it never changes
+    results, only replica construction cost.  Core×memory jobs lock and
+    settle their memory P-state before measuring, against the phase-1
+    characterization taken at that same clock.
+    """
+    machine, bench = build_job_replica(job, payload, skeleton)
+    t0 = machine.clock.now
+    # The facet clock first: the locked memory P-state of a grid job, or
+    # the locked SM clock of a memory-/power-axis job (a fresh replica
+    # machine boots unlocked, so every worker must restore the campaign
+    # facet).
+    if not bench.prepare_facet_clock(job.facet):
+        pair = PairResult(
+            init_mhz=float(job.init_mhz),
+            target_mhz=float(job.target_mhz),
+            skipped=True,
+            skip_reason=bench.axis.facet_fail_reason,
+            axis=job.axis,
+        )
+    else:
+        pair = measure_pair(
+            bench,
+            job.init_mhz,
+            job.target_mhz,
+            payload.phase1_for(job.facet),
+            payload.probe_for(job.facet),
+        )
+    pair.memory_mhz = job.memory_mhz
+    pair.locked_sm_mhz = job.locked_sm_mhz
+    return PairJobResult(
+        index=job.index,
+        pair=pair,
+        elapsed_virtual_s=machine.clock.now - t0,
+    )

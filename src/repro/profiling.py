@@ -16,7 +16,8 @@ probe       ``_probe_windows`` (window-sizing probe passes)
 batch-step  ``measure_pair_batch`` + ``measure_pair_blocked``
             (lockstep SoA rounds / single-pair blocked loops)
 peel-off    ``_finish_peeled`` (diverged runners on the scalar path)
-merge       ``_merge_results`` (index-keyed result merge)
+stream      ``StreamDispatcher.emit`` + ``ResultAccumulator.on_event``
+            (campaign event dispatch + index-keyed result assembly)
 ==========  =========================================================
 
 Stages may nest — a peeled runner's time is *inside* the batch-step
@@ -41,7 +42,10 @@ STAGE_ANCHORS: dict[str, tuple[tuple[str, str], ...]] = {
         ("passblock.py", "measure_pair_blocked"),
     ),
     "peel-off": (("pairbatch.py", "_finish_peeled"),),
-    "merge": (("engine.py", "_merge_results"),),
+    "stream": (
+        ("stream.py", "emit"),
+        ("results.py", "on_event"),
+    ),
 }
 
 

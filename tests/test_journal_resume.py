@@ -8,6 +8,8 @@ and then resumed against its journal produces a
 measurement axis.
 """
 
+import shlex
+
 import pytest
 
 from repro import make_machine, run_campaign
@@ -208,6 +210,38 @@ class TestCliResume:
     def test_resume_without_journal_flag_exits(self, capsys):
         with pytest.raises(SystemExit):
             main(self._ARGS + ["--resume"])
+
+    def test_serial_journal_resume_prints_engine_command(
+        self, tmp_path, capsys
+    ):
+        """A serial-mode journal hard-errors on --resume with a fix.
+
+        The diagnostic must name the journal's recorded execution mode
+        and print the exact engine-mode command line to use — exact
+        enough that running it verbatim succeeds.
+        """
+        journal = str(tmp_path / "journal")
+        serial_args = [a for a in self._ARGS if a not in ("--workers", "1")]
+        assert main(serial_args + ["--journal", journal]) == 0
+        capsys.readouterr()
+
+        code = main(serial_args + ["--journal", journal, "--resume"])
+        err = capsys.readouterr().err
+        assert code == 1
+        assert "recorded by a 'serial'-mode run" in err
+        hint = next(
+            line.strip()
+            for line in err.splitlines()
+            if line.strip().startswith("latest-bench ")
+        )
+        assert "--resume" not in hint
+        assert "--workers 1" in hint
+        assert f"--journal {journal}-engine" in hint
+
+        # The suggested command is runnable as printed.
+        code = main(shlex.split(hint)[1:])
+        capsys.readouterr()
+        assert code == 0
 
 
 def test_interrupted_error_without_journal_has_no_dir(tmp_path):

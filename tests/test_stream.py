@@ -1,0 +1,312 @@
+"""The campaign event stream: ordering contract, sinks, and tiers.
+
+Every execution tier emits the same typed event stream
+(:mod:`repro.core.stream`); these tests pin the contract the sinks rely
+on.  The headline property (a hypothesis sweep over campaign seeds, on
+all three measurement axes): the completion-order ``PairMeasured``
+events of the process-pool engine and the warm-pool batch tier,
+reordered by flat grid index, are element-identical to the serial
+loop's grid-order emission — identity fields against the serial stream
+(the serial timeline differs by design), full measurement payloads
+between the two pool tiers.
+"""
+
+from io import StringIO
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import make_machine, run_campaign
+from repro.core.csvio import CsvStreamSink, write_campaign_csvs
+from repro.core.results import ResultAccumulator
+from repro.core.stream import (
+    CampaignFinished,
+    CampaignStarted,
+    FacetPrepared,
+    PairMeasured,
+    PairRetried,
+    PairSkipped,
+    ProgressSink,
+    RecordingSink,
+    StreamDispatcher,
+)
+from repro.errors import CampaignInterrupted, MeasurementError
+from repro.exec import WarmPool
+from repro.exec.engine import run_campaign_parallel
+from tests.conftest import fast_config
+from tests.test_exec_engine import _campaign_fingerprint, _csv_bytes
+
+_AXES = {
+    "sm_core": dict(frequencies=(705.0, 1095.0, 1410.0)),
+    "memory": dict(frequencies=(1215.0, 810.0, 405.0), axis="memory"),
+    "power": dict(frequencies=(400.0, 330.0, 270.0), axis="power"),
+}
+
+
+def _axis_config(axis, **overrides):
+    kw = dict(_AXES[axis])
+    freqs = kw.pop("frequencies")
+    kw.update(overrides)
+    return fast_config(freqs, **kw)
+
+
+@pytest.fixture(scope="module")
+def warm_pool():
+    with WarmPool(2) as pool:
+        yield pool
+
+
+def _terminal_events(rec: RecordingSink):
+    return rec.of_type(PairMeasured, PairSkipped)
+
+
+def _identity(event):
+    """The grid-position identity of a terminal pair event.
+
+    Identity fields only — the serial loop's shared timeline produces
+    different measurement values than the engine's per-pair replicas, so
+    cross-tier comparison against the serial stream stops here.
+    """
+    pair = event.pair
+    return (
+        event.index,
+        isinstance(event, PairSkipped),
+        pair.skipped,
+        pair.init_mhz,
+        pair.target_mhz,
+        pair.memory_mhz,
+        pair.locked_sm_mhz,
+        pair.axis,
+    )
+
+
+def _payload(event):
+    """Full measurement payload — engine and warm-pool must agree bit-for-bit."""
+    pair = event.pair
+    return _identity(event) + (
+        event.elapsed_virtual_s,
+        getattr(event, "replayed", False),
+        tuple(
+            (m.latency_s, m.ts_acc, m.te_acc, m.n_valid_sm, m.window_iterations)
+            for m in pair.measurements
+        ),
+    )
+
+
+class TestCompletionOrderReordering:
+    """Pool-tier events, sorted by grid index, reproduce serial order."""
+
+    @pytest.mark.parametrize("axis", sorted(_AXES))
+    @given(seed=st.integers(min_value=0, max_value=2**16))
+    @settings(max_examples=2, deadline=None)
+    def test_reordered_events_match_serial_grid_order(
+        self, axis, warm_pool, seed
+    ):
+        cfg = _axis_config(axis)
+        serial_rec = RecordingSink()
+        run_campaign(make_machine("A100", seed=seed), cfg, sinks=(serial_rec,))
+        engine_rec = RecordingSink()
+        run_campaign_parallel(
+            make_machine("A100", seed=seed),
+            cfg,
+            workers=2,
+            sinks=(engine_rec,),
+        )
+        warm_rec = RecordingSink()
+        run_campaign_parallel(
+            make_machine("A100", seed=seed),
+            _axis_config(axis, pair_batch_size=2),
+            pool=warm_pool,
+            sinks=(warm_rec,),
+        )
+
+        serial_terminal = _terminal_events(serial_rec)
+        indices = [event.index for event in serial_terminal]
+        # The serial loop emits terminal events in grid order, densely.
+        assert indices == list(range(len(indices)))
+
+        engine_sorted = sorted(
+            _terminal_events(engine_rec), key=lambda event: event.index
+        )
+        warm_sorted = sorted(
+            _terminal_events(warm_rec), key=lambda event: event.index
+        )
+        serial_ids = [_identity(event) for event in serial_terminal]
+        assert [_identity(event) for event in engine_sorted] == serial_ids
+        assert [_identity(event) for event in warm_sorted] == serial_ids
+        # The two pool tiers agree on the full measurement payload.
+        assert [_payload(event) for event in engine_sorted] == [
+            _payload(event) for event in warm_sorted
+        ]
+
+
+class TestOrderingContract:
+    @pytest.fixture(scope="class")
+    def serial_campaign(self):
+        """A two-facet (locked-SM sweep) serial campaign and its stream."""
+        rec = RecordingSink()
+        cfg = _axis_config("memory", locked_sm_mhz=(1410.0, 1095.0))
+        result = run_campaign(make_machine("A100", seed=31), cfg, sinks=(rec,))
+        return rec.events, result
+
+    def test_started_first_finished_last_exactly_once(self, serial_campaign):
+        events, _ = serial_campaign
+        assert isinstance(events[0], CampaignStarted)
+        assert isinstance(events[-1], CampaignFinished)
+        assert sum(isinstance(e, CampaignStarted) for e in events) == 1
+        assert sum(isinstance(e, CampaignFinished) for e in events) == 1
+
+    def test_one_terminal_event_per_grid_index(self, serial_campaign):
+        events, _ = serial_campaign
+        started = events[0]
+        terminal = [
+            e for e in events if isinstance(e, (PairMeasured, PairSkipped))
+        ]
+        expected = len(started.facet_plan) * started.n_pairs
+        assert sorted(e.index for e in terminal) == list(range(expected))
+
+    def test_facet_prepared_precedes_its_pair_events(self, serial_campaign):
+        events, _ = serial_campaign
+        started = events[0]
+        prepared_at = {}
+        for pos, event in enumerate(events):
+            if isinstance(event, FacetPrepared):
+                prepared_at[event.facet_index] = pos
+        assert set(prepared_at) == set(range(len(started.facet_plan)))
+        for pos, event in enumerate(events):
+            if isinstance(event, (PairMeasured, PairSkipped)):
+                facet_index = event.index // started.n_pairs
+                assert prepared_at[facet_index] < pos
+
+    def test_accumulator_rebuilds_identical_result(
+        self, serial_campaign, tmp_path
+    ):
+        events, result = serial_campaign
+        acc = ResultAccumulator()
+        for event in events:
+            acc.on_event(event)
+        rebuilt = acc.result()
+        assert _campaign_fingerprint(rebuilt) == _campaign_fingerprint(result)
+        assert rebuilt.wall_virtual_s == result.wall_virtual_s
+        write_campaign_csvs(tmp_path / "direct", result)
+        write_campaign_csvs(tmp_path / "rebuilt", rebuilt)
+        assert _csv_bytes(tmp_path / "direct") == _csv_bytes(tmp_path / "rebuilt")
+
+
+class TestDispatcherAndSinks:
+    def test_dispatcher_drops_none_and_preserves_order(self):
+        log = []
+
+        class Tagged:
+            def __init__(self, tag):
+                self.tag = tag
+
+            def on_event(self, event):
+                log.append((self.tag, event))
+
+        dispatch = StreamDispatcher(Tagged("a"), None, Tagged("b"))
+        assert len(dispatch.sinks) == 2
+        first, second = CampaignFinished(1.0), CampaignFinished(2.0)
+        dispatch.emit_all([first, second])
+        assert log == [
+            ("a", first), ("b", first), ("a", second), ("b", second)
+        ]
+
+    def test_accumulator_requires_complete_stream(self):
+        acc = ResultAccumulator()
+        with pytest.raises(MeasurementError, match="CampaignStarted"):
+            acc.result()
+
+    def test_progress_sink_counts_and_completion_line(self):
+        out = StringIO()
+        sink = ProgressSink(out=out)
+        rec = RecordingSink()
+        run_campaign(
+            make_machine("A100", seed=5),
+            _axis_config("sm_core"),
+            sinks=(sink, rec),
+        )
+        n_pairs = len(rec.of_type(PairMeasured))
+        text = out.getvalue()
+        assert f"{n_pairs}/{n_pairs} pairs" in text
+        assert f"({n_pairs} measured" in text
+        assert "done in" in text and text.endswith("virtual s\n")
+
+    def test_progress_sink_reports_retries(self):
+        out = StringIO()
+        sink = ProgressSink(out=out)
+        sink.on_event(PairRetried(indices=(0,), attempt=1, cause="crash"))
+        assert "1 retried" in out.getvalue()
+
+
+class TestCsvStreamSink:
+    def test_incremental_files_byte_identical_to_batch_writer(self, tmp_path):
+        cfg = _axis_config("sm_core")
+        sink = CsvStreamSink(tmp_path / "stream")
+        result = run_campaign(make_machine("A100", seed=77), cfg, sinks=(sink,))
+        write_campaign_csvs(tmp_path / "batch", result)
+        stream_bytes = _csv_bytes(tmp_path / "stream")
+        assert stream_bytes == _csv_bytes(tmp_path / "batch")
+        assert any(name.startswith("summary_") for name in stream_bytes)
+
+    def test_engine_completion_order_writes_same_bytes(self, tmp_path):
+        cfg = _axis_config("memory")
+        sink = CsvStreamSink(tmp_path / "stream")
+        result = run_campaign_parallel(
+            make_machine("A100", seed=77), cfg, workers=2, sinks=(sink,)
+        )
+        write_campaign_csvs(tmp_path / "batch", result)
+        assert _csv_bytes(tmp_path / "stream") == _csv_bytes(tmp_path / "batch")
+
+    def test_interrupted_campaign_keeps_pair_csvs_no_summary(self, tmp_path):
+        sink = CsvStreamSink(tmp_path / "stream")
+        with pytest.raises(CampaignInterrupted):
+            run_campaign_parallel(
+                make_machine("A100", seed=77),
+                _axis_config("sm_core", inject_faults="interrupt@2"),
+                workers=1,
+                sinks=(sink,),
+            )
+        names = sorted(p.name for p in (tmp_path / "stream").glob("*.csv"))
+        assert len(names) >= 1
+        assert not any(name.startswith("summary_") for name in names)
+
+
+class TestResumeReplay:
+    def test_replayed_events_flagged_and_precede_live(self, tmp_path):
+        journal = tmp_path / "journal"
+        cfg = _axis_config("sm_core")
+        with pytest.raises(CampaignInterrupted):
+            run_campaign_parallel(
+                make_machine("A100", seed=4242),
+                _axis_config("sm_core", inject_faults="interrupt@2"),
+                workers=1,
+                journal=journal,
+            )
+        rec = RecordingSink()
+        resumed = run_campaign_parallel(
+            make_machine("A100", seed=4242),
+            cfg,
+            workers=1,
+            journal=journal,
+            resume=True,
+            sinks=(rec,),
+        )
+        assert rec.events and rec.of_type(CampaignStarted)[0].resumed
+        measured = rec.of_type(PairMeasured)
+        replay_flags = [event.replayed for event in measured]
+        n_replayed = sum(replay_flags)
+        assert n_replayed >= 2
+        # Every replayed event precedes every live one, in index order.
+        assert replay_flags == [True] * n_replayed + [False] * (
+            len(measured) - n_replayed
+        )
+        replayed_indices = [e.index for e in measured if e.replayed]
+        assert replayed_indices == sorted(replayed_indices)
+        # And the resumed result matches an uninterrupted run.
+        golden = run_campaign_parallel(
+            make_machine("A100", seed=4242), cfg, workers=1
+        )
+        assert _campaign_fingerprint(resumed) == _campaign_fingerprint(golden)
+        assert resumed.wall_virtual_s == golden.wall_virtual_s
