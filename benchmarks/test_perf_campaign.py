@@ -293,6 +293,132 @@ def test_stream_overhead(tmp_path):
     assert on["wall_s"] < 30.0
 
 
+def test_calibration_cache_speedup(tmp_path):
+    """Record what the calibration cache saves a repeat campaign.
+
+    A 3-facet memory-axis campaign at bench fidelity pays three facet
+    calibrations (facet clock settle + phase 1 + probe) before any pair
+    is measured.  This benchmark times the campaign cold (empty cache —
+    a fresh directory per repeat so every cold repeat really installs)
+    and warm (every facet replayed from the cache), plus the facet
+    calibrations themselves sequentially vs on a process pool, and
+    lands all four numbers under ``calibration_cache`` in
+    ``BENCH_campaign.json``.  Bit-identity between the variants is a
+    guardrail here — the real contract lives in
+    ``tests/test_calibcache.py``.
+    """
+    import pickle
+    from concurrent.futures import ProcessPoolExecutor
+
+    from repro.core.calibcache import last_run_stats
+    from repro.exec.supervise import mp_context
+    from repro.exec.worker import calibrate_facet, worker_calibrate
+
+    facets = (1410.0, 1095.0, 810.0)
+
+    def cache_config(cache_dir):
+        return replace(
+            _bench_fidelity_config(),
+            frequencies=(1215.0, 810.0),
+            axis="memory",
+            locked_sm_mhz=facets,
+            pass_block_size=25,
+            calibration_cache=str(cache_dir),
+        )
+
+    def timed(cache_dir_for):
+        best = None
+        for i in range(_REPEATS):
+            machine = make_machine("A100", seed=_SEED)
+            config = cache_config(cache_dir_for(i))
+            t0 = time.perf_counter()
+            result = run_campaign(machine, config, workers=1)
+            wall_s = time.perf_counter() - t0
+            if best is None or wall_s < best[0]:
+                best = (wall_s, result, last_run_stats())
+        return best
+
+    cold_wall, cold_result, cold_stats = timed(
+        lambda i: tmp_path / f"cold{i}"
+    )
+    warm_dir = tmp_path / "warm"
+    # Populate once, then every timed repeat is fully warm.
+    run_campaign(
+        make_machine("A100", seed=_SEED), cache_config(warm_dir), workers=1
+    )
+    warm_wall, warm_result, warm_stats = timed(lambda i: warm_dir)
+
+    # Guardrails: the warm replay must not perturb the campaign.
+    assert cold_stats == {"hits": 0, "misses": 3, "installs": 3, "corrupt": 0}
+    assert warm_stats["hits"] == 3 and warm_stats["misses"] == 0
+    assert warm_result.wall_virtual_s == cold_result.wall_virtual_s
+    assert (
+        warm_result.n_measured_pairs == cold_result.n_measured_pairs
+    )
+
+    # Facet calibration itself, sequential vs process-pool parallel.
+    blueprint = make_machine("A100", seed=_SEED).blueprint
+    cal_config = cache_config(tmp_path / "unused")
+    cal_args = [
+        (blueprint, cal_config, i, facet, 0.0)
+        for i, facet in enumerate(facets)
+    ]
+    t0 = time.perf_counter()
+    sequential = [calibrate_facet(*a) for a in cal_args]
+    sequential_s = time.perf_counter() - t0
+
+    cpu_count = os.cpu_count() or 1
+    if cpu_count >= len(facets):
+        t0 = time.perf_counter()
+        with ProcessPoolExecutor(
+            max_workers=len(facets), mp_context=mp_context()
+        ) as pool:
+            parallel = list(pool.map(worker_calibrate, cal_args))
+        parallel_s = time.perf_counter() - t0
+        assert pickle.dumps(parallel) == pickle.dumps(sequential)
+        parallel_row = {
+            "parallel_pool3_s": round(parallel_s, 4),
+            "parallel_speedup": round(sequential_s / parallel_s, 2),
+        }
+    else:
+        parallel_row = {
+            "parallel_skipped": (
+                f"host has {cpu_count} CPU(s) < {len(facets)} calibration "
+                "workers; pool timing would measure the scheduler"
+            )
+        }
+
+    update_bench_json(
+        {
+            "calibration_cache": {
+                "mode": "engine_batched_block25, workers=1, memory axis, "
+                "3 locked-SM facets",
+                "cold_wall_s": round(cold_wall, 4),
+                "warm_wall_s": round(warm_wall, 4),
+                "warm_speedup": round(cold_wall / warm_wall, 2),
+                "calibration_fraction_est": round(
+                    1.0 - warm_wall / cold_wall, 4
+                ),
+                "cold_stats": cold_stats,
+                "warm_stats": warm_stats,
+                "facet_calibration": {
+                    "n_facets": len(facets),
+                    "sequential_s": round(sequential_s, 4),
+                    **parallel_row,
+                },
+                "note": (
+                    "warm runs replay all facet calibrations from the "
+                    "cache; calibration_fraction_est is the share of the "
+                    "cold wall clock the cache elides"
+                ),
+            }
+        }
+    )
+
+    # Guardrail: a warm run must never be slower than cold beyond noise.
+    assert warm_wall < cold_wall * 1.10
+
+
 def test_perf_floor_gate():
     """Fail the bench job when the batched mode regresses below floor.
 

@@ -145,6 +145,18 @@ def build_parser() -> argparse.ArgumentParser:
         "so --workers defaults to 1 when this is given; requires the "
         "pass-block pipeline (--pass-block > 0)",
     )
+    parser.add_argument(
+        "--calibration-cache",
+        default=None,
+        metavar="DIR",
+        help="persistent per-facet calibration cache: phase-1 and probe "
+        "results are stored in DIR keyed by a content fingerprint of "
+        "everything that can affect them (config, blueprint, facet, "
+        "seed), so a repeated campaign replays its calibrations without "
+        "re-measuring — results stay bit-identical to a cold run; runs "
+        "through the execution engine, so --workers defaults to 1 when "
+        "this is given",
+    )
     fault = parser.add_argument_group("fault tolerance")
     fault.add_argument(
         "--journal",
@@ -361,6 +373,11 @@ def main(argv: list[str] | None = None) -> int:
             # Resume is engine-only (the serial loop shares one timeline);
             # route through the engine at its bit-identical default.
             args.workers = 1
+    if args.calibration_cache is not None and args.workers is None:
+        # The calibration cache is engine-only for the same reason
+        # resume is: the serial loop cannot skip calibration
+        # bit-identically on one shared timeline.
+        args.workers = 1
 
     machine = make_machine(
         args.gpu_model,
@@ -386,6 +403,7 @@ def main(argv: list[str] | None = None) -> int:
             max_job_retries=args.max_job_retries,
             job_timeout_factor=args.job_timeout_factor,
             inject_faults=args.inject_faults,
+            calibration_cache=args.calibration_cache,
         )
     except ReproError as exc:
         raise SystemExit(f"error: {exc}")
@@ -446,9 +464,29 @@ def main(argv: list[str] | None = None) -> int:
             profiler.disable()
             profiler.dump_stats(args.profile)
             print(f"profile written to {args.profile}", file=sys.stderr)
+            from repro.core.calibcache import last_run_stats
             from repro.profiling import render_stage_breakdown
 
-            print(render_stage_breakdown(args.profile), file=sys.stderr)
+            print(
+                render_stage_breakdown(
+                    args.profile, cache_stats=last_run_stats()
+                ),
+                file=sys.stderr,
+            )
+
+    if args.calibration_cache is not None:
+        from repro.core.calibcache import last_run_stats
+
+        cache_stats = last_run_stats()
+        if cache_stats is not None:
+            # Deliberately not gated on --quiet: harnesses (the CI cache
+            # smoke test among them) grep this line off stderr.
+            print(
+                f"calibration cache: {cache_stats['hits']} hit(s), "
+                f"{cache_stats['misses']} miss(es), "
+                f"{cache_stats['installs']} installed",
+                file=sys.stderr,
+            )
 
     if not args.quiet:
         from repro.core.axis import axis_by_name

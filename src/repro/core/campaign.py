@@ -557,6 +557,13 @@ def run_campaign(
                 "pairs, so journaled pairs cannot be skipped bit-"
                 "identically"
             )
+        if config.calibration_cache is not None:
+            raise ConfigError(
+                "calibration_cache requires the execution engine "
+                "(workers >= 1): the serial loop shares one RNG/clock "
+                "timeline across calibration and measurement, so a "
+                "skipped calibration cannot be replayed bit-identically"
+            )
         if journal is None:
             return LatestBenchmark(machine, config).run(sinks=sinks)
         from repro.core.journal import (

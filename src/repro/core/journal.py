@@ -101,6 +101,7 @@ _FINGERPRINT_EXCLUDED = frozenset(
         "retry_backoff_max_s",
         "pass_block_size",
         "pair_batch_size",
+        "calibration_cache",
     }
 )
 
@@ -124,8 +125,16 @@ def campaign_fingerprint(
         for f in dataclasses.fields(config)
         if f.name not in _FINGERPRINT_EXCLUDED
     )
+    # Multi-facet engine campaigns calibrate each facet on an independent
+    # replica seed stream (the replica scheme, PR 9) rather than the
+    # shared driver timeline, which moved their result space; the scheme
+    # revision keys the fingerprint so a journal recorded under the old
+    # timeline can never resume into mixed-epoch results.
+    facet_scheme = 1 if config.facet_plan() == (None,) else 2
     # Fixed protocol so the digest is stable across interpreter versions.
-    blob = pickle.dumps((JOURNAL_VERSION, items, blueprint), protocol=4)
+    blob = pickle.dumps(
+        (JOURNAL_VERSION, facet_scheme, items, blueprint), protocol=4
+    )
     return hashlib.sha256(blob).hexdigest()
 
 

@@ -141,6 +141,10 @@ class FacetPrepared(CampaignEvent):
     prepared: bool
     phase1: "Phase1Result | None" = None
     probe: "ProbeInfo | None" = None
+    #: the calibration came from the persistent calibration cache
+    #: (:mod:`repro.core.calibcache`, engine tiers with
+    #: ``--calibration-cache``) instead of being measured this run
+    cache_hit: bool = False
 
 
 @dataclass(frozen=True)

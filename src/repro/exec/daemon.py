@@ -68,7 +68,9 @@ import time
 import traceback
 
 from repro.errors import ConfigError
+from repro.exec.jobs import CalibrationJob
 from repro.exec.worker import (
+    calibrate_facet,
     fire_worker_faults,
     run_pair_batch,
     run_pair_job,
@@ -105,6 +107,25 @@ def _daemon_main(ctrl, tasks, results, session: str) -> None:
                 while len(order) > PAYLOAD_CACHE_CAP:
                     payloads.pop(order.pop(0), None)
             payload = payloads[key]
+            if jobs and isinstance(jobs[0], CalibrationJob):
+                # Facet calibration task: the payload is a
+                # CalibrationPlan, the result a FacetCalibration — pure
+                # objects with no measurement arrays, so they ride the
+                # pickle envelope instead of a shared-memory segment.
+                # Injected worker faults target PairJobs, not
+                # calibration, so the fault hook is skipped.
+                out = [
+                    calibrate_facet(
+                        payload.blueprint,
+                        payload.config,
+                        job.facet_index,
+                        job.facet,
+                        payload.start_time,
+                    )
+                    for job in jobs
+                ]
+                results.put(("ok", task_id, ("pickle", out)))
+                continue
             fire_worker_faults(jobs, payload)
             if batched:
                 out = run_pair_batch(jobs, payload, skeleton)
@@ -456,6 +477,52 @@ class WarmPool:
                 else:
                     complete(state, results)
             pump()
+        return out
+
+    # ------------------------------------------------------------------
+    def run_calibrations(self, plan, jobs) -> list:
+        """Run facet calibrations on the pool; results in job order.
+
+        ``plan`` is a :class:`~repro.exec.jobs.CalibrationPlan` (installed
+        through the same content-addressed payload cache campaign payloads
+        use) and ``jobs`` a list of
+        :class:`~repro.exec.jobs.CalibrationJob`.  Each job becomes its
+        own task so the facets spread across daemons; because every
+        replica calibration is a pure function of the plan and the job,
+        dispatch order cannot affect results.  Unsupervised: calibration
+        runs before any measurement is journaled, so a dead daemon simply
+        fails the campaign like the legacy unsupervised pair path does.
+        """
+        if self._closed:
+            raise ConfigError("pool is closed")
+        if not jobs:
+            return []
+        self._drain_stale_results()
+        key = self._install_payload(plan)
+        position: dict[int, int] = {}
+        for job in jobs:
+            task_id = self._next_task_id
+            self._next_task_id += 1
+            position[task_id] = len(position)
+            self._tasks.put((task_id, key, [job], False))
+        out: list = [None] * len(jobs)
+        remaining = len(jobs)
+        while remaining:
+            try:
+                status, task_id, body = self._results.get(timeout=0.1)
+            except queue_mod.Empty:
+                if any(not proc.is_alive() for proc in self._procs):
+                    raise RuntimeError(
+                        "warm worker died during facet calibration"
+                    )
+                continue
+            if task_id not in position:
+                self._discard_stale(status, body)
+                continue
+            if status == "error":
+                raise RuntimeError(f"warm worker failed:\n{body}")
+            out[position.pop(task_id)] = unpack_results(body)[0]
+            remaining -= 1
         return out
 
     # ------------------------------------------------------------------

@@ -2,10 +2,24 @@
 
 Execution model
 ---------------
-Phase 1 and the probe stage run on the driver's machine with exactly the
-same draws as the legacy serial loop — they are inherently sequential
-(workload growth feeds back into the kernel) and cheap; core×memory
-campaigns repeat them once per memory clock.  Every valid grid point then
+Single-facet campaigns calibrate (phase 1 + probe) on the driver's
+machine with exactly the same draws as the legacy serial loop — the
+*driver* calibration scheme, inherently sequential (workload growth
+feeds back into the kernel) and cheap.  Multi-facet campaigns
+(core×memory grids, locked-SM facet sweeps) use the *replica* scheme:
+each facet is calibrated on an independent replica machine rebuilt from
+the blueprint with the facet's own
+:func:`~repro.exec.jobs.calibration_seed_sequence` stream, making every
+facet calibration a pure function of ``(blueprint, config, facet_index,
+facet, start_time)`` — so cold campaigns dispatch them *in parallel*
+across the process pool (or warm-pool daemons) with results provably
+bit-identical to sequential execution, and warm campaigns replay them
+from the persistent calibration cache
+(:mod:`repro.core.calibcache`, ``--calibration-cache DIR``) without a
+single phase-1 or probe pass.  The driver clock then advances by each
+facet's recorded calibration time in facet order, so the campaign epoch
+(and with it every pair seed stream) is identical however the
+calibrations were obtained.  Every valid grid point then
 becomes a :class:`~repro.exec.jobs.PairJob`: a handful of numbers (flat
 grid index, SM frequencies, and — for 2-D campaigns — the memory-clock
 coordinate).  All heavy shared inputs — config, blueprint, per-facet
@@ -66,8 +80,15 @@ identical :class:`CampaignResult`.
 
 from __future__ import annotations
 
+from concurrent.futures import ProcessPoolExecutor
 from contextlib import ExitStack
 
+from repro.core.calibcache import (
+    CalibrationCache,
+    FacetCalibration,
+    calibration_fingerprint,
+    record_run_stats,
+)
 from repro.core.campaign import LatestBenchmark, facet_skip_reason
 from repro.core.journal import (
     CampaignJournal,
@@ -92,6 +113,8 @@ from repro.core.stream import (
 from repro.errors import CampaignInterrupted, ConfigError
 from repro.exec.faults import FaultPlan
 from repro.exec.jobs import (
+    CalibrationJob,
+    CalibrationPlan,
     CampaignPayload,
     PairJob,
     PairJobResult,
@@ -104,9 +127,11 @@ from repro.exec.supervise import (
     run_units_pool,
 )
 from repro.exec.worker import (
+    calibrate_facet,
     fire_worker_faults,
     run_pair_batch,
     run_pair_job,
+    worker_calibrate,
     worker_init,
     worker_run_batch,
     worker_run_unit,
@@ -192,8 +217,12 @@ class CampaignExecutor:
         self.resume = bool(resume)
         self.sinks = tuple(sinks)
         #: per-facet fixed pass duration for the dispatch cost model,
-        #: filled by :meth:`run` while each facet clock is prepared
+        #: filled by :meth:`_calibrate_facets` from each facet's
+        #: calibration record
         self._fixed_pass_by_facet: dict = {}
+        #: hit/miss/install counters of the calibration cache consulted
+        #: by the last :meth:`run` (``None`` when no cache was attached)
+        self.calibration_cache_stats: dict | None = None
 
     # ------------------------------------------------------------------
     def _build_jobs(
@@ -275,6 +304,201 @@ class CampaignExecutor:
         if run:
             chunks.append(run)
         return chunks
+
+    def _calibrate_on_driver(
+        self, bench_driver, facet_index: int, facet
+    ) -> FacetCalibration:
+        """Driver-scheme calibration: same machine, same draws as serial.
+
+        Single-facet campaigns calibrate on the campaign machine itself so
+        the driver's clock and RNG advance exactly as in the legacy serial
+        loop (the pinned golden hashes depend on it).  The operation order
+        — facet clock, phase 1, probe, fixed-pass evaluation — matches
+        :func:`repro.exec.worker.calibrate_facet` so both schemes produce
+        the same :class:`~repro.core.calibcache.FacetCalibration` shape.
+        """
+        machine, config = self.machine, self.config
+        bench = bench_driver.bench
+        t0 = machine.clock.now
+        if not bench.prepare_facet_clock(facet):
+            return FacetCalibration(
+                facet_index=facet_index,
+                facet=facet,
+                prepared=False,
+                phase1=None,
+                probe=None,
+                fixed_pass_s=0.0,
+                elapsed_virtual_s=machine.clock.now - t0,
+            )
+        phase1 = run_phase1(bench)
+        probe = (
+            bench_driver._probe_windows(phase1)
+            if phase1.valid_pairs
+            else None
+        )
+        # Fixed per-pass duration at this facet (delay + confirmation
+        # iterations at the facet's own iteration time): the additive
+        # term the dispatch cost model needs to rank jobs *across*
+        # facets.  Evaluated here because iteration_duration_s reads
+        # the locked facet clock, which is prepared right now.
+        fixed_pass_s = (
+            config.delay_iterations + config.confirm_iterations
+        ) * bench.axis.iteration_duration_s(
+            bench, phase1.kernel, max(config.frequencies)
+        )
+        return FacetCalibration(
+            facet_index=facet_index,
+            facet=facet,
+            prepared=True,
+            phase1=phase1,
+            probe=probe,
+            fixed_pass_s=fixed_pass_s,
+            elapsed_virtual_s=machine.clock.now - t0,
+        )
+
+    def _run_facet_calibrations(
+        self, todo: list, t_begin: float
+    ) -> list[FacetCalibration]:
+        """Run replica-scheme calibrations, in parallel when possible.
+
+        Each entry of ``todo`` is ``(facet_index, facet)``.  Because every
+        replica calibration is a pure function of its arguments, the three
+        dispatch paths — in-process loop, per-campaign process pool, warm
+        daemon pool — are interchangeable: results are bit-identical, only
+        wall-clock time differs.
+        """
+        if not todo:
+            return []
+        config = self.config
+        blueprint = self.machine.blueprint
+        if self.pool is not None:
+            return self.pool.run_calibrations(
+                CalibrationPlan(
+                    blueprint=blueprint, config=config, start_time=t_begin
+                ),
+                [
+                    CalibrationJob(facet_index=i, facet=facet)
+                    for i, facet in todo
+                ],
+            )
+        args = [
+            (blueprint, config, i, facet, t_begin) for i, facet in todo
+        ]
+        if self.workers == 1 or len(args) <= 1:
+            return [calibrate_facet(*a) for a in args]
+        with ProcessPoolExecutor(
+            max_workers=min(self.workers, len(args)),
+            mp_context=mp_context(),
+        ) as pool:
+            return list(pool.map(worker_calibrate, args))
+
+    def _calibrate_facets(
+        self, bench_driver, dispatch: StreamDispatcher, fresh: bool
+    ) -> tuple[dict, dict]:
+        """Calibrate every facet and emit its ``FacetPrepared`` event.
+
+        Two schemes (see the module docs): single-facet campaigns
+        calibrate on the driver machine (``"driver"``), multi-facet
+        campaigns on per-facet replica machines (``"replica"``) — the
+        latter in parallel when workers allow.  When the config names a
+        calibration cache and the machine sits at its blueprint start
+        time (a fresh build, not a reused machine mid-timeline), each
+        facet's calibration is first looked up by its content fingerprint
+        and, on a miss, installed after measuring; on a hit the driver
+        clock replays the recorded calibration time, so the campaign
+        epoch — and every result byte — matches the cold run exactly.
+        ``fresh`` is that start-of-timeline eligibility, decided by the
+        caller *before* driver-bench construction (which itself advances
+        the clock deterministically).
+
+        Returns ``(phase1_by_facet, probe_by_facet)`` and fills
+        ``self._fixed_pass_by_facet`` for the dispatch cost model.
+        """
+        machine, config = self.machine, self.config
+        facet_plan = config.facet_plan()
+        scheme = "driver" if facet_plan == (None,) else "replica"
+        cache = None
+        if config.calibration_cache is not None and fresh:
+            cache = CalibrationCache(config.calibration_cache)
+        keys: dict[int, str] = {}
+        calibrations: dict[int, FacetCalibration] = {}
+        hits: set[int] = set()
+        if cache is not None:
+            for facet_index, facet in enumerate(facet_plan):
+                keys[facet_index] = calibration_fingerprint(
+                    config, machine.blueprint, facet_index, facet, scheme
+                )
+                entry = cache.get(keys[facet_index])
+                if entry is not None:
+                    calibrations[facet_index] = entry
+                    hits.add(facet_index)
+        if scheme == "driver":
+            cal = calibrations.get(0)
+            if cal is not None:
+                # Warm run: the cached calibration consumed exactly this
+                # much virtual time on the cold run.  The driver RNG is
+                # not drawn from after calibration in engine mode, so
+                # replaying the clock advance alone reproduces the
+                # campaign epoch — and with it every pair seed stream —
+                # bit-identically.
+                machine.clock.advance(cal.elapsed_virtual_s)
+            else:
+                cal = self._calibrate_on_driver(
+                    bench_driver, 0, facet_plan[0]
+                )
+                calibrations[0] = cal
+                if cache is not None:
+                    cache.install(keys[0], cal)
+        else:
+            t_begin = machine.clock.now
+            todo = [
+                (i, facet)
+                for i, facet in enumerate(facet_plan)
+                if i not in calibrations
+            ]
+            for cal in self._run_facet_calibrations(todo, t_begin):
+                calibrations[cal.facet_index] = cal
+                if cache is not None:
+                    cache.install(keys[cal.facet_index], cal)
+            # Replica-scheme epoch: the driver clock advances by every
+            # facet's calibration time in facet order — the same total
+            # whether the calibrations ran sequentially, in parallel, or
+            # came from the cache.
+            for facet_index in range(len(facet_plan)):
+                machine.clock.advance(
+                    calibrations[facet_index].elapsed_virtual_s
+                )
+        if cache is not None:
+            record_run_stats(cache.stats)
+            self.calibration_cache_stats = dict(cache.stats)
+        phase1_by_facet: dict = {}
+        probe_by_facet: dict = {}
+        for facet_index, facet in enumerate(facet_plan):
+            cal = calibrations[facet_index]
+            if not cal.prepared:
+                dispatch.emit(
+                    FacetPrepared(
+                        facet_index=facet_index,
+                        facet=facet,
+                        prepared=False,
+                        cache_hit=facet_index in hits,
+                    )
+                )
+                continue
+            phase1_by_facet[facet] = cal.phase1
+            probe_by_facet[facet] = cal.probe
+            self._fixed_pass_by_facet[facet] = cal.fixed_pass_s
+            dispatch.emit(
+                FacetPrepared(
+                    facet_index=facet_index,
+                    facet=facet,
+                    prepared=True,
+                    phase1=cal.phase1,
+                    probe=cal.probe,
+                    cache_hit=facet_index in hits,
+                )
+            )
+        return phase1_by_facet, probe_by_facet
 
     def _execute(
         self,
@@ -443,49 +667,20 @@ class CampaignExecutor:
             )
         )
 
-        # Phase 1 + probe: sequential by nature, same draws as the legacy
-        # loop (the driver machine's clock and RNG advance identically).
-        # Faceted campaigns (core×memory grids, locked-SM facet sweeps)
-        # repeat the characterization once per facet on the driver machine
-        # before any job is built.
-        phase1_by_facet: dict = {}
-        probe_by_facet: dict = {}
-        for facet_index, facet in enumerate(facet_plan):
-            if not bench_driver.bench.prepare_facet_clock(facet):
-                dispatch.emit(
-                    FacetPrepared(
-                        facet_index=facet_index, facet=facet, prepared=False
-                    )
-                )
-                continue
-            phase1 = run_phase1(bench_driver.bench)
-            phase1_by_facet[facet] = phase1
-            probe_by_facet[facet] = (
-                bench_driver._probe_windows(phase1)
-                if phase1.valid_pairs
-                else None
-            )
-            dispatch.emit(
-                FacetPrepared(
-                    facet_index=facet_index,
-                    facet=facet,
-                    prepared=True,
-                    phase1=phase1,
-                    probe=probe_by_facet[facet],
-                )
-            )
-            # Fixed per-pass duration at this facet (delay + confirmation
-            # iterations at the facet's own iteration time): the additive
-            # term the dispatch cost model needs to rank jobs *across*
-            # facets.  Evaluated here because iteration_duration_s reads
-            # the locked facet clock, which is prepared right now.
-            self._fixed_pass_by_facet[facet] = (
-                config.delay_iterations + config.confirm_iterations
-            ) * bench_driver.bench.axis.iteration_duration_s(
-                bench_driver.bench,
-                phase1.kernel,
-                max(config.frequencies),
-            )
+        # Calibration (phase 1 + probe, per facet): the driver scheme for
+        # single-facet campaigns (same machine, same draws as the legacy
+        # serial loop), the replica scheme — parallelizable, cacheable —
+        # for multi-facet campaigns.  See _calibrate_facets.
+        # Cache eligibility is decided against the pre-bench clock: a
+        # machine sitting at its blueprint start time is a fresh build
+        # whose whole timeline is a pure function of (blueprint, config);
+        # a reused machine mid-timeline (device sweeps) is not, so it
+        # calibrates live.
+        phase1_by_facet, probe_by_facet = self._calibrate_facets(
+            bench_driver,
+            dispatch,
+            fresh=(t_begin == machine.blueprint.start_time),
+        )
         first = facet_plan[0]
         single_facet = facet_plan == (None,)
         payload = CampaignPayload(

@@ -23,11 +23,14 @@ from repro.core.results import PairResult
 from repro.machine import MachineBlueprint
 
 __all__ = [
+    "CalibrationJob",
+    "CalibrationPlan",
     "CampaignPayload",
     "PairJob",
     "PairJobResult",
     "ProbeCostModel",
     "SupervisionPolicy",
+    "calibration_seed_sequence",
     "pair_seed_sequence",
 ]
 
@@ -43,6 +46,38 @@ _AXIS_STREAM_OFFSET = 0x4158_4953  # "AXIS"
 #: spawn-key marker separating multi-facet (locked-SM) swept-axis jobs
 #: from single-facet jobs of the same axis
 _FACET_STREAM_OFFSET = 0x4641_4345  # "FACE"
+#: spawn-key namespace of per-facet *calibration* streams (the replica
+#: calibration scheme of multi-facet engine campaigns) — disjoint from
+#: every pair-measurement stream by the leading marker
+_CALIB_STREAM_OFFSET = 0x4341_4C42  # "CALB"
+
+
+def calibration_seed_sequence(
+    blueprint: MachineBlueprint,
+    device_index: int,
+    facet_index: int,
+    axis: str = "sm_core",
+) -> np.random.SeedSequence:
+    """The deterministic seed stream of one facet's calibration replica.
+
+    Multi-facet engine campaigns calibrate each facet (facet-clock
+    preparation, phase 1, probe) on its own replica machine seeded from
+    this stream — a pure function of the blueprint and the facet's grid
+    position, independent of execution order and process boundaries, so
+    parallel facet calibration is provably bit-identical to sequential
+    and the result is content-addressable per facet
+    (:mod:`repro.core.calibcache`).  The leading ``CALB`` marker keeps
+    these streams disjoint from every :func:`pair_seed_sequence` stream.
+    """
+    from repro.core.axis import axis_stream_id
+
+    key = blueprint.seed_spawn_key + (
+        _CALIB_STREAM_OFFSET,
+        device_index,
+        axis_stream_id(axis),
+        facet_index,
+    )
+    return np.random.SeedSequence(entropy=blueprint.entropy, spawn_key=key)
 
 
 def pair_seed_sequence(
@@ -128,6 +163,36 @@ class CampaignPayload:
         if facet is None or self.probe_by_memory is None:
             return self.probe
         return self.probe_by_memory[facet]
+
+
+@dataclass(frozen=True)
+class CalibrationJob:
+    """One facet's phase-1 + probe calibration work order.
+
+    Dispatched by the engine for cold multi-facet campaigns — across the
+    process pool or the warm daemons — before any :class:`PairJob`
+    exists.  Like a pair job it is tiny: the heavy shared inputs
+    (blueprint, config) travel once as a :class:`CalibrationPlan`.
+    """
+
+    facet_index: int
+    facet: float | None
+
+
+@dataclass(frozen=True)
+class CalibrationPlan:
+    """Shared payload of one campaign's parallel facet calibration.
+
+    The calibration-time counterpart of :class:`CampaignPayload` (which
+    cannot exist yet — it *carries* the phase-1/probe results the
+    calibration produces).  ``start_time`` is the driver clock at
+    campaign start; every calibration replica boots there, so results
+    are independent of the order facets calibrate in.
+    """
+
+    blueprint: MachineBlueprint
+    config: LatestConfig
+    start_time: float
 
 
 @dataclass(frozen=True)

@@ -19,17 +19,28 @@ never changes results, only construction cost.
 
 from __future__ import annotations
 
-from repro.core.campaign import measure_pair
+from repro.core.calibcache import FacetCalibration
+from repro.core.campaign import LatestBenchmark, measure_pair
 from repro.core.context import BenchContext
+from repro.core.phase1 import run_phase1
 from repro.core.results import PairResult
 from repro.exec.faults import fault_plan
-from repro.exec.jobs import CampaignPayload, PairJob, PairJobResult, pair_seed_sequence
+from repro.exec.jobs import (
+    CampaignPayload,
+    PairJob,
+    PairJobResult,
+    calibration_seed_sequence,
+    pair_seed_sequence,
+)
+from repro.machine import MachineBlueprint
 
 __all__ = [
     "build_job_replica",
+    "calibrate_facet",
     "fire_worker_faults",
     "run_pair_batch",
     "run_pair_job",
+    "worker_calibrate",
     "worker_init",
     "worker_run_batch",
     "worker_run_unit",
@@ -172,6 +183,73 @@ def run_pair_batch(
                 )
             )
     return results
+
+
+def calibrate_facet(
+    blueprint: MachineBlueprint,
+    config,
+    facet_index: int,
+    facet: float | None,
+    start_time: float,
+) -> FacetCalibration:
+    """Run one facet's calibration on an independent replica machine.
+
+    The replica calibration scheme of multi-facet engine campaigns: the
+    machine is rebuilt from the blueprint with the facet's own
+    :func:`~repro.exec.jobs.calibration_seed_sequence` stream, booted at
+    the campaign's start time, and runs facet-clock preparation, phase 1
+    and the probe exactly as the driver would — a pure function of
+    ``(blueprint, config, facet_index, facet, start_time)``, so parallel
+    dispatch, sequential execution, and cache replay are all
+    bit-identical.  The fixed per-pass duration for the dispatch cost
+    model is evaluated here, while the facet clock is prepared, and
+    travels inside the returned
+    :class:`~repro.core.calibcache.FacetCalibration`.
+    """
+    seed = calibration_seed_sequence(
+        blueprint, config.device_index, facet_index, config.axis
+    )
+    machine = blueprint.build(seed=seed, start_time=start_time)
+    driver = LatestBenchmark(machine, config)
+    bench = driver.bench
+    t0 = machine.clock.now
+    if not bench.prepare_facet_clock(facet):
+        return FacetCalibration(
+            facet_index=facet_index,
+            facet=facet,
+            prepared=False,
+            phase1=None,
+            probe=None,
+            fixed_pass_s=0.0,
+            elapsed_virtual_s=machine.clock.now - t0,
+        )
+    phase1 = run_phase1(bench)
+    probe = driver._probe_windows(phase1) if phase1.valid_pairs else None
+    fixed_pass_s = (
+        config.delay_iterations + config.confirm_iterations
+    ) * bench.axis.iteration_duration_s(
+        bench, phase1.kernel, max(config.frequencies)
+    )
+    return FacetCalibration(
+        facet_index=facet_index,
+        facet=facet,
+        prepared=True,
+        phase1=phase1,
+        probe=probe,
+        fixed_pass_s=fixed_pass_s,
+        elapsed_virtual_s=machine.clock.now - t0,
+    )
+
+
+def worker_calibrate(args: tuple) -> FacetCalibration:
+    """Process-pool entry point for :func:`calibrate_facet`.
+
+    ``args`` is the ``(blueprint, config, facet_index, facet,
+    start_time)`` tuple — calibration dispatch ships its few jobs whole
+    rather than through a pool initializer (a campaign has facets in the
+    units, not the thousands).
+    """
+    return calibrate_facet(*args)
 
 
 def run_pair_job(

@@ -8,17 +8,20 @@ attributable without opening the dump in a viewer.
 Stages are anchored on well-known functions (cumulative time, matched on
 ``(file basename, function name)``):
 
-==========  =========================================================
-stage       anchor(s)
-==========  =========================================================
-phase1      ``run_phase1`` (characterization sweeps, per facet)
-probe       ``_probe_windows`` (window-sizing probe passes)
-batch-step  ``measure_pair_batch`` + ``measure_pair_blocked``
-            (lockstep SoA rounds / single-pair blocked loops)
-peel-off    ``_finish_peeled`` (diverged runners on the scalar path)
-stream      ``StreamDispatcher.emit`` + ``ResultAccumulator.on_event``
-            (campaign event dispatch + index-keyed result assembly)
-==========  =========================================================
+===========  =========================================================
+stage        anchor(s)
+===========  =========================================================
+calibration  ``calibrate_facet`` + ``_calibrate_on_driver``
+             (whole per-facet calibrations: facet clock, phase 1,
+             probe — the stage the calibration cache eliminates)
+phase1       ``run_phase1`` (characterization sweeps, per facet)
+probe        ``_probe_windows`` (window-sizing probe passes)
+batch-step   ``measure_pair_batch`` + ``measure_pair_blocked``
+             (lockstep SoA rounds / single-pair blocked loops)
+peel-off     ``_finish_peeled`` (diverged runners on the scalar path)
+stream       ``StreamDispatcher.emit`` + ``ResultAccumulator.on_event``
+             (campaign event dispatch + index-keyed result assembly)
+===========  =========================================================
 
 Stages may nest — a peeled runner's time is *inside* the batch-step
 total, and ``measure_pair_blocked`` is also the workers' entry point when
@@ -35,6 +38,10 @@ __all__ = ["STAGE_ANCHORS", "render_stage_breakdown", "stage_times"]
 
 #: stage name -> (file basename, function name) anchors, cumtimes summed
 STAGE_ANCHORS: dict[str, tuple[tuple[str, str], ...]] = {
+    "calibration": (
+        ("worker.py", "calibrate_facet"),
+        ("engine.py", "_calibrate_on_driver"),
+    ),
     "phase1": (("phase1.py", "run_phase1"),),
     "probe": (("campaign.py", "_probe_windows"),),
     "batch-step": (
@@ -62,11 +69,26 @@ def stage_times(stats_path: str) -> tuple[dict[str, float], float]:
     return by_stage, stats.total_tt
 
 
-def render_stage_breakdown(stats_path: str) -> str:
-    """The stderr summary printed after ``--profile`` dumps its stats."""
+def render_stage_breakdown(
+    stats_path: str, cache_stats: "dict | None" = None
+) -> str:
+    """The stderr summary printed after ``--profile`` dumps its stats.
+
+    ``cache_stats`` (the hit/miss/install counters of
+    :func:`repro.core.calibcache.last_run_stats`, when a calibration
+    cache was attached) appends one line relating the calibration stage's
+    time to how much of it the cache elided this run.
+    """
     by_stage, total = stage_times(stats_path)
     lines = [f"stage breakdown (total {total:.3f} s; stages may nest):"]
     for stage, seconds in by_stage.items():
         share = 100.0 * seconds / total if total > 0 else 0.0
         lines.append(f"  {stage:<11} {seconds:9.3f} s  {share:5.1f}%")
+    if cache_stats is not None:
+        lines.append(
+            "  calibration cache: "
+            f"{cache_stats.get('hits', 0)} hit(s), "
+            f"{cache_stats.get('misses', 0)} miss(es), "
+            f"{cache_stats.get('installs', 0)} installed"
+        )
     return "\n".join(lines)
