@@ -1,0 +1,130 @@
+"""Service front-end overhead: the asyncio event bridge, measured.
+
+The service republishes every campaign event from the emitting worker
+thread onto the event loop (``EventBroadcast.publish`` →
+``call_soon_threadsafe`` → subscriber queues).  This benchmark records
+what that bridge sustains in events/s against the baseline every other
+tier uses — a direct synchronous ``on_event`` call — plus the
+end-to-end wall-clock cost of running one campaign through
+:class:`~repro.service.service.CampaignService` versus the engine it
+wraps.  Rows land in ``BENCH_campaign.json`` under
+``service_event_bridge``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+
+from benchmarks.conftest import update_bench_json
+from repro import LatestConfig, make_machine, run_campaign
+from repro.core.stream import PairRetried, RecordingSink
+from repro.service.bridge import EventBroadcast
+from repro.service.requests import CampaignRequest
+from repro.service.service import CampaignService
+
+N_EVENTS = 50_000
+
+#: one small A100 campaign, shared by the wall-clock comparison
+_CONFIG = dict(
+    frequencies=(705.0, 1095.0, 1410.0),
+    record_sm_count=8,
+    min_measurements=10,
+    max_measurements=16,
+    rse_check_every=4,
+)
+
+
+def _direct_events_per_s() -> float:
+    """Baseline: synchronous sink delivery on the emitting thread."""
+    sink = RecordingSink()
+    event = PairRetried(indices=(0,), attempt=1, cause="bench")
+    begin = time.perf_counter()
+    for _ in range(N_EVENTS):
+        sink.on_event(event)
+    elapsed = time.perf_counter() - begin
+    assert len(sink.events) == N_EVENTS
+    return N_EVENTS / elapsed
+
+
+def _bridge_events_per_s() -> float:
+    """Thread → loop → subscriber, the service's delivery path."""
+    event = PairRetried(indices=(0,), attempt=1, cause="bench")
+
+    async def main() -> float:
+        loop = asyncio.get_event_loop()
+        broadcast = EventBroadcast(loop)
+        queue = broadcast.subscribe()
+
+        def produce():
+            for _ in range(N_EVENTS):
+                broadcast.publish(event)
+            broadcast.close()
+
+        begin = time.perf_counter()
+        producer = loop.run_in_executor(None, produce)
+        received = 0
+        while await queue.get() is not None:
+            received += 1
+        elapsed = time.perf_counter() - begin
+        await producer
+        assert received == N_EVENTS
+        return N_EVENTS / elapsed
+
+    return asyncio.run(main())
+
+
+def test_service_event_bridge_overhead():
+    """Record bridge vs direct events/s and service vs engine wall."""
+    direct = _direct_events_per_s()
+    bridge = _bridge_events_per_s()
+
+    begin = time.perf_counter()
+    engine_result = run_campaign(
+        make_machine("A100", seed=4), LatestConfig(**_CONFIG), workers=1
+    )
+    engine_wall = time.perf_counter() - begin
+
+    async def service_run():
+        service = CampaignService(fleet_size=2, shard_pairs=2)
+        await service.start()
+        campaign_id = await service.submit(
+            CampaignRequest(
+                seed=4,
+                config={
+                    k: list(v) if isinstance(v, tuple) else v
+                    for k, v in _CONFIG.items()
+                },
+            )
+        )
+        result = await service.result(campaign_id)
+        await service.stop()
+        return result
+
+    begin = time.perf_counter()
+    service_result = asyncio.run(service_run())
+    service_wall = time.perf_counter() - begin
+
+    # the front end must not change the measurements
+    assert service_result.wall_virtual_s == engine_result.wall_virtual_s
+
+    update_bench_json(
+        {
+            "service_event_bridge": {
+                "n_events": N_EVENTS,
+                "direct_sink_events_per_s": round(direct),
+                "asyncio_bridge_events_per_s": round(bridge),
+                "bridge_slowdown_x": round(direct / bridge, 2),
+                "campaign_engine_wall_s": round(engine_wall, 3),
+                "campaign_service_wall_s": round(service_wall, 3),
+                "service_overhead_pct": round(
+                    100.0 * (service_wall / engine_wall - 1.0), 2
+                ),
+                "note": "bridge = EventBroadcast.publish from a worker "
+                "thread through call_soon_threadsafe to one subscriber "
+                "queue; direct = synchronous RecordingSink.on_event. "
+                "Campaign walls compare one 6-pair A100 campaign "
+                "(engine workers=1 vs CampaignService fleet=2).",
+            }
+        }
+    )

@@ -226,6 +226,7 @@ class LatestBenchmark:
                     )
                     continue
                 if guard is not None and guard.requested:
+                    dispatch.interrupt()
                     raise CampaignInterrupted(
                         f"serial campaign interrupted after {measured} "
                         "measured pairs"

@@ -66,6 +66,7 @@ __all__ = [
     "parse_pair_csv_name",
     "parse_pair_csv_name_full",
     "sanitize_hostname",
+    "summary_interrupted",
     "write_pair_csv",
     "read_pair_csv",
     "write_campaign_csvs",
@@ -372,7 +373,13 @@ class CsvStreamSink(CampaignSink):
 
     An interrupted campaign leaves the pair CSVs written so far (each
     complete and valid — the durable observable counterpart of the
-    journal) and no summary file.
+    journal) plus a *partial* summary terminated by a ``# interrupted``
+    footer row (written from the :meth:`on_interrupt` hook).  The footer
+    disambiguates the three terminal states ``--resume`` tooling can
+    meet: a summary without the footer is a completed campaign, a
+    summary *with* it is a cleanly-interrupted one, and pair CSVs with
+    no summary at all mean the driver died mid-write (the atomic
+    write-then-rename never leaves a truncated summary).
     """
 
     def __init__(self, directory: str | Path) -> None:
@@ -403,6 +410,36 @@ class CsvStreamSink(CampaignSink):
                 write_summary_csv(self.directory, self._accumulator.result())
             )
 
+    def on_interrupt(self) -> None:
+        """Write the partial summary with its ``# interrupted`` footer.
+
+        No-op before ``CampaignStarted`` (nothing is known about the
+        campaign yet, and no pair CSV was written either).
+        """
+        try:
+            result = self._accumulator.partial_result()
+        except MeasurementError:
+            return
+        self.paths.append(
+            write_summary_csv(self.directory, result, interrupted=True)
+        )
+
+
+def summary_interrupted(path: str | Path) -> bool:
+    """Whether a summary CSV carries the ``# interrupted`` footer.
+
+    ``--resume`` tooling uses this to tell a cleanly-interrupted
+    campaign (partial summary, footer present) from a completed one
+    (summary, no footer); a missing summary means the driver crashed
+    before the interrupt hook could run.
+    """
+    last = ""
+    with Path(path).open() as fh:
+        for line in fh:
+            if line.strip():
+                last = line.strip()
+    return last.startswith("# interrupted")
+
 
 def write_campaign_csvs(directory: str | Path, result: CampaignResult) -> list[Path]:
     """Write every measured pair plus the campaign summary."""
@@ -414,14 +451,21 @@ def write_campaign_csvs(directory: str | Path, result: CampaignResult) -> list[P
     return paths
 
 
-def write_summary_csv(directory: str | Path, result: CampaignResult) -> Path:
+def write_summary_csv(
+    directory: str | Path,
+    result: CampaignResult,
+    interrupted: bool = False,
+) -> Path:
     """One row per pair: status and headline statistics.
 
     Core×memory campaigns add a ``memory_mhz`` column; non-default-axis
     campaigns add an ``axis`` column (and, single-facet, a
     ``#locked_sm_mhz`` metadata footer, grid-CSV style); multi-facet
     sweeps add a ``locked_sm_mhz`` column instead; legacy campaigns keep
-    the original column set byte for byte.
+    the original column set byte for byte.  ``interrupted=True`` writes
+    a partial summary (only the pairs that streamed before the
+    interrupt) terminated by a ``# interrupted`` footer row — see
+    :class:`CsvStreamSink` for the three-way terminal-state contract.
     """
     directory = Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
@@ -490,4 +534,6 @@ def write_summary_csv(directory: str | Path, result: CampaignResult) -> Path:
             )
         if tagged_axis and result.locked_sm_mhz is not None:
             writer.writerow(["#locked_sm_mhz", f"{result.locked_sm_mhz:g}"])
+        if interrupted:
+            writer.writerow(["# interrupted"])
     return path

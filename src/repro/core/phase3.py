@@ -34,6 +34,7 @@ from __future__ import annotations
 
 import enum
 import math
+import threading
 from dataclasses import dataclass
 
 import numpy as np
@@ -60,20 +61,26 @@ __all__ = [
 ]
 
 
-#: reusable block-sized scratch buffers, one per (kind) — pass blocks
-#: allocate multi-megabyte temporaries every few dozen passes, and without
-#: reuse each round-trips through mmap.  Buffers are grown (never shrunk)
-#: and handed out as leading-axis views; nothing returned to callers
-#: aliases them (evaluations copy what they keep).
-_SCRATCH: dict[str, np.ndarray] = {}
+#: reusable block-sized scratch buffers, one per (thread, kind) — pass
+#: blocks allocate multi-megabyte temporaries every few dozen passes, and
+#: without reuse each round-trips through mmap.  Buffers are grown (never
+#: shrunk) and handed out as leading-axis views; nothing returned to
+#: callers aliases them (evaluations copy what they keep).  Storage is
+#: thread-local: the service's worker fleet evaluates pair jobs on
+#: concurrent threads, and a shared buffer would let one thread overwrite
+#: another's in-flight temporaries.
+_SCRATCH = threading.local()
 
 
 def block_scratch(kind: str, shape: tuple, dtype=np.float64) -> np.ndarray:
+    cache: "dict[str, np.ndarray] | None" = getattr(_SCRATCH, "buffers", None)
+    if cache is None:
+        cache = _SCRATCH.buffers = {}
     size = math.prod(shape)
-    buf = _SCRATCH.get(kind)
+    buf = cache.get(kind)
     if buf is None or buf.size < size or buf.dtype != np.dtype(dtype):
         buf = np.empty(max(size, 1), dtype=dtype)
-        _SCRATCH[kind] = buf
+        cache[kind] = buf
     return buf[:size].reshape(shape)
 
 

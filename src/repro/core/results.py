@@ -425,6 +425,28 @@ class ResultAccumulator:
                 + ("no CampaignStarted event" if started is None
                    else "no CampaignFinished event")
             )
+        return self._assemble(started, finished)
+
+    def partial_result(self) -> CampaignResult:
+        """Assemble whatever streamed so far (interrupt snapshots).
+
+        Requires ``CampaignStarted``; when no ``CampaignFinished``
+        arrived, substitutes a zero wall clock — the caller is expected
+        to mark the artifact as partial (e.g. the ``# interrupted``
+        summary footer of :class:`~repro.core.csvio.CsvStreamSink`).
+        """
+        if self._started is None:
+            raise MeasurementError(
+                "campaign stream incomplete: no CampaignStarted event"
+            )
+        from repro.core import stream
+
+        finished = self._finished
+        if finished is None:
+            finished = stream.CampaignFinished(wall_virtual_s=0.0)
+        return self._assemble(self._started, finished)
+
+    def _assemble(self, started, finished) -> CampaignResult:
         pairs: "dict[PairKey | GridKey, PairResult]" = {}
         for index in sorted(self._pairs_by_index):
             pair = self._pairs_by_index[index]

@@ -62,6 +62,12 @@ Ordering & determinism contract
   zero sinks, ten sinks, or a crashing-then-replaced sink produces
   bit-identical results (``BENCH_campaign.json`` ``stream_overhead``
   tracks the real-time cost).
+* An interrupted campaign emits no ``CampaignFinished``; instead the
+  driver calls :meth:`StreamDispatcher.interrupt` after the last
+  delivered event, which fans out to every sink's ``on_interrupt``
+  hook exactly once — the seam partial-output writers (e.g. the
+  ``# interrupted`` summary footer of
+  :class:`~repro.core.csvio.CsvStreamSink`) hang off.
 
 Sinks
 -----
@@ -200,6 +206,15 @@ class CampaignSink:
     def on_event(self, event: CampaignEvent) -> None:  # pragma: no cover
         """Handle one event (default: ignore it)."""
 
+    def on_interrupt(self) -> None:  # pragma: no cover
+        """Campaign interrupted: no ``CampaignFinished`` will arrive.
+
+        Called exactly once, after the last delivered event, when the
+        campaign stops early (shutdown signal, service cancellation).
+        Default: ignore it.  Sinks that write terminal artifacts use
+        this to emit an explicitly-partial one instead of none.
+        """
+
 
 class StreamDispatcher:
     """Fan one campaign event stream out to many sinks, in order.
@@ -214,12 +229,25 @@ class StreamDispatcher:
         self.sinks: list[CampaignSink] = [s for s in sinks if s is not None]
 
     def emit(self, event: CampaignEvent) -> None:
+        """Deliver one event to every sink, in registration order."""
         for sink in self.sinks:
             sink.on_event(event)
 
     def emit_all(self, events: Iterable[CampaignEvent]) -> None:
+        """Deliver a sequence of events, preserving their order."""
         for event in events:
             self.emit(event)
+
+    def interrupt(self) -> None:
+        """Notify every sink the stream ended without ``CampaignFinished``.
+
+        Sinks are duck-typed (anything with ``on_event``), so the hook is
+        looked up tolerantly: a sink without ``on_interrupt`` is skipped.
+        """
+        for sink in self.sinks:
+            hook = getattr(sink, "on_interrupt", None)
+            if hook is not None:
+                hook()
 
 
 class ProgressSink(CampaignSink):
@@ -255,6 +283,7 @@ class ProgressSink(CampaignSink):
         self.out.flush()
 
     def on_event(self, event: CampaignEvent) -> None:
+        """Update the counters and redraw the progress line."""
         if isinstance(event, CampaignStarted):
             self.total = len(event.facet_plan) * event.n_pairs
             self._label = f"{event.axis} campaign"
@@ -283,7 +312,9 @@ class RecordingSink(CampaignSink):
     events: list[CampaignEvent] = field(default_factory=list)
 
     def on_event(self, event: CampaignEvent) -> None:
+        """Append the event to the record."""
         self.events.append(event)
 
     def of_type(self, *types) -> list[CampaignEvent]:
+        """The recorded events that are instances of ``types``."""
         return [e for e in self.events if isinstance(e, types)]

@@ -63,6 +63,14 @@ class ConfigError(ReproError):
     """Invalid benchmark or simulator configuration."""
 
 
+class ServiceUnavailable(ReproError):
+    """The campaign service cannot accept the request.
+
+    Raised on submit while the service is draining or stopped, and on
+    client operations against an unknown campaign id.
+    """
+
+
 class CampaignInterrupted(ReproError):
     """A campaign stopped early on SIGINT/SIGTERM after a graceful drain.
 

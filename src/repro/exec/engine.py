@@ -82,6 +82,7 @@ from __future__ import annotations
 
 from concurrent.futures import ProcessPoolExecutor
 from contextlib import ExitStack
+from dataclasses import dataclass, field
 
 from repro.core.calibcache import (
     CalibrationCache,
@@ -140,12 +141,50 @@ from repro.machine import Machine
 
 __all__ = [
     "CampaignExecutor",
+    "PreparedCampaign",
     "fire_worker_faults",
     "mp_context",
     "run_campaign_parallel",
     "run_pair_batch",
     "run_pair_job",
 ]
+
+
+@dataclass
+class PreparedCampaign:
+    """Everything :meth:`CampaignExecutor.prepare` settles before dispatch.
+
+    The carrier of the prepare → dispatch → finish seam: ``prepare``
+    emits the campaign-start events, calibrates every facet, and plans
+    the job grid; any dispatcher — the executor's own :meth:`_execute`
+    loop or an external one such as the asyncio service tier
+    (:mod:`repro.service`) — then measures ``todo`` however it likes,
+    records each result's virtual cost in :attr:`elapsed_by_index`, and
+    hands the carrier to :meth:`CampaignExecutor.finish` to close the
+    timeline and assemble the result.  Because the clock advance in
+    ``finish`` sums costs in grid-index order, the result is
+    bit-identical for every dispatch interleaving.
+    """
+
+    #: per-worker shared inputs (blueprint, config, calibrations, epoch)
+    payload: CampaignPayload
+    #: every valid grid point, facet-major index order
+    jobs: list
+    #: planned driver-side skips, already emitted as ``PairSkipped``
+    skips: list
+    #: the jobs still to measure (``jobs`` minus journal replays)
+    todo: list
+    #: per-index virtual cost; prefilled with replayed pairs, grown by
+    #: the dispatcher, summed in index order by ``finish``
+    elapsed_by_index: dict = field(default_factory=dict)
+    #: driver clock at campaign start (wall-virtual origin)
+    t_begin: float = 0.0
+    #: the campaign's locked-SM facet plan (``None`` when single-facet)
+    sm_facets: tuple = None
+    #: the driver-side benchmark (axis observables for ``finish``)
+    bench_driver: object = None
+    #: journaled pairs replayed before live dispatch
+    n_loaded: int = 0
 
 
 class CampaignExecutor:
@@ -637,19 +676,23 @@ class CampaignExecutor:
             if journal is not None:
                 journal.close()
 
-    def _run(self, journal, loaded) -> CampaignResult:
+    def prepare(self, dispatch: StreamDispatcher, loaded=None) -> PreparedCampaign:
+        """Calibrate, plan the grid, and emit every pre-dispatch event.
+
+        The first stage of the prepare → dispatch → finish seam (see
+        :class:`PreparedCampaign`): emits ``CampaignStarted``, runs the
+        per-facet calibrations (``FacetPrepared``), plans the job grid
+        (``PairSkipped`` for planned skips), replays journaled pairs
+        (``loaded``) as synthetic events, and returns the carrier with
+        the ``todo`` jobs an external dispatcher measures.
+        """
+        loaded = {} if loaded is None else loaded
         machine, config = self.machine, self.config
         t_begin = machine.clock.now
         facet_plan = config.facet_plan()
         sm_facets = config.locked_sm_plan()
 
         bench_driver = LatestBenchmark(machine, config)
-        accumulator = ResultAccumulator()
-        dispatch = StreamDispatcher(
-            accumulator,
-            JournalSink(journal) if journal is not None else None,
-            *self.sinks,
-        )
         dispatch.emit(
             CampaignStarted(
                 gpu_name=bench_driver.bench.device.spec.name,
@@ -706,15 +749,99 @@ class CampaignExecutor:
             if not loaded
             else [job for job in jobs if job.index not in loaded]
         )
-        driver_plan = FaultPlan.parse(config.inject_faults)
-        policy = SupervisionPolicy.from_config(config)
-        supervised = journal is not None or driver_plan is not None
-        merged_count = len(loaded)
-        #: per-index virtual cost, summed in index order after the drain so
-        #: the driver clock advance is bit-identical at any completion order
+        # Per-index virtual cost, summed in index order by finish() so
+        # the driver clock advance is bit-identical at any completion
+        # order.  Prefilled with the replayed pairs.
         elapsed_by_index: dict[int, float] = {
             index: elapsed for index, (_, elapsed) in loaded.items()
         }
+        return PreparedCampaign(
+            payload=payload,
+            jobs=jobs,
+            skips=skips,
+            todo=todo,
+            elapsed_by_index=elapsed_by_index,
+            t_begin=t_begin,
+            sm_facets=sm_facets,
+            bench_driver=bench_driver,
+            n_loaded=len(loaded),
+        )
+
+    def job_cost(self, payload: CampaignPayload):
+        """Expected-cost callable over this campaign's jobs.
+
+        Built from each facet's own probe latencies plus its fixed
+        per-pass duration (filled by :meth:`_calibrate_facets`) — the
+        same model :meth:`_execute` ranks jobs with.  Exposed so
+        external dispatchers (the service tier) can size shards and
+        scheduler quanta consistently with engine dispatch.
+        """
+        models: dict = {}
+
+        def cost(job: PairJob) -> float:
+            model = models.get(job.facet)
+            if model is None:
+                model = models[job.facet] = ProbeCostModel(
+                    payload.probe_for(job.facet),
+                    fixed_pass_s=self._fixed_pass_by_facet.get(
+                        job.facet, 0.0
+                    ),
+                )
+            return model.cost(job.init_mhz, job.target_mhz)
+
+        return cost
+
+    def finish(
+        self,
+        prep: PreparedCampaign,
+        dispatch: StreamDispatcher,
+        accumulator: ResultAccumulator,
+    ) -> CampaignResult:
+        """Close the timeline and assemble the result (last seam stage).
+
+        Sums every measured pair's virtual cost in grid-index order,
+        advances the driver clock once, emits ``CampaignFinished``, and
+        assembles the :class:`CampaignResult` from the accumulator —
+        writing CSVs when the config asks for them.
+        """
+        machine, config = self.machine, self.config
+        total_elapsed = 0.0
+        for index in sorted(prep.elapsed_by_index):
+            total_elapsed += prep.elapsed_by_index[index]
+        if total_elapsed > 0.0:
+            machine.clock.advance(total_elapsed)
+
+        dispatch.emit(
+            CampaignFinished(
+                wall_virtual_s=machine.clock.now - prep.t_begin,
+                locked_sm_mhz=(
+                    None
+                    if prep.sm_facets is not None
+                    else config.swept_axis().locked_complement_mhz(
+                        prep.bench_driver.bench
+                    )
+                ),
+            )
+        )
+        result = accumulator.result()
+        if config.output_dir is not None:
+            write_campaign_csvs(config.output_dir, result)
+        return result
+
+    def _run(self, journal, loaded) -> CampaignResult:
+        config = self.config
+        accumulator = ResultAccumulator()
+        dispatch = StreamDispatcher(
+            accumulator,
+            JournalSink(journal) if journal is not None else None,
+            *self.sinks,
+        )
+        prep = self.prepare(dispatch, loaded)
+        driver_plan = FaultPlan.parse(config.inject_faults)
+        policy = SupervisionPolicy.from_config(config)
+        supervised = journal is not None or driver_plan is not None
+        merged_count = prep.n_loaded
+        elapsed_by_index = prep.elapsed_by_index
 
         def on_result(unit_results) -> None:
             nonlocal merged_count
@@ -745,14 +872,15 @@ class CampaignExecutor:
             if guard is not None:
                 stack.enter_context(guard)
             self._execute(
-                todo,
-                payload,
+                prep.todo,
+                prep.payload,
                 policy,
                 guard=guard,
                 on_result=on_result,
                 on_retry=on_retry,
             )
         if guard is not None and guard.requested:
+            dispatch.interrupt()
             hint = (
                 f"journal at {self.journal_dir} holds every finished pair; "
                 "rerun with --resume to continue"
@@ -760,32 +888,11 @@ class CampaignExecutor:
                 else "no journal attached, partial results were discarded"
             )
             raise CampaignInterrupted(
-                f"campaign interrupted after {merged_count} of {len(jobs)} "
-                f"measured pairs; {hint}",
+                f"campaign interrupted after {merged_count} of "
+                f"{len(prep.jobs)} measured pairs; {hint}",
                 journal_dir=self.journal_dir,
             )
-        total_elapsed = 0.0
-        for index in sorted(elapsed_by_index):
-            total_elapsed += elapsed_by_index[index]
-        if total_elapsed > 0.0:
-            machine.clock.advance(total_elapsed)
-
-        dispatch.emit(
-            CampaignFinished(
-                wall_virtual_s=machine.clock.now - t_begin,
-                locked_sm_mhz=(
-                    None
-                    if sm_facets is not None
-                    else config.swept_axis().locked_complement_mhz(
-                        bench_driver.bench
-                    )
-                ),
-            )
-        )
-        result = accumulator.result()
-        if config.output_dir is not None:
-            write_campaign_csvs(config.output_dir, result)
-        return result
+        return self.finish(prep, dispatch, accumulator)
 
 
 def run_campaign_parallel(

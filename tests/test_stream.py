@@ -18,7 +18,11 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro import make_machine, run_campaign
-from repro.core.csvio import CsvStreamSink, write_campaign_csvs
+from repro.core.csvio import (
+    CsvStreamSink,
+    summary_interrupted,
+    write_campaign_csvs,
+)
 from repro.core.results import ResultAccumulator
 from repro.core.stream import (
     CampaignFinished,
@@ -259,7 +263,7 @@ class TestCsvStreamSink:
         write_campaign_csvs(tmp_path / "batch", result)
         assert _csv_bytes(tmp_path / "stream") == _csv_bytes(tmp_path / "batch")
 
-    def test_interrupted_campaign_keeps_pair_csvs_no_summary(self, tmp_path):
+    def test_interrupted_campaign_writes_marked_partial_summary(self, tmp_path):
         sink = CsvStreamSink(tmp_path / "stream")
         with pytest.raises(CampaignInterrupted):
             run_campaign_parallel(
@@ -269,8 +273,22 @@ class TestCsvStreamSink:
                 sinks=(sink,),
             )
         names = sorted(p.name for p in (tmp_path / "stream").glob("*.csv"))
-        assert len(names) >= 1
-        assert not any(name.startswith("summary_") for name in names)
+        assert len(names) >= 2  # pair CSVs plus the partial summary
+        summaries = [n for n in names if n.startswith("summary_")]
+        assert len(summaries) == 1
+        # The partial summary is explicitly marked: the "# interrupted"
+        # footer tells --resume tooling this was a clean interrupt, not
+        # a crash mid-summary-write (which leaves no summary at all).
+        assert summary_interrupted(tmp_path / "stream" / summaries[0])
+
+    def test_completed_summary_carries_no_interrupt_footer(self, tmp_path):
+        sink = CsvStreamSink(tmp_path / "stream")
+        run_campaign(
+            make_machine("A100", seed=77), _axis_config("sm_core"),
+            sinks=(sink,),
+        )
+        [summary] = (tmp_path / "stream").glob("summary_*.csv")
+        assert not summary_interrupted(summary)
 
 
 class TestResumeReplay:

@@ -1,0 +1,130 @@
+#!/usr/bin/env python
+"""Docstring-coverage gate — an ``interrogate`` stand-in on ``ast``.
+
+Counts the public API surface of the given files/directories — module
+docstrings, public classes, and public functions/methods (dunders and
+``_private`` names excluded, as are defs nested inside functions) —
+and fails when the documented fraction is below ``--min``.
+
+Usage::
+
+    python tools/docstring_coverage.py src/repro/service src/repro/core/stream.py --min 100
+
+Exit code 0 when coverage >= the threshold, 1 otherwise (missing
+docstrings are listed either way).
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import sys
+from pathlib import Path
+
+__all__ = ["FileCoverage", "measure_file", "main"]
+
+
+class FileCoverage:
+    """Documented/total counts plus the missing definitions of one file."""
+
+    def __init__(self, path: Path) -> None:
+        self.path = path
+        self.total = 0
+        self.documented = 0
+        self.missing: list[str] = []
+
+    def count(self, name: str, node, lineno: int) -> None:
+        """Record one public definition and whether it has a docstring."""
+        self.total += 1
+        if ast.get_docstring(node):
+            self.documented += 1
+        else:
+            self.missing.append(f"{self.path}:{lineno}: {name}")
+
+
+def _public(name: str) -> bool:
+    return not name.startswith("_")
+
+
+def measure_file(path: Path) -> FileCoverage:
+    """Docstring coverage of one python file's public surface."""
+    coverage = FileCoverage(path)
+    tree = ast.parse(path.read_text())
+    coverage.count("<module>", tree, 1)
+
+    def walk(node, prefix: str) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.ClassDef):
+                if _public(child.name):
+                    coverage.count(
+                        f"{prefix}{child.name}", child, child.lineno
+                    )
+                    walk(child, f"{prefix}{child.name}.")
+            elif isinstance(
+                child, (ast.FunctionDef, ast.AsyncFunctionDef)
+            ):
+                # nested defs are implementation detail: do not recurse
+                if _public(child.name):
+                    coverage.count(
+                        f"{prefix}{child.name}", child, child.lineno
+                    )
+
+    walk(tree, "")
+    return coverage
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    """Run the gate over the given targets; 0 iff coverage >= --min."""
+    parser = argparse.ArgumentParser(
+        description="fail when public docstring coverage drops below --min"
+    )
+    parser.add_argument(
+        "targets", nargs="+", help="python files or package directories"
+    )
+    parser.add_argument(
+        "--min",
+        type=float,
+        default=100.0,
+        dest="minimum",
+        help="required documented percentage (default 100)",
+    )
+    args = parser.parse_args(argv)
+
+    files: list[Path] = []
+    for target in args.targets:
+        path = Path(target)
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.py")))
+        elif path.is_file():
+            files.append(path)
+        else:
+            print(f"ERROR: no such target {target}", file=sys.stderr)
+            return 1
+
+    total = documented = 0
+    missing: list[str] = []
+    for path in files:
+        coverage = measure_file(path)
+        total += coverage.total
+        documented += coverage.documented
+        missing.extend(coverage.missing)
+        pct = 100.0 * coverage.documented / max(coverage.total, 1)
+        print(
+            f"{path}: {coverage.documented}/{coverage.total} ({pct:.1f}%)"
+        )
+
+    for entry in missing:
+        print(f"MISSING: {entry}", file=sys.stderr)
+    pct = 100.0 * documented / max(total, 1)
+    print(f"TOTAL: {documented}/{total} ({pct:.1f}%) documented")
+    if pct < args.minimum:
+        print(
+            f"FAIL: coverage {pct:.1f}% < required {args.minimum:.1f}%",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
